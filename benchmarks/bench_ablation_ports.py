@@ -1,0 +1,66 @@
+"""Ablation — port count vs bank capacity (the Section IV remark).
+
+The paper explains the imperfect INC=1 performance of Fig. 10 with
+"6·n_c = 24 > 16, i.e., 16 banks are not sufficient to support all
+access requests in parallel".  This bench quantifies that remark: the
+exact steady bandwidth of ``p = 1..8`` staggered unit-stride streams on
+the X-MP memory, against the analytic bound ``min(p, m/n_c)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.multistream import (
+    capacity_bound,
+    equal_stride_bandwidth_bound,
+    max_conflict_free_streams,
+)
+from repro.memory.config import MemoryConfig
+from repro.sim.multi import equal_stride_table
+from repro.viz.tables import format_table
+
+from conftest import print_header
+
+CFG = MemoryConfig(banks=16, bank_cycle=4)
+MAX_STREAMS = 8
+
+
+def _run():
+    return equal_stride_table(CFG, 1, MAX_STREAMS)
+
+
+def test_ablation_ports(benchmark):
+    table = benchmark(_run)
+
+    print_header(
+        "Port scaling: p unit-stride streams on m=16, n_c=4 "
+        "(the '6·n_c = 24 > 16' remark)"
+    )
+    rows = []
+    for p in range(1, MAX_STREAMS + 1):
+        bound = equal_stride_bandwidth_bound(16, 4, 1, p)
+        rows.append(
+            (
+                p,
+                str(table[p]),
+                str(bound),
+                str(capacity_bound(16, 4, p)),
+                "yes" if table[p] == bound else "NO",
+            )
+        )
+    print(format_table(
+        ["p", "simulated b_eff", "ring bound", "capacity", "tight"], rows
+    ))
+    print(
+        f"\nmax conflict-free unit-stride streams: "
+        f"{max_conflict_free_streams(16, 4, 1)} (= m/n_c = 4)"
+    )
+
+    # the bound is achieved exactly everywhere
+    for p in range(1, MAX_STREAMS + 1):
+        assert table[p] == equal_stride_bandwidth_bound(16, 4, 1, p)
+    # and six streams saturate at 4 — the paper's observation
+    assert table[6] == Fraction(4)
+
+    benchmark.extra_info["plateau"] = float(table[MAX_STREAMS])

@@ -1,0 +1,59 @@
+"""Ablation T-E — skewing schemes (the conclusion's outlook).
+
+The paper closes by suggesting skewing schemes as a remedy for
+non-uniform access streams.  This bench measures, on the X-MP memory
+shape, the bandwidth of each stride 1..16 paired against one unit-stride
+peer under (a) plain low-order interleaving and (b) a linear row-skewed
+placement — quantifying how much of the Fig. 10 stride-sensitivity a
+skew removes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.memory.config import MemoryConfig
+from repro.skewing.evaluate import stride_sensitivity
+from repro.viz.series import multi_series_table
+
+from conftest import print_header
+
+CFG = MemoryConfig(banks=16, bank_cycle=4)
+
+
+def _run():
+    return stride_sensitivity(
+        CFG, range(1, 17), peers=1, skew=1, horizon=2048, warmup=256
+    )
+
+
+def test_ablation_skewing(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header(
+        "T-E: skewing ablation — stride d + one unit-stride peer "
+        "(m=16, n_c=4; grants/clock, max 2)"
+    )
+    strides = [r.stride for r in rows]
+    print(multi_series_table(
+        strides,
+        {
+            "plain": [float(r.plain) for r in rows],
+            "skewed": [float(r.skewed) for r in rows],
+            "gain %": [100 * r.improvement for r in rows],
+        },
+        x_label="d",
+    ))
+
+    by_stride = {r.stride: r for r in rows}
+    # Power-of-two strides collapse under plain interleaving...
+    assert by_stride[16].plain <= Fraction(1, 2)
+    assert by_stride[8].plain <= Fraction(3, 2)
+    # ...and the skew recovers a large part of it.
+    assert by_stride[16].skewed > 2 * by_stride[16].plain
+    assert by_stride[8].skewed > by_stride[8].plain
+    # The skew never hurts the already-good unit stride.
+    assert by_stride[1].skewed == by_stride[1].plain == 2
+
+    benchmark.extra_info["gain_stride16"] = by_stride[16].improvement
+    benchmark.extra_info["gain_stride8"] = by_stride[8].improvement

@@ -1,0 +1,47 @@
+"""Performance — raw simulator throughput (clocks simulated per second).
+
+Not a paper experiment: this tracks the speed of the reproduction's own
+engine so regressions in the arbitration loop are caught.  Three
+workload shapes spanning the arbitration paths: one port (bank checks
+only), two CPUs (simultaneous conflicts), six ports on a sectioned
+memory (full three-phase arbitration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stream import AccessStream
+from repro.memory.config import MemoryConfig
+from repro.sim.engine import Engine
+from repro.sim.port import Port
+
+CLOCKS = 2000
+
+
+def _build(n_ports: int, sectioned: bool):
+    cfg = MemoryConfig(
+        banks=16, bank_cycle=4, sections=4 if sectioned else None
+    )
+    ports = [Port(index=i, cpu=i % 2) for i in range(n_ports)]
+    engine = Engine(cfg, ports, priority="cyclic")
+    for i, p in enumerate(ports):
+        p.assign(AccessStream(start_bank=(3 * i) % 16, stride=1 + (i % 3)))
+    return engine
+
+
+@pytest.mark.parametrize(
+    "n_ports,sectioned",
+    [(1, False), (2, False), (6, True)],
+    ids=["1port", "2ports", "6ports-sectioned"],
+)
+def test_engine_throughput(benchmark, n_ports, sectioned):
+    def run():
+        engine = _build(n_ports, sectioned)
+        engine.run(CLOCKS)
+        return engine.stats.total_grants
+
+    grants = benchmark(run)
+    assert grants > 0
+    benchmark.extra_info["clocks"] = CLOCKS
+    benchmark.extra_info["grants"] = grants

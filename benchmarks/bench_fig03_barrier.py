@@ -1,0 +1,47 @@
+"""Fig. 3 — barrier-situation.
+
+13-way interleaved memory, ``n_c = 6``, ``d1 = 1`` barriers ``d2 = 6``:
+stream 2 is delayed five clocks per service, ``b_eff = 1 + 1/6 = 7/6``
+(eq. 29).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core import barrier_bandwidth, barrier_possible
+from repro.core.stream import AccessStream
+from repro.memory.config import FIG3_CONFIG
+from repro.sim.engine import simulate_streams
+from repro.sim.pairs import ObservedRegime, simulate_pair
+from repro.viz.ascii_trace import render_result
+
+from conftest import print_header
+
+
+def _run():
+    return simulate_pair(FIG3_CONFIG, 1, 6, b2=0)
+
+
+def test_fig03_barrier(benchmark):
+    pr = benchmark(_run)
+
+    print_header("Fig. 3: barrier-situation (m=13, n_c=6, d1=1, d2=6)")
+    res = simulate_streams(
+        FIG3_CONFIG,
+        [AccessStream(0, 1, label="1"), AccessStream(0, 6, label="2")],
+        cpus=[0, 1],
+        cycles=40,
+        trace=True,
+    )
+    print(render_result(res, stop=36))
+    print(f"\nsteady b_eff = {pr.bandwidth}  (paper eq. 29: 7/6)")
+    print(f"regime: {pr.regime.value}; grants per period: {pr.grants}")
+
+    assert barrier_possible(13, 6, 1, 6)
+    assert barrier_bandwidth(1, 6) == Fraction(7, 6)
+    assert pr.bandwidth == Fraction(7, 6)
+    assert pr.regime is ObservedRegime.BARRIER_ON_2
+
+    benchmark.extra_info["b_eff"] = float(pr.bandwidth)
+    benchmark.extra_info["paper_b_eff"] = float(Fraction(7, 6))

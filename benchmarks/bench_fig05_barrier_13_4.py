@@ -1,0 +1,53 @@
+"""Fig. 5 — barrier-situation satisfying Theorems 4 AND 5.
+
+m=13, n_c=4, d=(1,3), b=(0,7): stream 2 barriered, ``b_eff = 4/3``, and
+no start can produce a double conflict (Theorem 5: 3·4 = 12 < 13).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core import barrier_bandwidth, barrier_possible, double_conflict_impossible
+from repro.core.stream import AccessStream
+from repro.memory.config import FIG5_CONFIG
+from repro.sim.engine import simulate_streams
+from repro.sim.pairs import ObservedRegime, bandwidth_by_offset, simulate_pair
+from repro.viz.ascii_trace import render_result
+
+from conftest import print_header
+
+
+def _run():
+    pr = simulate_pair(FIG5_CONFIG, 1, 3, b2=7)
+    sweep = bandwidth_by_offset(FIG5_CONFIG, 1, 3)
+    return pr, sweep
+
+
+def test_fig05_barrier(benchmark):
+    pr, sweep = benchmark(_run)
+
+    print_header("Fig. 5: barrier-situation (m=13, n_c=4, d1=1, d2=3, b2=7)")
+    res = simulate_streams(
+        FIG5_CONFIG,
+        [AccessStream(0, 1, label="1"), AccessStream(7, 3, label="2")],
+        cpus=[0, 1],
+        cycles=40,
+        trace=True,
+    )
+    print(render_result(res, stop=36))
+    print(f"\nsteady b_eff = {pr.bandwidth}  (paper eq. 29: 4/3)")
+    print("b_eff over all starts:", dict(sorted(sweep.items())))
+
+    assert barrier_possible(13, 4, 1, 3)
+    assert double_conflict_impossible(13, 4, 1, 3)
+    assert barrier_bandwidth(1, 3) == Fraction(4, 3)
+    assert pr.bandwidth == Fraction(4, 3)
+    assert pr.regime is ObservedRegime.BARRIER_ON_2
+    # Theorem 5 consequence: NO start shows mutual delays.
+    for b2 in range(13):
+        got = simulate_pair(FIG5_CONFIG, 1, 3, b2=b2)
+        assert got.regime is not ObservedRegime.MUTUAL
+
+    benchmark.extra_info["b_eff"] = float(pr.bandwidth)
+    benchmark.extra_info["paper_b_eff"] = float(Fraction(4, 3))

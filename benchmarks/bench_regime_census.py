@@ -1,0 +1,54 @@
+"""Extension — regime census: how much stride space each theorem governs.
+
+Classifies every stride pair on a family of memory shapes and prints
+the regime distribution — the "how worried should a programmer be"
+table.  The counts regression-lock the classifier.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.census import regime_census
+from repro.core.classify import PairRegime
+from repro.viz.tables import format_table
+
+from conftest import print_header
+
+SHAPES = [(16, 4), (12, 3), (13, 4), (32, 4), (64, 4)]
+
+
+def _run():
+    return {(m, n_c): regime_census(m, n_c) for m, n_c in SHAPES}
+
+
+def test_regime_census(benchmark):
+    censuses = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Regime census over all stride pairs 1 <= d1 <= d2 < m")
+    for (m, n_c), census in censuses.items():
+        print(f"\nm={m}, n_c={n_c} ({census.total} pairs, "
+              f"{census.determined} with exact analytic b_eff):")
+        print(format_table(["regime", "pairs", "share"], census.rows()))
+
+    xmp = censuses[(16, 4)]
+    # locked distribution for the X-MP shape
+    assert xmp.counts[PairRegime.CONFLICT_FREE] == 16
+    assert xmp.counts[PairRegime.UNIQUE_BARRIER] == 16
+    assert xmp.determined == 32
+    # prime bank counts remove disjoint/self-conflict regimes entirely
+    prime = censuses[(13, 4)]
+    assert PairRegime.DISJOINT_POSSIBLE not in prime.counts
+    assert PairRegime.SELF_CONFLICT not in prime.counts
+    # doubling the banks (same n_c) shrinks the share of strides that
+    # self-conflict (r < n_c needs gcd(m, d) > m/n_c — rarer on 32)...
+    assert censuses[(32, 4)].share(PairRegime.SELF_CONFLICT) < xmp.share(
+        PairRegime.SELF_CONFLICT
+    )
+    # ...and multiplies the absolute number of conflict-free pairs.
+    assert (
+        censuses[(32, 4)].counts[PairRegime.CONFLICT_FREE]
+        > 2 * xmp.counts[PairRegime.CONFLICT_FREE]
+    )
+
+    benchmark.extra_info["xmp_counts"] = {
+        k.value: v for k, v in xmp.counts.items()
+    }

@@ -1,0 +1,59 @@
+"""Extension — exhaustive start-space profiles of the paper's pairs.
+
+"In general the relative starting positions cannot be predicted": this
+bench computes, for each trace-figure pair, the *distribution* of steady
+bandwidths over every relative start — turning Figs. 3-6's single
+trajectories into the full picture a designer needs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.memory.config import FIG2_CONFIG, FIG3_CONFIG, FIG5_CONFIG
+from repro.sim.statespace import start_space_profile
+from repro.viz.profile import render_histogram
+
+from conftest import print_header
+
+PAIRS = [
+    ("Fig 2 pair (1,7) on m=12,n_c=3", FIG2_CONFIG, 1, 7),
+    ("Fig 3/4 pair (1,6) on m=13,n_c=6", FIG3_CONFIG, 1, 6),
+    ("Fig 5/6 pair (1,3) on m=13,n_c=4", FIG5_CONFIG, 1, 3),
+]
+
+
+def _run():
+    return {
+        name: start_space_profile(cfg, d1, d2)
+        for name, cfg, d1, d2 in PAIRS
+    }
+
+
+def test_start_space(benchmark):
+    profiles = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Start-space distributions of the paper's stream pairs")
+    for name, *_ in PAIRS:
+        prof = profiles[name]
+        print(f"\n{name}  (max transient {prof.max_transient} clocks)")
+        print(render_histogram(prof))
+
+    fig2 = profiles[PAIRS[0][0]]
+    fig3 = profiles[PAIRS[1][0]]
+    fig5 = profiles[PAIRS[2][0]]
+
+    # Fig 2 synchronizes: a single spike at 2.
+    assert fig2.bandwidth_histogram() == {Fraction(2): 12}
+    # Fig 3/4: the barrier 7/6 coexists with strictly worse mutual cycles.
+    h3 = fig3.bandwidth_histogram()
+    assert Fraction(7, 6) in h3
+    assert min(h3) < Fraction(7, 6)
+    # Fig 5/6: exactly two regimes, 4/3 (barrier) and 7/5 (inverted).
+    h5 = fig5.bandwidth_histogram()
+    assert set(h5) == {Fraction(4, 3), Fraction(7, 5)}
+    assert h5[Fraction(4, 3)] == 11 and h5[Fraction(7, 5)] == 2
+
+    benchmark.extra_info["fig5_histogram"] = {
+        str(k): v for k, v in h5.items()
+    }

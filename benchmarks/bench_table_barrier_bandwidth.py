@@ -1,0 +1,61 @@
+"""Table T-C (extension) — eq. (29) barrier bandwidth vs simulation.
+
+For every unique-barrier pair (Theorem 6's domain) on a grid of shapes,
+checks that the simulated steady bandwidth equals ``1 + d1/d2`` from
+every overlapping start; Theorem 7 (small-m) pairs are checked to be
+start-independent barriers with bandwidth in ``[1 + d1/d2, 2)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.sweep import canonical_pairs
+from repro.analysis.validate import validate_unique_barrier
+from repro.core import theorems
+from repro.core.single import predict_single
+from repro.viz.tables import format_table
+
+from conftest import print_header
+
+SHAPES = [(13, 4), (16, 2), (24, 3), (26, 4)]
+
+
+def _collect():
+    issues = []
+    rows = []
+    for m, n_c in SHAPES:
+        pairs = [(d1, d2) for d1, d2 in canonical_pairs(m) if d1 < d2]
+        issues += validate_unique_barrier(m, n_c, pairs)
+        for d1, d2 in pairs:
+            r1 = predict_single(m, d1, n_c)
+            r2 = predict_single(m, d2, n_c)
+            if not (r1.return_number >= 2 * n_c and r2.return_number > n_c):
+                continue
+            if theorems.unique_barrier(m, n_c, d1, d2, stream1_priority=True):
+                exact = theorems.unique_barrier_by_modulus(m, n_c, d1, d2)
+                rows.append(
+                    (
+                        m, n_c, d1, d2,
+                        str(theorems.barrier_bandwidth(d1, d2)),
+                        "T6 (exact)" if exact else "T7 (lower bound)",
+                    )
+                )
+    return issues, rows
+
+
+def test_table_barrier_bandwidth(benchmark):
+    issues, rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print_header("T-C: unique-barrier bandwidth (eq. 29) vs simulation")
+    print(format_table(
+        ["m", "n_c", "d1", "d2", "eq29 = 1+d1/d2", "via"], rows
+    ))
+    print(f"\ndiscrepancies across {SHAPES}: {len(issues)}")
+
+    assert issues == []
+    assert rows, "sweep found no unique barriers — domain bug"
+    assert any("T6" in r[5] for r in rows)
+
+    benchmark.extra_info["unique_barrier_pairs"] = len(rows)
+    benchmark.extra_info["discrepancies"] = len(issues)

@@ -1,0 +1,40 @@
+"""Table T-B (extension) — pair regimes: classification vs simulation.
+
+For every canonical stride pair on m = 12, n_c = 3 the bench prints the
+analytic classification next to the simulated best/worst steady
+bandwidth over all relative starts, asserting that the analytic bounds
+always bracket the simulation (Theorems 2-7 combined).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import pair_sweep_report
+from repro.analysis.sweep import pair_sweep
+from repro.analysis.validate import validate_conflict_free, validate_disjoint
+
+from conftest import print_header
+
+
+def _run():
+    rows = pair_sweep(12, 3)
+    all_pairs = [(a, b) for a in range(1, 12) for b in range(a, 12)]
+    issues = validate_conflict_free(12, 3, all_pairs)
+    issues += validate_disjoint(12, 3, all_pairs)
+    return rows, issues
+
+
+def test_table_pair_classification(benchmark):
+    rows, issues = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("T-B: stride-pair classification vs simulation (m=12, n_c=3)")
+    print(pair_sweep_report(rows))
+    print(f"\nTheorem 2/3 validation discrepancies: {len(issues)}")
+
+    assert issues == []
+    assert all(r.within_bounds for r in rows)
+    # the sweep must exercise several distinct regimes
+    regimes = {r.regime for r in rows}
+    assert len(regimes) >= 3, regimes
+
+    benchmark.extra_info["pairs"] = len(rows)
+    benchmark.extra_info["regimes"] = sorted(regimes)

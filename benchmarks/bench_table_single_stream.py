@@ -1,0 +1,38 @@
+"""Table T-A (extension) — single-stream bandwidth: theory vs simulator.
+
+Sweeps every stride on a grid of memory shapes and checks the Section
+III-A closed form ``b_eff = min(1, r/n_c)`` against exact steady-state
+simulation.  The printed table is the X-MP shape (m=16, n_c=4).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import single_sweep_report
+from repro.analysis.sweep import single_stream_sweep
+from repro.analysis.validate import validate_single_stream
+
+from conftest import print_header
+
+SHAPES = [(8, 2), (12, 3), (13, 6), (16, 4), (32, 4)]
+
+
+def _run():
+    issues = []
+    for m, n_c in SHAPES:
+        issues += validate_single_stream(m, n_c)
+    rows = single_stream_sweep(16, 4)
+    return issues, rows
+
+
+def test_table_single_stream(benchmark):
+    issues, rows = benchmark(_run)
+
+    print_header("T-A: single-stream b_eff, theory vs simulation (m=16, n_c=4)")
+    print(single_sweep_report(rows))
+    print(f"\nshapes validated: {SHAPES}; discrepancies: {len(issues)}")
+
+    assert issues == []
+    assert all(r.agrees for r in rows)
+
+    benchmark.extra_info["shapes"] = len(SHAPES)
+    benchmark.extra_info["discrepancies"] = len(issues)

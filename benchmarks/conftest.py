@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or one of the
+DESIGN.md validation tables, printing the rows/series it reproduces and
+asserting the shape claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only [-s to see the tables]
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Capacity planning: how many streams can this memory actually feed?
+
+A systems-design walk through the library's k-stream and stochastic
+tooling: start from the paper's "6·n_c = 24 > 16" remark, compute the
+capacity bound for candidate memory shapes, verify it by exact
+simulation, and then ask what random (gather) traffic — the classical
+models' world — does to the same hardware.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.core.multistream import (
+    capacity_bound,
+    equal_stride_bandwidth_bound,
+    max_conflict_free_streams,
+)
+from repro.memory import MemoryConfig
+from repro.sim import equal_stride_table
+from repro.stochastic import (
+    binomial_bandwidth,
+    hellerman_bandwidth,
+    structured_vs_random,
+)
+from repro.viz import format_table, multi_series_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The capacity wall, per memory shape.
+    # ------------------------------------------------------------------
+    print("== how many unit-stride streams fit? ==\n")
+    rows = []
+    for m, n_c in [(16, 4), (32, 4), (64, 4), (16, 2)]:
+        cfg = MemoryConfig(banks=m, bank_cycle=n_c)
+        fits = max_conflict_free_streams(m, n_c, 1)
+        rows.append(
+            (
+                f"m={m}, n_c={n_c}",
+                fits,
+                str(capacity_bound(m, n_c, 8)),
+            )
+        )
+    print(format_table(
+        ["memory", "conflict-free d=1 streams", "cap for 8 ports"], rows
+    ))
+    print(
+        "\nThe X-MP row explains Fig. 10's INC=1 imperfection: six active "
+        "ports\nagainst a 4-stream capacity (6*n_c = 24 > 16 banks)."
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Verified: the simulator hits the bound exactly.
+    # ------------------------------------------------------------------
+    print("\n== exact steady bandwidth vs stream count (m=16, n_c=4) ==\n")
+    cfg = MemoryConfig(banks=16, bank_cycle=4)
+    table = equal_stride_table(cfg, 1, 8)
+    print(multi_series_table(
+        list(table),
+        {
+            "simulated": [float(v) for v in table.values()],
+            "bound": [
+                float(equal_stride_bandwidth_bound(16, 4, 1, p))
+                for p in table
+            ],
+        },
+        x_label="p",
+    ))
+
+    # ------------------------------------------------------------------
+    # 3. And if the traffic were random?  (The [1]-[5] world.)
+    # ------------------------------------------------------------------
+    print("\n== structured vs random traffic, same hardware ==\n")
+    rows = []
+    for p in (1, 2, 4, 6):
+        cmp = structured_vs_random(cfg, p, horizon=2048, warmup=256)
+        rows.append(
+            (
+                p,
+                f"{float(cmp.structured):.2f}",
+                f"{float(cmp.random):.2f}",
+                f"{float(binomial_bandwidth(16, p)):.2f}",
+            )
+        )
+    print(format_table(
+        ["ports", "structured", "random gathers", "binomial model"], rows
+    ))
+    print(
+        f"\nHellerman's single-queue bound B(16) = "
+        f"{hellerman_bandwidth(16):.2f} accesses/cycle — the sub-sqrt(m)\n"
+        "scaling that made structured vector access worth analysing in "
+        "the first place."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Kernel advisor: automated Section V analysis of a loop nest.
+
+Feed the advisor the array references of an inner loop; it computes
+every stream's bank distance (eq. 33), flags self-conflicting strides,
+classifies all stream pairs (Theorems 2-9), and proposes the paper's
+fix — a leading dimension relatively prime to the bank count.  The
+verdicts are then *checked on the machine model* by actually running the
+kernel.
+
+Run:  python examples/kernel_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ArrayRef, analyze_kernel
+from repro.core.fortran import ArraySpec
+from repro.machine import matrix_sweep_program, run_program
+from repro.memory import CRAY_XMP_16
+from repro.viz import format_table
+
+
+def advise(title: str, refs: list[ArrayRef]) -> None:
+    report = analyze_kernel(CRAY_XMP_16, refs)
+    print(f"\n== {title} ==")
+    print(format_table(
+        ["array", "kind", "d", "r", "solo b_eff", "suggested J1"],
+        report.summary_rows(),
+    ))
+    if report.self_conflicting_refs:
+        names = [r.ref.name for r in report.self_conflicting_refs]
+        print(f"  !! self-conflicting streams: {', '.join(names)}")
+    worst = report.worst_pair
+    if worst is not None:
+        (i, j), cls = worst
+        print(
+            f"  worst pair: {refs[i].name} vs {refs[j].name} -> "
+            f"{cls.regime.value}"
+        )
+    print(f"  verdict: {'CLEAN' if report.clean else 'NEEDS ATTENTION'}")
+
+
+def main() -> None:
+    print("Kernel advisor for a 16-bank, n_c=4, 4-section machine")
+
+    # 1. A healthy unit-stride kernel: Y = Y + a*X
+    advise(
+        "DAXPY: Y(I) = Y(I) + a*X(I), INC=1",
+        [
+            ArrayRef("X", (10000,), inc=1),
+            ArrayRef("Y", (10000,), inc=1),
+            ArrayRef("Y", (10000,), inc=1, kind="store"),
+        ],
+    )
+
+    # 2. The classic trap: row sweep of a REAL M(16, 512) matrix.
+    advise(
+        "row sweep of M(16, 512)  [d = 16 mod 16 = 0 !]",
+        [ArrayRef("M", (16, 512), axis=1, inc=1)],
+    )
+
+    # 3. The advisor's fix, applied.
+    advise(
+        "row sweep of M(17, 512)  [leading dimension made coprime]",
+        [ArrayRef("M", (17, 512), axis=1, inc=1)],
+    )
+
+    # ------------------------------------------------------------------
+    # Check the advice on the machine model.
+    # ------------------------------------------------------------------
+    print("\n== machine check: row sweeps, dedicated machine ==")
+    slow = run_program(
+        matrix_sweep_program(ArraySpec("M", (16, 512)), "row"),
+        other_cpu_active=False,
+    )
+    fast = run_program(
+        matrix_sweep_program(ArraySpec("M", (17, 512)), "row"),
+        other_cpu_active=False,
+    )
+    print(f"  M(16, 512): {slow.cycles} clocks for 512 loads "
+          f"({slow.cycles / 512:.2f} clk/elem)")
+    print(f"  M(17, 512): {fast.cycles} clocks for 512 loads "
+          f"({fast.cycles / 512:.2f} clk/elem)")
+    print(f"  speedup from one extra row of storage: "
+          f"{slow.cycles / fast.cycles:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Architect's scenario: should my memory use cyclic priority or
+consecutive-bank sections?
+
+Replays the paper's Fig. 8/9 investigation as a design-space study on a
+12-bank, 3-section, n_c=3 memory: two unit-stride streams from one CPU,
+all 12 relative starts, under each combination of priority rule and
+bank-to-section mapping.
+
+Run:  python examples/linked_conflict.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro import FIG8_CONFIG, AccessStream, simulate_streams
+from repro.sim import bandwidth_by_offset
+from repro.viz import format_table, render_result
+
+CONSECUTIVE = FIG8_CONFIG.with_sections(3, "consecutive")
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Exhibit the linked conflict (Fig. 8a).
+    # ------------------------------------------------------------------
+    print("== the linked conflict, traced (fixed priority, b=(0,1)) ==\n")
+    res = simulate_streams(
+        FIG8_CONFIG,
+        [AccessStream(0, 1, label="1"), AccessStream(1, 1, label="2")],
+        cpus=[0, 0],
+        cycles=40,
+        trace=True,
+        priority="fixed",
+    )
+    print(render_result(res, stop=34, show_sections=True))
+    print("\n('*' = section conflict, '<' = stream 2 delayed: the lock",
+          "alternates between the two kinds — a linked conflict.)")
+
+    # ------------------------------------------------------------------
+    # 2. Design-space sweep: mapping x priority x all starts.
+    # ------------------------------------------------------------------
+    print("\n== design space: locked starts out of 12 ==\n")
+    rows = []
+    for cfg, map_name in ((FIG8_CONFIG, "cyclic"), (CONSECUTIVE, "consecutive")):
+        for rule in ("fixed", "cyclic", "lru"):
+            table = bandwidth_by_offset(
+                cfg, 1, 1, same_cpu=True, priority=rule
+            )
+            locked = sorted(o for o, bw in table.items() if bw < 2)
+            rows.append(
+                (
+                    map_name,
+                    rule,
+                    len(locked),
+                    str(min(table.values())),
+                    ",".join(map(str, locked)) or "-",
+                )
+            )
+    print(format_table(
+        ["bank->section map", "priority", "locked", "worst b_eff", "offsets"],
+        rows,
+    ))
+
+    print(
+        "\nConclusions (matching the paper): a fixed rule can hold the\n"
+        "linked conflict forever; cyclic priority dissolves it at the\n"
+        "paper's start; Cheung & Smith's consecutive grouping removes\n"
+        "it structurally, independent of the priority rule."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Architectural study: X-MP vs a VP-200-flavoured machine, plus padding.
+
+Two investigations a performance engineer of 1985 would run with this
+library:
+
+1. the same triad on the two machine families the paper names (Cray
+   X-MP and Fujitsu VP-200) — where do the stride cliffs sit on each?
+2. automatic COMMON-padding search (the paper hand-picked
+   ``IDIM = 16*1024 + 1``): how much does placement matter, per stride?
+
+Run:  python examples/machine_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.padding import optimize_padding
+from repro.machine.builder import VP200_SPEC, XMP_SPEC, run_on
+from repro.machine.workloads import triad_program
+from repro.memory.layout import CommonBlock
+from repro.viz import format_table, multi_series_table
+
+
+def sweep(spec, incs, n=256):
+    out = {}
+    for inc in incs:
+        common = CommonBlock.build([(c, (20000,)) for c in "ABCD"])
+        prog = triad_program(
+            inc, n=n, common=common, vector_length=spec.vector_length
+        )
+        out[inc] = run_on(spec, prog).cycles
+    return out
+
+
+def main() -> None:
+    incs = [1, 2, 3, 4, 8, 16]
+
+    # ------------------------------------------------------------------
+    # 1. Machine family comparison.
+    # ------------------------------------------------------------------
+    print("== triad on two machine families (dedicated, n=256) ==\n")
+    xmp = sweep(XMP_SPEC, incs)
+    vp = sweep(VP200_SPEC, incs)
+    print(multi_series_table(
+        incs,
+        {"X-MP (16 banks)": [xmp[i] for i in incs],
+         "VP-like (32 banks)": [vp[i] for i in incs]},
+        x_label="INC",
+    ))
+    print(
+        "\nThe VP-like 32-bank interleave halves the INC=8 and INC=16 "
+        "resonances\n(r doubles); clean strides pay a small price for "
+        "the single CPU's pipes."
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Padding search (the IDIM trick, automated).
+    # ------------------------------------------------------------------
+    print("\n== COMMON padding search, contended triad (INC=1, n=256) ==\n")
+    ranked = optimize_padding(1, n=256)
+    rows = [
+        (r.pad, r.idim % 16, r.cycles,
+         " ".join(f"{k}:{v}" for k, v in r.start_banks.items()))
+        for r in ranked[:5] + ranked[-2:]
+    ]
+    print(format_table(
+        ["pad", "IDIM mod 16", "clocks", "start banks"], rows,
+        title="best five and worst two paddings",
+    ))
+    best, worst = ranked[0], ranked[-1]
+    print(
+        f"\nplacement alone is worth "
+        f"{(worst.cycles - best.cycles) / worst.cycles:.1%} on this kernel "
+        f"(pad {best.pad}: {best.cycles} vs pad {worst.pad}: {worst.cycles})"
+    )
+    print("the paper's choice (pad 1, one bank apart) ranks "
+          f"#{[r.pad for r in ranked].index(1) + 1} of 16.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Following the paper's outlook: do skewing schemes help?
+
+The conclusion suggests "the application of skewing schemes" to build
+uniform access environments.  This study pits plain low-order
+interleaving against a linear row-skew on the X-MP memory shape, for
+the workload class the paper worries about: one strided stream next to
+a unit-stride stream.
+
+Run:  python examples/skewing_study.py
+"""
+
+from __future__ import annotations
+
+from repro.memory import LinearSkewMapping, MemoryConfig
+from repro.skewing import MappedStream, stride_sensitivity
+from repro.viz import multi_series_table
+
+CFG = MemoryConfig(banks=16, bank_cycle=4)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. What a skew does to a bank walk.
+    # ------------------------------------------------------------------
+    skew = LinearSkewMapping(16, skew=1)
+    column = MappedStream(skew, base=0, stride=16)
+    print("== bank walk of a stride-16 (column) stream ==")
+    print("plain interleave: bank 0, 0, 0, ... (r = 1, b_eff = 1/4)")
+    print(f"row-skewed      : banks {column.banks(16, 8)} ... (all 16 banks)")
+
+    # ------------------------------------------------------------------
+    # 2. Quantified: stride d + one unit-stride peer, both mappings.
+    # ------------------------------------------------------------------
+    rows = stride_sensitivity(
+        CFG, range(1, 17), peers=1, skew=1, horizon=2048, warmup=256
+    )
+    print("\n== grants/clock (max 2): plain vs skewed ==\n")
+    print(multi_series_table(
+        [r.stride for r in rows],
+        {
+            "plain": [float(r.plain) for r in rows],
+            "skewed": [float(r.skewed) for r in rows],
+            "gain %": [100 * r.improvement for r in rows],
+        },
+        x_label="d",
+    ))
+
+    worst_plain = min(rows, key=lambda r: r.plain)
+    print(
+        f"\nworst plain stride: d={worst_plain.stride} at "
+        f"{float(worst_plain.plain):.3f} grants/clock; the same workload "
+        f"under the skew reaches {float(worst_plain.skewed):.3f}."
+    )
+    print(
+        "The skew flattens the power-of-two cliffs of Fig. 10 at the\n"
+        "price of a slightly less regular bank sequence for every other\n"
+        "stride — consistent with the skewing literature the paper cites."
+    )
+
+
+if __name__ == "__main__":
+    main()

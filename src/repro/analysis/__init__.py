@@ -1,0 +1,72 @@
+"""Evaluation harness: sweeps, validation, programmer-facing atlas.
+
+``sweep``
+    Parameter sweeps over strides and stride pairs (theory + sim).
+``validate``
+    Sim-vs-theory discrepancy hunts for every theorem.
+``atlas``
+    Section V style stride guidance for a concrete machine.
+``report``
+    Table formatting for the above.
+"""
+
+from .atlas import StrideAdvice, loop_advice, pair_atlas_row, stride_atlas
+from .census import RegimeCensus, regime_census
+from .loopnest import ArrayRef, KernelReport, RefAnalysis, analyze_kernel
+from .montecarlo import EnvironmentSample, expected_bandwidth, sample_environments
+from .padding import PaddingResult, evaluate_padding, optimize_padding
+from .report import (
+    fraction_str,
+    pair_sweep_report,
+    single_sweep_report,
+    triad_report,
+)
+from .sweep import (
+    PairSweepRow,
+    SingleSweepRow,
+    canonical_pairs,
+    pair_sweep,
+    single_stream_sweep,
+)
+from .validate import (
+    Discrepancy,
+    validate_conflict_free,
+    validate_disjoint,
+    validate_sections,
+    validate_single_stream,
+    validate_unique_barrier,
+)
+
+__all__ = [
+    "ArrayRef",
+    "Discrepancy",
+    "EnvironmentSample",
+    "KernelReport",
+    "PaddingResult",
+    "PairSweepRow",
+    "RefAnalysis",
+    "RegimeCensus",
+    "SingleSweepRow",
+    "StrideAdvice",
+    "analyze_kernel",
+    "evaluate_padding",
+    "expected_bandwidth",
+    "optimize_padding",
+    "canonical_pairs",
+    "fraction_str",
+    "loop_advice",
+    "pair_atlas_row",
+    "pair_sweep",
+    "pair_sweep_report",
+    "regime_census",
+    "sample_environments",
+    "single_stream_sweep",
+    "single_sweep_report",
+    "stride_atlas",
+    "triad_report",
+    "validate_conflict_free",
+    "validate_disjoint",
+    "validate_sections",
+    "validate_single_stream",
+    "validate_unique_barrier",
+]

@@ -1,0 +1,104 @@
+"""Conflict atlas: programmer-facing stride guidance (Section V).
+
+The paper closes with advice to the programmer: know your distances,
+beware rows and diagonals of Fortran arrays, dimension arrays relatively
+prime to the bank count.  The atlas condenses the analysis into exactly
+that form — for a given machine, a table over strides (or stride pairs)
+of what to expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.classify import PairRegime, classify_pair
+from ..core.fortran import loop_distance
+from ..core.single import predict_single
+from ..memory.config import MemoryConfig
+from ..sim.pairs import bandwidth_by_offset
+
+__all__ = ["StrideAdvice", "stride_atlas", "loop_advice", "pair_atlas_row"]
+
+
+@dataclass(frozen=True)
+class StrideAdvice:
+    """Verdict for one stride on one machine."""
+
+    stride: int
+    distance: int
+    return_number: int
+    solo_bandwidth: Fraction
+    self_conflicting: bool
+    vs_unit_stride_regime: str
+    vs_unit_stride_bandwidth: Fraction | None
+
+    @property
+    def safe(self) -> bool:
+        """Full rate alone and conflict-free against a unit-stride peer."""
+        return (
+            not self.self_conflicting
+            and self.vs_unit_stride_regime
+            in (PairRegime.CONFLICT_FREE.value, PairRegime.DISJOINT_POSSIBLE.value)
+        )
+
+
+def stride_atlas(
+    config: MemoryConfig, strides: range | list[int] = range(1, 17)
+) -> list[StrideAdvice]:
+    """Advice rows for a sweep of strides.
+
+    ``vs_unit_stride`` columns answer the question the Fig. 10
+    environment poses: how does this stride fare against a distance-1
+    stream from the other CPU?
+    """
+    m, n_c = config.banks, config.bank_cycle
+    rows: list[StrideAdvice] = []
+    for stride in strides:
+        d = stride % m
+        solo = predict_single(m, d, n_c)
+        cls = classify_pair(m, n_c, 1, d)
+        rows.append(
+            StrideAdvice(
+                stride=stride,
+                distance=d,
+                return_number=solo.return_number,
+                solo_bandwidth=solo.bandwidth,
+                self_conflicting=not solo.conflict_free,
+                vs_unit_stride_regime=cls.regime.value,
+                vs_unit_stride_bandwidth=cls.predicted_bandwidth,
+            )
+        )
+    return rows
+
+
+def loop_advice(
+    config: MemoryConfig,
+    inc: int,
+    dims: tuple[int, ...] = (),
+    axis: int = 0,
+) -> StrideAdvice:
+    """Advice for a concrete Fortran loop (eq. 33 distance)."""
+    d = loop_distance(config.banks, inc, dims, axis)
+    return stride_atlas(config, [d])[0]
+
+
+def pair_atlas_row(
+    config: MemoryConfig, d1: int, d2: int, *, simulate: bool = False
+) -> dict[str, object]:
+    """One exhaustive row for a stride pair (classification + extremes)."""
+    m, n_c = config.banks, config.bank_cycle
+    cls = classify_pair(m, n_c, d1, d2)
+    row: dict[str, object] = {
+        "d1": d1 % m,
+        "d2": d2 % m,
+        "regime": cls.regime.value,
+        "predicted": cls.predicted_bandwidth,
+        "lower": cls.bandwidth_lower,
+        "upper": cls.bandwidth_upper,
+    }
+    if simulate:
+        table = bandwidth_by_offset(config, d1, d2)
+        row["sim_best"] = max(table.values())
+        row["sim_worst"] = min(table.values())
+    return row

@@ -1,0 +1,84 @@
+"""Regime census: how much of the stride space each theorem governs.
+
+For a memory shape, classify *every* stride pair and count the regimes —
+a coverage map of the paper's theory.  The census answers the practical
+question "how likely is a random pair of streams to be conflict-free /
+barriered / unpredictable on this machine?" and regression-locks the
+classifier (any change to a theorem predicate shifts the counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.classify import PairRegime, classify_pair
+
+__all__ = ["RegimeCensus", "regime_census"]
+
+
+@dataclass(frozen=True)
+class RegimeCensus:
+    """Counts of classified regimes over a stride-pair domain."""
+
+    m: int
+    n_c: int
+    s: int | None
+    counts: dict[PairRegime, int]
+    total: int
+
+    def share(self, regime: PairRegime) -> Fraction:
+        """Fraction of the domain in one regime."""
+        if self.total == 0:
+            raise ValueError("empty census")
+        return Fraction(self.counts.get(regime, 0), self.total)
+
+    @property
+    def determined(self) -> int:
+        """Pairs whose exact bandwidth the theory pins down."""
+        return self.counts.get(PairRegime.CONFLICT_FREE, 0) + self.counts.get(
+            PairRegime.UNIQUE_BARRIER, 0
+        )
+
+    def rows(self) -> list[tuple[str, int, str]]:
+        """(regime, count, share%) rows for report tables."""
+        out = []
+        for regime in PairRegime:
+            n = self.counts.get(regime, 0)
+            if n == 0:
+                continue
+            out.append(
+                (regime.value, n, f"{100 * n / self.total:.1f}%")
+            )
+        return out
+
+
+def regime_census(
+    m: int,
+    n_c: int,
+    *,
+    s: int | None = None,
+    include_self_conflicting: bool = True,
+    stream1_priority: bool = False,
+) -> RegimeCensus:
+    """Classify all unordered stride pairs ``1 <= d1 <= d2 < m``.
+
+    Stride 0 is excluded (a degenerate single-bank stream);
+    ``include_self_conflicting=False`` restricts the domain to the
+    paper's standing assumption ``r1, r2 >= n_c``.
+    """
+    counts: dict[PairRegime, int] = {}
+    total = 0
+    for d1 in range(1, m):
+        for d2 in range(d1, m):
+            c = classify_pair(
+                m, n_c, d1, d2, s=s, stream1_priority=stream1_priority
+            )
+            if (
+                not include_self_conflicting
+                and c.regime is PairRegime.SELF_CONFLICT
+            ):
+                continue
+            counts[c.regime] = counts.get(c.regime, 0) + 1
+            total += 1
+    return RegimeCensus(m=m, n_c=n_c, s=s, counts=counts, total=total)

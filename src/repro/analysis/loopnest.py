@@ -1,0 +1,156 @@
+"""Loop-nest analysis: Section V's programmer guidance, automated.
+
+Given the array references of a Fortran-style inner loop, compute each
+reference's bank distance (eq. 33), the solo bandwidth of every stream,
+the pairwise conflict classification of all streams, and — when a
+reference is dangerous — the Section V fix (a leading dimension
+relatively prime to the bank count).
+
+This is the "what the paper tells the programmer to do by hand" turned
+into a function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.classify import PairClassification, PairRegime, classify_pair
+from ..core.fortran import loop_distance, safe_leading_dimension
+from ..core.single import SingleStreamPrediction, predict_single
+from ..memory.config import MemoryConfig
+
+__all__ = ["ArrayRef", "RefAnalysis", "KernelReport", "analyze_kernel"]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One array reference inside the inner loop.
+
+    ``dims`` are the declared dimension sizes; ``axis`` is the dimension
+    the inner loop sweeps (0-based); ``inc`` the loop increment along
+    that axis.  ``kind`` ("load"/"store") is carried through to reports.
+    """
+
+    name: str
+    dims: tuple[int, ...]
+    axis: int = 0
+    inc: int = 1
+    kind: str = "load"
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("array needs at least one dimension")
+        if self.kind not in ("load", "store"):
+            raise ValueError("kind must be 'load' or 'store'")
+
+    def distance(self, m: int) -> int:
+        """Equation (33) for this reference."""
+        return loop_distance(m, self.inc, self.dims, self.axis)
+
+
+@dataclass(frozen=True)
+class RefAnalysis:
+    """Per-reference verdict."""
+
+    ref: ArrayRef
+    distance: int
+    solo: SingleStreamPrediction
+    #: Section V's fix when the solo stream self-conflicts by way of a
+    #: resonant leading dimension; ``None`` when nothing to fix or the
+    #: distance does not come from a higher axis.
+    suggested_leading_dimension: int | None
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Whole-kernel analysis."""
+
+    config: MemoryConfig
+    refs: tuple[RefAnalysis, ...]
+    #: classification for every unordered pair (i, j), i < j
+    pairs: dict[tuple[int, int], PairClassification]
+
+    @property
+    def self_conflicting_refs(self) -> list[RefAnalysis]:
+        return [r for r in self.refs if not r.solo.conflict_free]
+
+    @property
+    def worst_pair(self) -> tuple[tuple[int, int], PairClassification] | None:
+        """The pair with the lowest guaranteed bandwidth."""
+        if not self.pairs:
+            return None
+        key = min(
+            self.pairs, key=lambda k: self.pairs[k].bandwidth_lower
+        )
+        return key, self.pairs[key]
+
+    @property
+    def clean(self) -> bool:
+        """No self-conflicts and every pair certainly conflict free."""
+        if self.self_conflicting_refs:
+            return False
+        return all(
+            c.regime in (PairRegime.CONFLICT_FREE, PairRegime.DISJOINT_POSSIBLE)
+            for c in self.pairs.values()
+        )
+
+    def summary_rows(self) -> list[tuple]:
+        """Rows for a report table: name, kind, d, r, solo b_eff, fix."""
+        out = []
+        for r in self.refs:
+            out.append(
+                (
+                    r.ref.name,
+                    r.ref.kind,
+                    r.distance,
+                    r.solo.return_number,
+                    str(r.solo.bandwidth),
+                    r.suggested_leading_dimension or "-",
+                )
+            )
+        return out
+
+
+def analyze_kernel(
+    config: MemoryConfig, refs: list[ArrayRef]
+) -> KernelReport:
+    """Analyse the access streams of one inner loop.
+
+    Pairwise classification uses the unsectioned model when the streams
+    come from different ports of one CPU of an ``s = m`` machine; for a
+    sectioned machine pass its :class:`MemoryConfig` — the classifier
+    applies Theorems 8/9 automatically.
+    """
+    if not refs:
+        raise ValueError("kernel needs at least one array reference")
+    m, n_c = config.banks, config.bank_cycle
+    s = config.effective_sections if config.sectioned else None
+
+    analyses: list[RefAnalysis] = []
+    for ref in refs:
+        d = ref.distance(m)
+        solo = predict_single(m, d, n_c)
+        suggestion: int | None = None
+        if not solo.conflict_free and ref.axis > 0:
+            # the distance came from a leading-dimension product: suggest
+            # the smallest resize making it coprime to m.
+            j1 = ref.dims[0]
+            fixed = safe_leading_dimension(m, j1)
+            if fixed != j1:
+                suggestion = fixed
+        analyses.append(
+            RefAnalysis(
+                ref=ref,
+                distance=d,
+                solo=solo,
+                suggested_leading_dimension=suggestion,
+            )
+        )
+
+    pairs: dict[tuple[int, int], PairClassification] = {}
+    for i in range(len(refs)):
+        for j in range(i + 1, len(refs)):
+            pairs[(i, j)] = classify_pair(
+                m, n_c, analyses[i].distance, analyses[j].distance, s=s
+            )
+    return KernelReport(config=config, refs=tuple(analyses), pairs=pairs)

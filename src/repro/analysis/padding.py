@@ -1,0 +1,114 @@
+"""Array-padding optimisation (automating the paper's IDIM trick).
+
+Section IV controls its experiment by dimensioning the COMMON block with
+``IDIM = 16*1024 + 1`` — one pad word per array — "in order to fix the
+relative position of the arrays in memory".  In real codes that padding
+is a *tuning knob*: the relative start banks decide which streams meet
+which (Theorems 2-7 are all about relative positions).
+
+:func:`optimize_padding` searches the pad space for a kernel and memory
+shape, scoring each candidate with the actual machine model, and returns
+the ranking — the tool a Cray programmer of 1985 would have wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..machine.workloads import triad_program
+from ..machine.xmp import XMP_CONFIG, run_program
+from ..memory.config import MemoryConfig
+from ..memory.layout import CommonBlock
+
+__all__ = ["PaddingResult", "evaluate_padding", "optimize_padding"]
+
+
+@dataclass(frozen=True)
+class PaddingResult:
+    """One padding candidate's measured cost."""
+
+    pad: int
+    idim: int
+    cycles: int
+    start_banks: dict[str, int]
+
+
+def _padded_common(base_words: int, pad: int) -> CommonBlock:
+    """A, B, C, D of ``base_words + pad`` words each."""
+    idim = base_words + pad
+    return CommonBlock.build(
+        [("A", (idim,)), ("B", (idim,)), ("C", (idim,)), ("D", (idim,))]
+    )
+
+
+def evaluate_padding(
+    inc: int,
+    pad: int,
+    *,
+    n: int = 512,
+    base_words: int | None = None,
+    config: MemoryConfig = XMP_CONFIG,
+    other_cpu_active: bool = True,
+    priority: str = "cyclic",
+) -> PaddingResult:
+    """Measure the triad under one padding choice.
+
+    ``base_words`` defaults to the smallest multiple of the bank count
+    able to hold the sweep (so ``pad`` directly controls the relative
+    start banks: array ``k`` starts at bank ``k·pad mod m``).
+    """
+    if pad < 0:
+        raise ValueError("padding must be non-negative")
+    m = config.banks
+    needed = 1 + (n - 1) * inc
+    if base_words is None:
+        base_words = ((needed + m - 1) // m) * m
+    if base_words % m != 0:
+        raise ValueError("base_words must be a multiple of the bank count")
+    if base_words < needed:
+        raise ValueError("base_words too small for the sweep")
+    common = _padded_common(base_words, pad)
+    res = run_program(
+        triad_program(inc, n=n, common=common),
+        other_cpu_active=other_cpu_active,
+        config=config,
+        priority=priority,
+        label_inc=inc,
+    )
+    return PaddingResult(
+        pad=pad,
+        idim=base_words + pad,
+        cycles=res.cycles,
+        start_banks=common.start_banks(m),
+    )
+
+
+def optimize_padding(
+    inc: int,
+    *,
+    pads: Sequence[int] | None = None,
+    n: int = 512,
+    config: MemoryConfig = XMP_CONFIG,
+    other_cpu_active: bool = True,
+    priority: str = "cyclic",
+) -> list[PaddingResult]:
+    """Rank padding candidates for the triad (best first).
+
+    Default candidates: ``0 .. m-1`` pad words — one full period of
+    relative start banks.  Ties keep the smaller pad (less memory).
+    """
+    if pads is None:
+        pads = range(config.banks)
+    results = [
+        evaluate_padding(
+            inc,
+            pad,
+            n=n,
+            config=config,
+            other_cpu_active=other_cpu_active,
+            priority=priority,
+        )
+        for pad in pads
+    ]
+    return sorted(results, key=lambda r: (r.cycles, r.pad))

@@ -1,0 +1,95 @@
+"""Report formatting: turn sweep records into the printed tables.
+
+Keeps all number formatting in one place so benchmarks and examples
+print identical layouts.  Bandwidths are shown as exact fractions with a
+float echo, matching how the paper quotes ``b_eff = 3/2`` etc.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..machine.xmp import TriadResult
+from ..viz.tables import format_table
+from .sweep import PairSweepRow, SingleSweepRow
+
+__all__ = [
+    "fraction_str",
+    "single_sweep_report",
+    "pair_sweep_report",
+    "triad_report",
+]
+
+
+def fraction_str(x: Fraction | None) -> str:
+    """``7/6 (1.167)`` style rendering; ``-`` for undetermined."""
+    if x is None:
+        return "-"
+    if x.denominator == 1:
+        return str(x.numerator)
+    return f"{x.numerator}/{x.denominator} ({float(x):.3f})"
+
+
+def single_sweep_report(rows: Sequence[SingleSweepRow], *, title: str = "") -> str:
+    """Theory-vs-simulation table for single streams (bench T-A)."""
+    return format_table(
+        ["d", "r", "predicted b_eff", "simulated b_eff", "agree"],
+        [
+            (
+                r.d,
+                r.return_number,
+                fraction_str(r.predicted),
+                fraction_str(r.simulated),
+                "yes" if r.agrees else "NO",
+            )
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def pair_sweep_report(rows: Sequence[PairSweepRow], *, title: str = "") -> str:
+    """Classification-vs-simulation table for stride pairs (bench T-B)."""
+    return format_table(
+        ["d1", "d2", "regime", "predicted", "sim best", "sim worst", "in bounds"],
+        [
+            (
+                r.d1,
+                r.d2,
+                r.regime,
+                fraction_str(r.classification.predicted_bandwidth),
+                fraction_str(r.best),
+                fraction_str(r.worst),
+                "yes" if r.within_bounds else "NO",
+            )
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def triad_report(rows: Sequence[TriadResult], *, title: str = "") -> str:
+    """The Fig. 10 panel as one table (execution time + conflict mix)."""
+    return format_table(
+        [
+            "INC",
+            "clocks",
+            "clocks/elem",
+            "bank",
+            "section",
+            "simultaneous",
+        ],
+        [
+            (
+                r.inc,
+                r.cycles,
+                f"{r.clocks_per_element:.2f}",
+                r.bank_conflicts,
+                r.section_conflicts,
+                r.simultaneous_conflicts,
+            )
+            for r in rows
+        ],
+        title=title,
+    )

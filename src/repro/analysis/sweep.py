@@ -1,0 +1,145 @@
+"""Parameter sweeps over memory shapes and stride pairs.
+
+Produces plain records (lists of dataclasses) that reports, tests and
+benchmarks consume.  Sweeps respect the Appendix isomorphism: the first
+stride only ranges over divisors of ``m`` because every other pair is
+equivalent to one of those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.arithmetic import divisors
+from ..core.classify import PairClassification, classify_pair
+from ..core.single import predict_single
+from ..memory.config import MemoryConfig
+from ..sim.pairs import bandwidth_by_offset
+
+__all__ = [
+    "SingleSweepRow",
+    "PairSweepRow",
+    "single_stream_sweep",
+    "pair_sweep",
+    "canonical_pairs",
+]
+
+
+@dataclass(frozen=True)
+class SingleSweepRow:
+    """Theory vs simulation for one single-stream stride."""
+
+    m: int
+    n_c: int
+    d: int
+    return_number: int
+    predicted: Fraction
+    simulated: Fraction
+
+    @property
+    def agrees(self) -> bool:
+        return self.predicted == self.simulated
+
+
+@dataclass(frozen=True)
+class PairSweepRow:
+    """Classification vs simulated start-offset extremes for one pair."""
+
+    m: int
+    n_c: int
+    d1: int
+    d2: int
+    classification: PairClassification
+    best: Fraction
+    worst: Fraction
+
+    @property
+    def regime(self) -> str:
+        return self.classification.regime.value
+
+    @property
+    def within_bounds(self) -> bool:
+        c = self.classification
+        return (
+            c.bandwidth_lower <= self.worst
+            and self.best <= c.bandwidth_upper
+        )
+
+
+def canonical_pairs(m: int, *, include_equal: bool = True) -> list[tuple[int, int]]:
+    """All pairs ``(d1, d2)`` with ``d1 | m``, ``0 < d1``, ``d1 <= d2 < m``.
+
+    The canonical domain of Theorems 4-7 (plus the equal-stride diagonal
+    when ``include_equal``).
+    """
+    pairs: list[tuple[int, int]] = []
+    for d1 in divisors(m):
+        if d1 == m:
+            continue  # stride ≡ 0 — degenerate single-bank stream
+        lo = d1 if include_equal else d1 + 1
+        for d2 in range(lo, m):
+            pairs.append((d1, d2))
+    return pairs
+
+
+def single_stream_sweep(
+    m: int, n_c: int, *, simulate: bool = True
+) -> list[SingleSweepRow]:
+    """Theory/simulation rows for every stride against one memory."""
+    from ..core.stream import AccessStream
+    from ..sim.engine import simulate_streams
+
+    config = MemoryConfig(banks=m, bank_cycle=n_c)
+    rows: list[SingleSweepRow] = []
+    for d in range(m):
+        p = predict_single(m, d, n_c)
+        if simulate:
+            res = simulate_streams(
+                config, [AccessStream(0, d)], cpus=[0], steady=True
+            )
+            sim = res.steady_bandwidth
+            assert sim is not None
+        else:
+            sim = p.bandwidth
+        rows.append(
+            SingleSweepRow(
+                m=m, n_c=n_c, d=d,
+                return_number=p.return_number,
+                predicted=p.bandwidth,
+                simulated=sim,
+            )
+        )
+    return rows
+
+
+def pair_sweep(
+    m: int,
+    n_c: int,
+    pairs: list[tuple[int, int]] | None = None,
+    *,
+    priority: str = "fixed",
+) -> list[PairSweepRow]:
+    """Classify and simulate a set of stride pairs.
+
+    For each pair the simulator sweeps all relative starts and records
+    the best and worst steady bandwidths; rows carry the analytical
+    classification alongside for comparison.
+    """
+    config = MemoryConfig(banks=m, bank_cycle=n_c)
+    if pairs is None:
+        pairs = canonical_pairs(m)
+    rows: list[PairSweepRow] = []
+    for d1, d2 in pairs:
+        cls = classify_pair(m, n_c, d1, d2, stream1_priority=(priority == "fixed"))
+        table = bandwidth_by_offset(config, d1, d2, priority=priority)
+        values = list(table.values())
+        rows.append(
+            PairSweepRow(
+                m=m, n_c=n_c, d1=d1, d2=d2,
+                classification=cls,
+                best=max(values),
+                worst=min(values),
+            )
+        )
+    return rows

@@ -1,0 +1,321 @@
+"""Command-line interface: ``repro-mem``.
+
+Puts the library's main entry points on the shell for quick exploration:
+
+* ``repro-mem classify``  — analytic regime of a stride pair;
+* ``repro-mem simulate``  — exact steady state of arbitrary streams,
+  optionally with a Fig. 2-9 style trace;
+* ``repro-mem single``    — Theorem 1 / Section III-A for one stride;
+* ``repro-mem triad``     — the Fig. 10 experiment;
+* ``repro-mem atlas``     — Section V stride guidance for a machine;
+* ``repro-mem profile``   — start-space distribution of a stride pair;
+* ``repro-mem census``    — regime counts over the whole stride space;
+* ``repro-mem duel``      — both CPUs running triads against each other.
+
+Examples::
+
+    repro-mem classify -m 12 -c 3 1 7
+    repro-mem simulate -m 13 -c 6 --stream 0:1 --stream 0:6 --trace
+    repro-mem triad --inc 1-16 --n 256
+    repro-mem atlas -m 16 -c 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.atlas import stride_atlas
+from .analysis.report import fraction_str, triad_report
+from .core.classify import classify_pair
+from .core.single import predict_single
+from .core.stream import AccessStream
+from .machine.xmp import triad_sweep
+from .memory.config import MemoryConfig
+from .sim.engine import simulate_streams
+from .viz.ascii_trace import render_result
+from .viz.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_range(spec: str) -> list[int]:
+    """``"1-16"`` or ``"1,2,5"`` or ``"3"`` to a list of ints."""
+    out: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            out.extend(range(int(lo), int(hi) + 1))
+        elif part:
+            out.append(int(part))
+    if not out:
+        raise argparse.ArgumentTypeError(f"empty range spec {spec!r}")
+    return out
+
+
+def _parse_stream(spec: str) -> tuple[int, int]:
+    """``"b:d"`` start-bank/stride pair."""
+    try:
+        b, d = spec.split(":", 1)
+        return int(b), int(d)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"stream spec must be START:STRIDE, got {spec!r}"
+        ) from exc
+
+
+def _add_memory_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-m", "--banks", type=int, default=16,
+                   help="bank count m (default 16)")
+    p.add_argument("-c", "--bank-cycle", type=int, default=4,
+                   help="bank cycle time n_c in clocks (default 4)")
+    p.add_argument("-s", "--sections", type=int, default=None,
+                   help="section count (default: one per bank)")
+    p.add_argument("--consecutive-sections", action="store_true",
+                   help="use Cheung & Smith's consecutive bank grouping")
+
+
+def _memory(args: argparse.Namespace) -> MemoryConfig:
+    return MemoryConfig(
+        banks=args.banks,
+        bank_cycle=args.bank_cycle,
+        sections=args.sections,
+        section_mapping=(
+            "consecutive" if args.consecutive_sections else "cyclic"
+        ),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mem",
+        description="Interleaved-memory bandwidth analysis "
+        "(Oed & Lange 1985 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="analytic regime of a stride pair")
+    _add_memory_args(p)
+    p.add_argument("d1", type=int)
+    p.add_argument("d2", type=int)
+
+    p = sub.add_parser("single", help="one-stream analysis (Theorem 1)")
+    _add_memory_args(p)
+    p.add_argument("stride", type=int)
+
+    p = sub.add_parser("simulate", help="exact steady state of streams")
+    _add_memory_args(p)
+    p.add_argument("--stream", action="append", type=_parse_stream,
+                   required=True, metavar="START:STRIDE",
+                   help="add a stream (repeatable)")
+    p.add_argument("--cpus", type=str, default=None,
+                   help="comma list of CPU ids per stream")
+    p.add_argument("--priority", default="fixed",
+                   help="fixed | cyclic | block-cyclic:N | lru")
+    p.add_argument("--trace", type=int, nargs="?", const=36, default=None,
+                   metavar="CLOCKS", help="render a trace of CLOCKS clocks")
+    p.add_argument("--show-priority", action="store_true",
+                   help="add the favoured-stream header row (Figs. 8-9)")
+
+    p = sub.add_parser("triad", help="the Fig. 10 X-MP experiment")
+    p.add_argument("--inc", type=_parse_range, default=list(range(1, 17)),
+                   help="increments, e.g. 1-16 or 2,3,8")
+    p.add_argument("--n", type=int, default=1024, help="vector length")
+    p.add_argument("--dedicated", action="store_true",
+                   help="shut the other CPU off (Fig. 10b)")
+
+    p = sub.add_parser("atlas", help="stride guidance table (Section V)")
+    _add_memory_args(p)
+    p.add_argument("--strides", type=_parse_range,
+                   default=list(range(1, 17)))
+
+    p = sub.add_parser(
+        "profile", help="steady bandwidth over every relative start"
+    )
+    _add_memory_args(p)
+    p.add_argument("d1", type=int)
+    p.add_argument("d2", type=int)
+    p.add_argument("--same-cpu", action="store_true")
+    p.add_argument("--priority", default="fixed",
+                   help="fixed | cyclic | block-cyclic:N | lru")
+
+    p = sub.add_parser(
+        "census", help="regime counts over all stride pairs"
+    )
+    _add_memory_args(p)
+
+    p = sub.add_parser("duel", help="both CPUs run triads concurrently")
+    p.add_argument("inc0", type=int)
+    p.add_argument("inc1", type=int)
+    p.add_argument("--n", type=int, default=512)
+    return parser
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    cfg = _memory(args)
+    s = cfg.effective_sections if cfg.sectioned else None
+    cls = classify_pair(cfg.banks, cfg.bank_cycle, args.d1, args.d2, s=s)
+    print(f"memory: {cfg.describe()}")
+    print(f"pair:   d1={args.d1}, d2={args.d2}")
+    print(f"regime: {cls.regime.value}")
+    print(f"predicted b_eff: {fraction_str(cls.predicted_bandwidth)}")
+    print(
+        f"bounds: [{fraction_str(cls.bandwidth_lower)}, "
+        f"{fraction_str(cls.bandwidth_upper)}]"
+    )
+    if cls.conflict_free_offset is not None:
+        print(f"conflict-free relative start: {cls.conflict_free_offset}")
+    if cls.delayed_stream is not None:
+        print(f"barrier delays stream: {cls.delayed_stream}")
+    for note in cls.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def _cmd_single(args: argparse.Namespace) -> int:
+    cfg = _memory(args)
+    p = predict_single(cfg.banks, args.stride, cfg.bank_cycle)
+    print(f"memory: {cfg.describe()}")
+    print(f"stride {args.stride}: return number r = {p.return_number}")
+    print(f"b_eff = {fraction_str(p.bandwidth)}")
+    print("conflict free" if p.conflict_free else
+          f"self-conflicting: stalls {p.stall_per_period} of every "
+          f"{p.period} clocks")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = _memory(args)
+    streams = [
+        AccessStream(start_bank=b % cfg.banks, stride=d % cfg.banks,
+                     label=str(i + 1))
+        for i, (b, d) in enumerate(args.stream)
+    ]
+    cpus = (
+        [int(x) for x in args.cpus.split(",")]
+        if args.cpus
+        else list(range(len(streams)))
+    )
+    if args.trace is not None:
+        res = simulate_streams(
+            cfg, streams, cpus=cpus, priority=args.priority,
+            cycles=args.trace + 8, trace=True,
+        )
+        print(render_result(res, stop=args.trace,
+                            show_sections=cfg.sectioned,
+                            show_priority=args.show_priority))
+        print()
+    res = simulate_streams(
+        cfg, streams, cpus=cpus, priority=args.priority, steady=True
+    )
+    assert res.steady_bandwidth is not None
+    print(f"memory: {cfg.describe()}; priority: {args.priority}")
+    print(f"steady b_eff = {fraction_str(res.steady_bandwidth)} "
+          f"(period {res.steady_period} clocks, grants {res.steady_grants})")
+    return 0
+
+
+def _cmd_triad(args: argparse.Namespace) -> int:
+    rows = triad_sweep(
+        args.inc, other_cpu_active=not args.dedicated, n=args.n
+    )
+    env = "other CPU off" if args.dedicated else "other CPU streaming d=1"
+    print(triad_report(rows, title=f"Triad, n={args.n}, {env}"))
+    return 0
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    cfg = _memory(args)
+    rows = stride_atlas(cfg, args.strides)
+    print(format_table(
+        ["stride", "d", "r", "solo b_eff", "vs d=1", "safe"],
+        [
+            (
+                a.stride, a.distance, a.return_number,
+                fraction_str(a.solo_bandwidth),
+                a.vs_unit_stride_regime,
+                "yes" if a.safe else "no",
+            )
+            for a in rows
+        ],
+        title=f"Stride atlas for {cfg.describe()}",
+    ))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .sim.statespace import start_space_profile
+    from .viz.profile import render_histogram, render_profile
+
+    cfg = _memory(args)
+    prof = start_space_profile(
+        cfg, args.d1, args.d2,
+        same_cpu=args.same_cpu, priority=args.priority,
+    )
+    print(render_profile(prof, title=f"start space on {cfg.describe()}"))
+    print()
+    print(render_histogram(prof))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from .analysis.census import regime_census
+
+    cfg = _memory(args)
+    census = regime_census(
+        cfg.banks, cfg.bank_cycle,
+        s=cfg.effective_sections if cfg.sectioned else None,
+    )
+    print(format_table(
+        ["regime", "pairs", "share"],
+        census.rows(),
+        title=(
+            f"Regime census for {cfg.describe()}: {census.total} pairs, "
+            f"{census.determined} analytically exact"
+        ),
+    ))
+    return 0
+
+
+def _cmd_duel(args: argparse.Namespace) -> int:
+    from .machine.experiments import dueling_triads
+
+    r = dueling_triads(args.inc0, args.inc1, n=args.n)
+    print(f"dueling triads, n={args.n}:")
+    print(f"  CPU 0 (INC={r.inc0}): {r.cycles_cpu0} clocks "
+          f"(bank/section/simultaneous conflicts: "
+          f"{r.conflicts_cpu0['bank']}/{r.conflicts_cpu0['section']}/"
+          f"{r.conflicts_cpu0['simultaneous']})")
+    print(f"  CPU 1 (INC={r.inc1}): {r.cycles_cpu1} clocks "
+          f"(bank/section/simultaneous conflicts: "
+          f"{r.conflicts_cpu1['bank']}/{r.conflicts_cpu1['section']}/"
+          f"{r.conflicts_cpu1['simultaneous']})")
+    print(f"  imbalance: {r.imbalance:.2f}x")
+    return 0
+
+
+_COMMANDS = {
+    "classify": _cmd_classify,
+    "single": _cmd_single,
+    "simulate": _cmd_simulate,
+    "triad": _cmd_triad,
+    "atlas": _cmd_atlas,
+    "profile": _cmd_profile,
+    "census": _cmd_census,
+    "duel": _cmd_duel,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

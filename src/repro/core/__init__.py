@@ -1,0 +1,103 @@
+"""Analytical model of interleaved-memory access streams (the paper's core).
+
+Sub-modules
+-----------
+``arithmetic``
+    Modular/number-theoretic primitives (gcd, Bezout, return numbers...).
+``stream``
+    :class:`~repro.core.stream.AccessStream` — the constant-stride stream.
+``single``
+    Section III-A: one stream, ``b_eff = min(1, r/n_c)``.
+``theorems``
+    Theorems 2-7 and eq. (29): two streams, sections = banks.
+``sections``
+    Theorems 8-9 and eq. (30)-(32): fewer sections than banks.
+``classify``
+    Regime classification combining all of the above.
+``bandwidth``
+    ``b_eff`` definitions and closed-form facade.
+``isomorphism``
+    Appendix: distance-pair equivalence under bank renumbering.
+``fortran``
+    Equation (33): loop increments to bank distances; safe dimensioning.
+"""
+
+from .arithmetic import access_set, return_number
+from .bandwidth import (
+    effective_bandwidth,
+    max_bandwidth,
+    predict_pair_bandwidth,
+)
+from .classify import PairClassification, PairRegime, classify_pair
+from .fortran import ArraySpec, loop_distance, safe_leading_dimension
+from .isomorphism import are_isomorphic, canonical_pair, canonicalize
+from .multistream import (
+    capacity_bound,
+    equal_stride_bandwidth_bound,
+    equal_stride_conflict_free,
+    equal_stride_offsets,
+    max_conflict_free_streams,
+)
+from .sections import (
+    disjoint_sections_conflict_free,
+    path_conflict_free,
+    section_of_bank,
+    section_set,
+    sections_conflict_free_possible,
+)
+from .single import SingleStreamPrediction, predict_single, single_stream_bandwidth
+from .stream import INFINITE, AccessStream
+from .theorems import (
+    PairGeometry,
+    barrier_bandwidth,
+    barrier_possible,
+    barrier_start_offset,
+    conflict_free_possible,
+    conflict_free_start_offset,
+    disjoint_sets_possible,
+    double_conflict_impossible,
+    synchronizes,
+    unique_barrier,
+)
+
+__all__ = [
+    "AccessStream",
+    "INFINITE",
+    "PairClassification",
+    "PairGeometry",
+    "PairRegime",
+    "SingleStreamPrediction",
+    "ArraySpec",
+    "access_set",
+    "are_isomorphic",
+    "barrier_bandwidth",
+    "barrier_possible",
+    "barrier_start_offset",
+    "canonical_pair",
+    "canonicalize",
+    "capacity_bound",
+    "classify_pair",
+    "conflict_free_possible",
+    "conflict_free_start_offset",
+    "disjoint_sections_conflict_free",
+    "disjoint_sets_possible",
+    "double_conflict_impossible",
+    "effective_bandwidth",
+    "equal_stride_bandwidth_bound",
+    "equal_stride_conflict_free",
+    "equal_stride_offsets",
+    "loop_distance",
+    "max_bandwidth",
+    "max_conflict_free_streams",
+    "path_conflict_free",
+    "predict_pair_bandwidth",
+    "predict_single",
+    "return_number",
+    "safe_leading_dimension",
+    "section_of_bank",
+    "section_set",
+    "sections_conflict_free_possible",
+    "single_stream_bandwidth",
+    "synchronizes",
+    "unique_barrier",
+]

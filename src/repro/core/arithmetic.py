@@ -1,0 +1,219 @@
+"""Modular arithmetic helpers underpinning the analytical model.
+
+The analysis of Oed & Lange (1985) is carried out entirely in the ring of
+integers modulo ``m`` (the number of memory banks).  Every theorem in the
+paper reduces to statements about greatest common divisors, residues of
+arithmetic progressions, and minimal positive solutions of linear
+congruences.  This module collects those primitives with exact integer
+semantics so the higher-level modules (:mod:`repro.core.theorems`,
+:mod:`repro.core.classify`, ...) read like the paper.
+
+All functions operate on plain Python ints (arbitrary precision); nothing
+here allocates NumPy arrays, because the quantities involved are tiny
+(``m`` is a bank count, typically 8..1024) and exactness matters more than
+throughput.  Hot loops in the simulator use their own vectorized paths.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "gcd",
+    "gcd3",
+    "egcd",
+    "modinv",
+    "lcm",
+    "divisors",
+    "units",
+    "is_unit",
+    "return_number",
+    "access_set",
+    "access_sequence",
+    "progression_residues",
+    "minimal_positive_residue",
+    "first_common_index",
+    "ceil_div",
+]
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor of ``a`` and ``b`` (non-negative result).
+
+    Thin wrapper over :func:`math.gcd` kept for a uniform import site; the
+    paper's formulas are written ``gcd(m, d)`` and the code mirrors them.
+    """
+    return math.gcd(a, b)
+
+
+def gcd3(a: int, b: int, c: int) -> int:
+    """``gcd(a, b, c)`` as used in Theorems 2-4 (``f = gcd(m, d1, d2)``)."""
+    return math.gcd(math.gcd(a, b), c)
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclidean algorithm.
+
+    Returns ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y == g``.
+    The paper invokes "the Euclidean algorithm [9]" to produce the Bezout
+    coefficients of equation (6); this is that computation.
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, m: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``m``.
+
+    Raises :class:`ValueError` when ``gcd(a, m) != 1``.  Used by the
+    isomorphism normalisation (Appendix) to renumber bank addresses.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple; period of the joint state of two streams."""
+    return math.lcm(a, b)
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n`` in ascending order.
+
+    The Appendix shows that for the *first* stream only strides with
+    ``d | m`` need to be analysed (every other stride is isomorphic to a
+    divisor); sweeps therefore iterate ``divisors(m)``.
+    """
+    if n <= 0:
+        raise ValueError("divisors() requires a positive integer")
+    small: list[int] = []
+    large: list[int] = []
+    i = 1
+    while i * i <= n:
+        if n % i == 0:
+            small.append(i)
+            if i != n // i:
+                large.append(n // i)
+        i += 1
+    return small + large[::-1]
+
+
+def units(m: int) -> list[int]:
+    """The multiplicative units modulo ``m`` (``k`` with ``gcd(k,m)=1``).
+
+    These are exactly the admissible renumberings of bank addresses in the
+    Appendix isomorphism ``d1 (+) d2 = k*d1 (+) k*d2 (mod m)``.
+    """
+    if m <= 0:
+        raise ValueError("units() requires a positive modulus")
+    return [k for k in range(1, m + 1) if math.gcd(k, m) == 1]
+
+
+def is_unit(k: int, m: int) -> bool:
+    """True when ``k`` is invertible modulo ``m``."""
+    return math.gcd(k % m if m else k, m) == 1
+
+
+def return_number(m: int, d: int) -> int:
+    """Theorem 1: number of accesses before a stream revisits a bank.
+
+    ``r = m / gcd(m, d)``.  A stream with start bank ``b`` and stride ``d``
+    visits banks ``(b + k*d) mod m``; the sequence first repeats after
+    exactly ``r`` steps.  ``d = 0`` gives ``gcd(m, 0) = m`` hence ``r = 1``
+    (the stream hammers a single bank), matching the paper's note that
+    ``gcd(m, 0) = m``.
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    if d < 0:
+        raise ValueError("stride must be taken modulo m and be >= 0")
+    return m // math.gcd(m, d)
+
+
+def access_set(m: int, d: int, b: int = 0) -> frozenset[int]:
+    """The access set ``Z`` of a stream: the banks it ever visits.
+
+    ``Z = { (b + k*d) mod m : k >= 0 }`` has exactly ``return_number(m, d)``
+    elements; it is the coset ``b + <gcd(m,d)>`` of the subgroup generated
+    by ``gcd(m, d)`` in ``Z_m``.
+    """
+    r = return_number(m, d)
+    return frozenset((b + k * d) % m for k in range(r))
+
+
+def access_sequence(m: int, d: int, b: int, count: int) -> list[int]:
+    """First ``count`` bank addresses of a stream (conflict-free order)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [(b + k * d) % m for k in range(count)]
+
+
+def progression_residues(m: int, step: int) -> frozenset[int]:
+    """Residues hit by the progression ``0, step, 2*step, ... (mod m)``.
+
+    Equal to the multiples of ``gcd(m, step)``; the minimal positive
+    element is the gcd itself ("with the Euclidean algorithm we find the
+    smallest positive value for these differences to be
+    ``g = gcd(m, d2 - d1)``").
+    """
+    g = math.gcd(m, step % m)
+    if g == 0:  # step ≡ 0 (mod m): progression stays at 0
+        return frozenset({0})
+    return frozenset(range(0, m, g))
+
+
+def minimal_positive_residue(m: int, step: int) -> int:
+    """Smallest positive value of ``k*step mod m`` over ``k >= 1``.
+
+    Returns ``m`` when ``step ≡ 0 (mod m)`` — the paper's convention
+    ``gcd(m, 0) = m`` so that equal strides give the *largest* possible
+    separation (they never drift relative to each other).
+    """
+    s = step % m
+    if s == 0:
+        return m
+    return math.gcd(m, s)
+
+
+def first_common_index(
+    m: int, d1: int, b1: int, d2: int, b2: int
+) -> tuple[int, int] | None:
+    """Smallest ``(k1, k2)`` with ``b1 + k1*d1 ≡ b2 + k2*d2 (mod m)``.
+
+    Solves the linear congruence ``k1*d1 - k2*d2 ≡ b2 - b1`` for the
+    lexicographically-smallest non-negative pair, scanning ``k1`` in the
+    first period.  Returns ``None`` when the access sets are disjoint.
+    """
+    z2 = access_set(m, d2, b2)
+    r1 = return_number(m, d1)
+    for k1 in range(r1):
+        bank = (b1 + k1 * d1) % m
+        if bank in z2:
+            # recover the matching k2 within stream 2's first period
+            r2 = return_number(m, d2)
+            for k2 in range(r2):
+                if (b2 + k2 * d2) % m == bank:
+                    return k1, k2
+    return None
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ``a`` and positive ``b``.
+
+    Theorem 7 uses ``⌈ m / (d1·d2) ⌉``; Python's ``-(-a // b)`` idiom is
+    wrapped for readability.
+    """
+    if b <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-a // b)

@@ -1,0 +1,98 @@
+"""Effective-bandwidth definitions and closed-form predictions.
+
+Section II defines the two headline quantities:
+
+* maximum bandwidth ``bw = p`` — one data item per port per clock;
+* effective bandwidth ``b_eff <= bw`` — the *average* number of data
+  items transferred per clock period, equal to ``bw`` only when all ports
+  are busy and conflict free.
+
+This module offers the measurement-side definition (grants over clocks)
+plus a convenience facade over the closed forms of
+:mod:`repro.core.single` and :mod:`repro.core.theorems`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .classify import classify_pair
+from .single import predict_single
+
+__all__ = [
+    "max_bandwidth",
+    "effective_bandwidth",
+    "predict_pair_bandwidth",
+    "predicted_or_bounds",
+]
+
+
+def max_bandwidth(ports: int) -> int:
+    """``bw = p``: the port count caps the transfer rate (Section II)."""
+    if ports <= 0:
+        raise ValueError("port count must be positive")
+    return ports
+
+
+def effective_bandwidth(grants: int, clocks: int) -> Fraction:
+    """Measured ``b_eff``: total grants divided by elapsed clock periods.
+
+    The simulator reports these two integers for a steady-state cycle so
+    the division is exact.
+    """
+    if clocks <= 0:
+        raise ValueError("clock count must be positive")
+    if grants < 0:
+        raise ValueError("grant count must be non-negative")
+    return Fraction(grants, clocks)
+
+
+def predict_pair_bandwidth(
+    m: int,
+    n_c: int,
+    d1: int,
+    d2: int,
+    *,
+    s: int | None = None,
+    stream1_priority: bool = False,
+) -> Fraction | None:
+    """Closed-form ``b_eff`` for two streams, or ``None`` if start-dependent.
+
+    Exactly the ``predicted_bandwidth`` field of
+    :func:`repro.core.classify.classify_pair`; see there for regimes.
+    """
+    return classify_pair(
+        m, n_c, d1, d2, s=s, stream1_priority=stream1_priority
+    ).predicted_bandwidth
+
+
+def predicted_or_bounds(
+    m: int,
+    n_c: int,
+    d1: int,
+    d2: int,
+    *,
+    s: int | None = None,
+) -> tuple[Fraction, Fraction]:
+    """``(lower, upper)`` bandwidth bracket for a pair of distances.
+
+    Collapses to a point when the theory is exact.
+    """
+    c = classify_pair(m, n_c, d1, d2, s=s)
+    return c.bandwidth_lower, c.bandwidth_upper
+
+
+def single_stream_prediction_table(
+    m: int, n_c: int, strides: Sequence[int]
+) -> list[tuple[int, int, Fraction]]:
+    """Rows ``(d, r, b_eff)`` for a sweep of single-stream strides.
+
+    Convenience for report/benchmark code; exercises Theorem 1 and the
+    Section III-A bandwidth formula.
+    """
+    rows: list[tuple[int, int, Fraction]] = []
+    for d in strides:
+        p = predict_single(m, d, n_c)
+        rows.append((d % m, p.return_number, p.bandwidth))
+    return rows

@@ -1,0 +1,315 @@
+"""Regime classification for a pair of access streams.
+
+Pulls the per-theorem predicates together into one decision procedure: for
+distances ``(d1, d2)`` against ``(m, n_c)`` (and optionally ``s``
+sections), report
+
+* the qualitative regime the pair can reach (conflict free / unique
+  barrier / start-dependent barrier / conflicting cycle / self-conflict),
+* the exact effective bandwidth where the theory pins it down
+  (``2``, ``1 + d1/d2``, ``r/n_c``, ...) and honest ``None`` otherwise
+  (the cycle-accurate simulator in :mod:`repro.sim` computes those), and
+* the canonicalisation (Appendix) used, so callers can map the
+  stream roles back.
+
+The classification concerns *existence over start banks*, matching how
+the paper states its theorems; concrete start banks are resolved by the
+simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from . import sections as sections_mod
+from . import theorems
+from .isomorphism import CanonicalForm, canonical_pair, canonicalize
+from .single import predict_single
+
+__all__ = ["PairRegime", "PairClassification", "classify_pair"]
+
+
+class PairRegime(enum.Enum):
+    """Qualitative steady-state regimes of a two-stream workload."""
+
+    #: One (or both) of the streams violates ``r >= n_c`` and stalls on
+    #: its own previous accesses; pair bandwidth is capped by the
+    #: self-conflicting stream's ``r/n_c``.
+    SELF_CONFLICT = "self-conflict"
+
+    #: ``gcd(m, d1, d2) > 1``: start banks exist with disjoint access
+    #: sets, hence ``b_eff = 2`` (Theorem 2).
+    DISJOINT_POSSIBLE = "disjoint-possible"
+
+    #: Theorem 3 holds: the pair *synchronizes* into a conflict-free
+    #: cycle from any relative start; ``b_eff = 2``.
+    CONFLICT_FREE = "conflict-free"
+
+    #: Theorems 4 + 6/7: a barrier-situation is reached from every start;
+    #: ``b_eff = 1 + d1/d2`` (eq. 29), stream 2 (canonical order) delayed.
+    UNIQUE_BARRIER = "unique-barrier"
+
+    #: Theorem 4 holds but uniqueness does not: depending on relative
+    #: starts the pair lands in a barrier, an inverted barrier, or a
+    #: double conflict (Figs. 4-6).  Bandwidth is start-dependent.
+    BARRIER_START_DEPENDENT = "barrier-start-dependent"
+
+    #: None of the structured regimes: the pair falls into some
+    #: conflicting cycle with ``b_eff < 2`` (general case).
+    CONFLICTING = "conflicting"
+
+
+@dataclass(frozen=True, slots=True)
+class PairClassification:
+    """Outcome of :func:`classify_pair`.
+
+    ``predicted_bandwidth`` is exact when the theory determines it and
+    ``None`` when only the simulator can (``BARRIER_START_DEPENDENT``
+    without a fixed start, and general ``CONFLICTING`` cycles).
+    ``bandwidth_upper``/``bandwidth_lower`` always bracket the truth.
+    """
+
+    m: int
+    n_c: int
+    d1: int
+    d2: int
+    regime: PairRegime
+    predicted_bandwidth: Fraction | None
+    bandwidth_lower: Fraction
+    bandwidth_upper: Fraction
+    canonical: CanonicalForm
+    barrier_possible: bool
+    double_conflict_impossible: bool
+    unique_barrier: bool
+    conflict_free_offset: int | None
+    notes: tuple[str, ...] = ()
+
+    @property
+    def delayed_stream(self) -> int | None:
+        """Which *original* stream (1 or 2) a unique barrier delays.
+
+        In canonical order stream 2 is delayed; if canonicalisation
+        swapped the streams the original stream 1 is the victim.
+        """
+        if self.regime is not PairRegime.UNIQUE_BARRIER:
+            return None
+        return 1 if self.canonical.swapped else 2
+
+
+def classify_pair(
+    m: int,
+    n_c: int,
+    d1: int,
+    d2: int,
+    *,
+    s: int | None = None,
+    stream1_priority: bool = False,
+) -> PairClassification:
+    """Classify the steady-state regime of two streams (s = m by default).
+
+    Parameters
+    ----------
+    m, n_c:
+        Memory shape: bank count and bank cycle time in clocks.
+    d1, d2:
+        Distances of the two streams (arbitrary; reduced mod m and
+        canonicalised internally).
+    s:
+        Section count for the same-CPU configuration; ``None`` (or
+        ``s == m``) selects the section-free analysis.  When given, the
+        conflict-free verdict additionally requires Theorem 9 / eq. (32).
+    stream1_priority:
+        Whether stream 1 wins simultaneous bank conflicts (fixed priority
+        rule); extends Theorem 7 by the eq. (28) equality case.
+    """
+    d1 %= m
+    d2 %= m
+    notes: list[str] = []
+
+    one = predict_single(m, d1, n_c)
+    two = predict_single(m, d2, n_c)
+    if not (one.conflict_free and two.conflict_free):
+        notes.append(
+            "self-conflicting stream: the paper's two-stream analysis assumes "
+            "r1, r2 >= n_c; each stream is capped by its solo bandwidth"
+        )
+        return PairClassification(
+            m=m, n_c=n_c, d1=d1, d2=d2,
+            regime=PairRegime.SELF_CONFLICT,
+            predicted_bandwidth=None,
+            bandwidth_lower=Fraction(0),
+            bandwidth_upper=one.bandwidth + two.bandwidth,
+            canonical=canonical_pair(m, d1, d2),
+            barrier_possible=False,
+            double_conflict_impossible=True,
+            unique_barrier=False,
+            conflict_free_offset=None,
+            notes=tuple(notes),
+        )
+
+    # Both orientations must be analysed: canonicalizing (d1, d2) probes
+    # a barrier that delays stream 2, canonicalizing (d2, d1) one that
+    # delays stream 1.  (The group action maps e.g. (3, 1) on m=26 to
+    # (1, 9) — no barrier — while the reverse orientation maps to (1, 3),
+    # a unique barrier on the *first* physical stream.)
+    canon = canonical_pair(m, d1, d2)
+
+    # --- conflict-free verdicts -------------------------------------
+    cf_offset = theorems.conflict_free_start_offset(m, n_c, d1, d2)
+    conflict_free = cf_offset is not None
+    if conflict_free and s is not None and s != m:
+        conflict_free = sections_mod.sections_conflict_free_possible(
+            m, n_c, s, d1, d2
+        )
+        cf_offset = sections_mod.sections_conflict_free_start_offset(
+            m, n_c, s, d1, d2
+        )
+        if not conflict_free:
+            notes.append(
+                "bank-level conflict free (Theorem 3) but section paths "
+                "collide (Theorem 9/eq.32 fail)"
+            )
+
+    disjoint = theorems.disjoint_sets_possible(m, d1, d2)
+    if disjoint and s is not None and s != m:
+        # Theorem 8: disjoint banks may still share paths.
+        if not sections_mod.disjoint_sections_conflict_free(s, d1, d2):
+            disjoint = False
+            notes.append(
+                "disjoint access sets exist but every start shares section "
+                "paths (Theorem 8 fails)"
+            )
+
+    if conflict_free:
+        return PairClassification(
+            m=m, n_c=n_c, d1=d1, d2=d2,
+            regime=PairRegime.CONFLICT_FREE,
+            predicted_bandwidth=Fraction(2),
+            bandwidth_lower=Fraction(2),
+            bandwidth_upper=Fraction(2),
+            canonical=canon,
+            barrier_possible=False,
+            double_conflict_impossible=True,
+            unique_barrier=False,
+            conflict_free_offset=cf_offset,
+            notes=tuple(notes),
+        )
+
+    # --- barrier analysis, both orientations ------------------------
+    def _orientation(a: int, b: int, tie_break: bool):
+        """Barrier facts for the orientation where the ``a``-stride
+        stream is the (potential) barrier and ``b``-stride the victim."""
+        c = canonicalize(m, a, b)
+        cd1, cd2 = c.d1 % m, c.d2 % m
+        if not (0 < cd1 < cd2 and m % cd1 == 0):
+            return c, cd1, cd2, False, False, False
+        possible = theorems.barrier_possible(m, n_c, cd1, cd2)
+        no_dbl = theorems.double_conflict_impossible(m, n_c, cd1, cd2)
+        uniq = possible and theorems.unique_barrier(
+            m, n_c, cd1, cd2, stream1_priority=tie_break
+        )
+        return c, cd1, cd2, possible, no_dbl, uniq
+
+    fwd = _orientation(d1, d2, stream1_priority)
+    # In the reverse orientation the theorem's "stream 1" is the physical
+    # stream 2, which only wins priority ties if stream 1 does not.
+    rev = _orientation(d2, d1, False)
+    barrier = fwd[3] or rev[3]
+    no_double = fwd[4] if fwd[3] else rev[4] if rev[3] else (fwd[4] or rev[4])
+    unique = fwd[5] or rev[5]
+
+    if unique:
+        c, cd1, cd2, *_ = fwd if fwd[5] else rev
+        bw = theorems.barrier_bandwidth(cd1, cd2)
+        used = CanonicalForm(d1=c.d1, d2=c.d2, k=c.k, swapped=not fwd[5])
+        # eq. (29) is exact only on Theorem 6's domain; Theorem 7's
+        # small moduli wrap before the full (d2-d1)/f delay elapses, so
+        # the (still start-independent) bandwidth sits in [eq29, 2).
+        by_modulus = theorems.unique_barrier_by_modulus(m, n_c, cd1, cd2)
+        predicted = bw if by_modulus else None
+        upper = bw if by_modulus else Fraction(2)
+        if not by_modulus:
+            notes.append(
+                "unique barrier via Theorem 7: bandwidth is "
+                "start-independent but above eq. (29)'s 1 + d1/d2 "
+                "(the small modulus truncates each delay) — simulate "
+                "for the exact value"
+            )
+        if disjoint:
+            # Theorems 6/7 assume Z1 ∩ Z2 ≠ ∅; with f > 1 the starts
+            # with disjoint access sets still reach b_eff = 2.
+            upper = Fraction(2)
+            notes.append(
+                "unique barrier among overlapping starts; disjoint starts "
+                "(Theorem 2) reach b_eff = 2"
+            )
+        return PairClassification(
+            m=m, n_c=n_c, d1=d1, d2=d2,
+            regime=PairRegime.UNIQUE_BARRIER,
+            predicted_bandwidth=predicted,
+            bandwidth_lower=bw,
+            bandwidth_upper=upper,
+            canonical=used,
+            barrier_possible=True,
+            double_conflict_impossible=no_double,
+            unique_barrier=True,
+            conflict_free_offset=None,
+            notes=tuple(notes),
+        )
+
+    if disjoint:
+        # Not synchronizing, but good starts exist: classification keeps
+        # the optimistic regime, flags that it is start-dependent.
+        notes.append(
+            "disjoint start banks give b_eff = 2, other starts may conflict"
+        )
+        return PairClassification(
+            m=m, n_c=n_c, d1=d1, d2=d2,
+            regime=PairRegime.DISJOINT_POSSIBLE,
+            predicted_bandwidth=None,
+            bandwidth_lower=Fraction(0),
+            bandwidth_upper=Fraction(2),
+            canonical=canon,
+            barrier_possible=barrier,
+            double_conflict_impossible=no_double,
+            unique_barrier=False,
+            conflict_free_offset=None,
+            notes=tuple(notes),
+        )
+
+    if barrier:
+        _, cd1, cd2, *_ = fwd if fwd[3] else rev
+        bw = theorems.barrier_bandwidth(cd1, cd2)
+        notes.append(
+            "barrier reachable but not unique: starts decide between "
+            "barrier, inverted barrier and double conflict (Figs. 4-6)"
+        )
+        return PairClassification(
+            m=m, n_c=n_c, d1=d1, d2=d2,
+            regime=PairRegime.BARRIER_START_DEPENDENT,
+            predicted_bandwidth=None,
+            bandwidth_lower=Fraction(0),  # double conflicts can dip below 1
+            bandwidth_upper=Fraction(2),
+            canonical=canon,
+            barrier_possible=True,
+            double_conflict_impossible=no_double,
+            unique_barrier=False,
+            conflict_free_offset=None,
+            notes=tuple(notes),
+        )
+
+    return PairClassification(
+        m=m, n_c=n_c, d1=d1, d2=d2,
+        regime=PairRegime.CONFLICTING,
+        predicted_bandwidth=None,
+        bandwidth_lower=Fraction(0),
+        bandwidth_upper=Fraction(2),
+        canonical=canon,
+        barrier_possible=False,
+        double_conflict_impossible=no_double,
+        unique_barrier=False,
+        conflict_free_offset=None,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,156 @@
+"""Fortran array access distances (equation 33 and Section V guidance).
+
+The programmer-facing half of the paper: a ``DO`` loop with increment
+``INC`` sweeping the ``(k+1)``-th dimension of a column-major array with
+dimension sizes ``J_1, J_2, ...`` produces a memory-access distance of
+
+    ``d = INC · Π_{i <= k} J_i  (mod m)``            (33)
+
+with ``J_0 = 1``.  Section V adds the safe-dimensioning rule: choose array
+dimensions relatively prime to the number of banks so that rows and
+diagonals stay conflict-benign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd, prod
+
+__all__ = [
+    "loop_distance",
+    "ArraySpec",
+    "element_offset",
+    "row_distance",
+    "column_distance",
+    "diagonal_distance",
+    "safe_leading_dimension",
+]
+
+
+def loop_distance(m: int, inc: int, dims: tuple[int, ...] = (), axis: int = 0) -> int:
+    """Equation (33): bank distance of a strided loop over one array axis.
+
+    Parameters
+    ----------
+    m:
+        Number of memory banks.
+    inc:
+        Fortran ``DO``-loop increment (stride in *elements along the
+        axis*).  Negative increments are reduced modulo ``m``.
+    dims:
+        Dimension sizes ``(J_1, J_2, ...)`` of the array.  For a
+        one-dimensional array this may stay empty.
+    axis:
+        Zero-based axis being swept; ``axis = k`` sweeps the
+        ``(k+1)``-th dimension, contributing the product of the first
+        ``k`` dimension sizes (``J_0 = 1``).
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    if axis < 0 or (dims and axis >= len(dims)) or (not dims and axis > 0):
+        raise ValueError(f"axis {axis} out of range for dims {dims}")
+    stride_elems = prod(dims[:axis], start=1)
+    return (inc * stride_elems) % m
+
+
+@dataclass(frozen=True, slots=True)
+class ArraySpec:
+    """A Fortran array placed at a word address (column-major storage).
+
+    ``base`` is the address of the array's first element, so the start
+    bank against ``m`` banks is ``base mod m``.  Multi-dimensional arrays
+    store column-major: element ``(i_1, ..., i_n)`` (one-based) lives at
+    ``base + Σ (i_k - 1) · Π_{j<k} J_j``.
+    """
+
+    name: str
+    dims: tuple[int, ...]
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("array must have at least one dimension")
+        if any(j <= 0 for j in self.dims):
+            raise ValueError("dimension sizes must be positive")
+        if self.base < 0:
+            raise ValueError("base address must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Total number of elements (words)."""
+        return prod(self.dims)
+
+    def start_bank(self, m: int) -> int:
+        """Bank of the first element."""
+        return self.base % m
+
+    def offset(self, *indices: int) -> int:
+        """Word offset of a one-based multi-index within the array."""
+        if len(indices) != len(self.dims):
+            raise ValueError(
+                f"{self.name} has {len(self.dims)} dims, got {len(indices)} indices"
+            )
+        off = 0
+        stride = 1
+        for idx, dim in zip(indices, self.dims):
+            if not 1 <= idx <= dim:
+                raise IndexError(f"index {idx} outside 1..{dim} in {self.name}")
+            off += (idx - 1) * stride
+            stride *= dim
+        return off
+
+    def address(self, *indices: int) -> int:
+        """Absolute word address of an element."""
+        return self.base + self.offset(*indices)
+
+    def bank(self, m: int, *indices: int) -> int:
+        """Bank of an element against ``m`` banks."""
+        return self.address(*indices) % m
+
+
+def element_offset(dims: tuple[int, ...], indices: tuple[int, ...]) -> int:
+    """Functional form of :meth:`ArraySpec.offset` (one-based indices)."""
+    return ArraySpec("anon", dims).offset(*indices)
+
+
+def row_distance(m: int, dims: tuple[int, ...]) -> int:
+    """Distance when sweeping a *row* of a 2-D column-major array.
+
+    Consecutive row elements are a full column apart: ``d = J_1 mod m``
+    (eq. 33 with ``INC = 1``, ``axis = 1``) — the Section V caution about
+    accessing rows in Fortran.
+    """
+    if len(dims) < 2:
+        raise ValueError("row access needs a 2-D (or higher) array")
+    return loop_distance(m, 1, dims, axis=1)
+
+
+def column_distance(m: int, dims: tuple[int, ...]) -> int:
+    """Distance when sweeping a column: always ``1 mod m``."""
+    if not dims:
+        raise ValueError("array must have at least one dimension")
+    return 1 % m
+
+
+def diagonal_distance(m: int, dims: tuple[int, ...]) -> int:
+    """Distance when sweeping the main diagonal: ``d = (J_1 + 1) mod m``."""
+    if len(dims) < 2:
+        raise ValueError("diagonal access needs a 2-D (or higher) array")
+    return (dims[0] + 1) % m
+
+
+def safe_leading_dimension(m: int, j: int) -> int:
+    """Smallest ``J >= j`` relatively prime to ``m`` (Section V's rule).
+
+    "A safe method is to choose the dimension of arrays so that they are
+    relatively prime to the number of banks": rows then have return
+    number ``m`` and maximal conflict slack.
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    if j <= 0:
+        raise ValueError("requested dimension must be positive")
+    jj = j
+    while gcd(jj, m) != 1:
+        jj += 1
+    return jj

@@ -1,0 +1,116 @@
+"""Appendix: isomorphism of distance pairs under bank renumbering.
+
+Writing ``d1 ⊕ d2`` for "a stream of distance d1 competes with a stream of
+distance d2", the Appendix observes that for any ``k`` with
+``gcd(k, m) = 1`` the renumbering ``j -> k·j (mod m)`` of bank addresses
+turns the pair into ``k·d1 ⊕ k·d2 (mod m)`` without changing any conflict
+behaviour.  Consequently only pairs with ``d1 | m`` need to be analysed:
+every pair is isomorphic to one whose first distance divides ``m``.
+
+Paper example (m = 16): ``1 ⊕ 3 ≅ 5 ⊕ 15 ≅ 11 ⊕ 1`` and
+``2 ⊕ 3 ≅ 6 ⊕ 9 ≅ 6 ⊕ 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from . import arithmetic
+
+__all__ = [
+    "orbit",
+    "are_isomorphic",
+    "canonicalize",
+    "canonical_pair",
+    "CanonicalForm",
+]
+
+
+def orbit(m: int, d1: int, d2: int) -> frozenset[tuple[int, int]]:
+    """All pairs isomorphic to ``(d1, d2)``: ``{(k·d1, k·d2) mod m}`` over
+    units ``k``.  Includes the pair itself (``k = 1``)."""
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    d1 %= m
+    d2 %= m
+    return frozenset(
+        ((k * d1) % m, (k * d2) % m) for k in arithmetic.units(m)
+    )
+
+
+def are_isomorphic(
+    m: int, pair_a: tuple[int, int], pair_b: tuple[int, int]
+) -> bool:
+    """Whether two distance pairs are related by a bank renumbering.
+
+    Order matters: ``(d1, d2)`` and ``(d2, d1)`` describe the same physics
+    only when the two streams are symmetric (same port kind/priority), so
+    this predicate does *not* identify swapped pairs.
+    """
+    a = (pair_a[0] % m, pair_a[1] % m)
+    return a in orbit(m, pair_b[0], pair_b[1])
+
+
+@dataclass(frozen=True, slots=True)
+class CanonicalForm:
+    """Canonical representative of an isomorphism class.
+
+    Attributes
+    ----------
+    d1, d2:
+        The representative pair; ``d1 | m`` always holds (``d1`` equals
+        ``gcd(m, original d1)``), and ``d2`` is the smallest value
+        reachable under the stabiliser of ``d1``.
+    k:
+        A unit realising the transformation from the original pair.
+    swapped:
+        True when the two streams were exchanged to obtain ``d1 <= d2``
+        ordering preferences.  Only set by :func:`canonical_pair`.
+    """
+
+    d1: int
+    d2: int
+    k: int
+    swapped: bool = False
+
+
+def canonicalize(m: int, d1: int, d2: int) -> CanonicalForm:
+    """Normalise ``(d1, d2)`` so the first distance divides ``m``.
+
+    Chooses, among all units ``k`` with ``k·d1 ≡ gcd(m, d1) (mod m)``,
+    the one minimising ``k·d2 mod m``; this yields a deterministic class
+    representative with ``d1' = gcd(m, d1) | m``, as Theorems 4-7 require.
+    Stream order is preserved (no swap).
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    d1 %= m
+    d2 %= m
+    target = math.gcd(m, d1) % m  # d1 == 0 maps to 0 (gcd = m ≡ 0)
+    best: tuple[int, int] | None = None  # (d2', k)
+    for k in arithmetic.units(m):
+        if (k * d1) % m != target:
+            continue
+        cand = (k * d2) % m
+        if best is None or cand < best[0]:
+            best = (cand, k)
+    if best is None:  # unreachable: k exists with k*d1 ≡ gcd(m, d1)
+        raise RuntimeError("no unit maps d1 to gcd(m, d1)")
+    return CanonicalForm(d1=target if target else m, d2=best[0], k=best[1])
+
+
+def canonical_pair(m: int, d1: int, d2: int) -> CanonicalForm:
+    """Class representative that also orders the streams.
+
+    Theorems 4-7 are stated for ``d1 | m`` and ``d2 > d1``; this helper
+    tries both stream orders and returns the form (possibly ``swapped``)
+    whose canonicalisation satisfies ``d2 >= d1``, preferring the unswapped
+    one.  Callers must interpret ``swapped=True`` as "the roles of the two
+    streams are exchanged" (e.g. which one barriers the other).
+    """
+    direct = canonicalize(m, d1, d2)
+    if direct.d2 >= (direct.d1 % m):
+        return direct
+    flipped = canonicalize(m, d2, d1)
+    return CanonicalForm(d1=flipped.d1, d2=flipped.d2, k=flipped.k, swapped=True)

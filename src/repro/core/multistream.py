@@ -1,0 +1,107 @@
+"""k-stream generalisations of the two-stream analysis (extension).
+
+The paper analyses one and two streams in closed form, then observes in
+Section IV that with all six ports of the two-CPU X-MP active "access
+conflicts are bound to occur since 6·n_c = 24 > 16": the busy shadows of
+``p`` concurrent streams need at least ``p·n_c`` bank-clock slots per
+clock period, which ``m`` banks cannot carry when ``p·n_c > m``.
+
+This module makes those folklore arguments precise for the tractable
+case the machine actually exercises — ``p`` streams of *equal* distance
+``d`` (the INC = 1 environment) — and provides the generic counting
+bound for unequal distances.
+
+Results (straightforward generalisations of Theorem 3's argument):
+
+* **capacity bound** — ``b_eff <= min(p, m / n_c)`` for any workload of
+  ``p`` full-rate streams: each grant holds a bank ``n_c`` clocks and
+  only ``m`` bank-clock slots exist per clock.
+* **equal distances** — ``p`` streams of distance ``d`` can be mutually
+  conflict free iff ``r = m/gcd(m,d) >= p·n_c``; start offsets
+  ``b_i = i·n_c·d (mod m)`` realise it (each stream trails the previous
+  one by exactly the bank recovery time).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from . import arithmetic
+
+__all__ = [
+    "capacity_bound",
+    "max_conflict_free_streams",
+    "equal_stride_conflict_free",
+    "equal_stride_offsets",
+    "equal_stride_bandwidth_bound",
+]
+
+
+def capacity_bound(m: int, n_c: int, p: int) -> Fraction:
+    """Upper bound ``min(p, m/n_c)`` on the effective bandwidth.
+
+    ``p`` is the port count (the paper's ``bw = p`` maximum); ``m/n_c``
+    is the service capacity of the banks.  The Section IV remark is
+    exactly this bound failing: ``p = 6``, ``m/n_c = 4`` ⇒ at most 4
+    transfers per clock, so six full-rate streams must conflict.
+    """
+    if m <= 0 or n_c <= 0 or p <= 0:
+        raise ValueError("m, n_c and p must be positive")
+    return min(Fraction(p), Fraction(m, n_c))
+
+
+def max_conflict_free_streams(m: int, n_c: int, d: int) -> int:
+    """Largest ``p`` for which ``p`` distance-``d`` streams can all run
+    conflict free: ``p = floor(r / n_c)`` with ``r = m/gcd(m, d)``.
+
+    Each stream occupies an ``n_c``-clock shadow on the ring of ``r``
+    banks the distance reaches; ``p`` disjoint shadows fit iff
+    ``p·n_c <= r``.
+    """
+    if n_c <= 0:
+        raise ValueError("bank cycle time must be positive")
+    r = arithmetic.return_number(m, d % m)
+    return r // n_c
+
+
+def equal_stride_conflict_free(m: int, n_c: int, d: int, p: int) -> bool:
+    """Whether ``p`` streams of distance ``d`` can be mutually
+    conflict free (``r >= p·n_c``).
+
+    ``p = 2`` recovers Theorem 3's equal-distance corollary
+    (``gcd(m', 0) = m' = r >= 2·n_c``).
+    """
+    if p <= 0:
+        raise ValueError("stream count must be positive")
+    r = arithmetic.return_number(m, d % m)
+    return r >= p * n_c
+
+
+def equal_stride_offsets(m: int, n_c: int, d: int, p: int) -> list[int] | None:
+    """Start banks realising the conflict-free configuration.
+
+    Stream ``i`` starts at ``i·n_c·d (mod m)``: it reaches every bank
+    exactly ``n_c`` clocks after its predecessor released it (the same
+    construction as eq. (10), chained).  Returns ``None`` when
+    :func:`equal_stride_conflict_free` fails.
+    """
+    if not equal_stride_conflict_free(m, n_c, d, p):
+        return None
+    d %= m
+    return [(i * n_c * d) % m for i in range(p)]
+
+
+def equal_stride_bandwidth_bound(m: int, n_c: int, d: int, p: int) -> Fraction:
+    """Tight steady-state bound for ``p`` equal-distance streams.
+
+    Conflict free (``r >= p·n_c``) gives ``p``; otherwise the ``r``
+    banks of the shared ring serve at most ``r/n_c`` grants per clock in
+    aggregate (each ring bank can serve one access per ``n_c`` clocks
+    and every stream visits each ring bank once per ``r`` requests).
+    """
+    if p <= 0:
+        raise ValueError("stream count must be positive")
+    r = arithmetic.return_number(m, d % m)
+    if r >= p * n_c:
+        return Fraction(p)
+    return Fraction(r, n_c)

@@ -1,0 +1,150 @@
+"""Theorems 8-9 and equations (30)-(32): fewer sections than banks.
+
+When the memory is divided into ``s < m`` sections (``s | m``, banks
+distributed cyclically, ``k = j mod s``) each section exposes a single
+access path per CPU, so two ports of one CPU can collide on a *path* even
+when their banks are free — a **section conflict**.  To have any chance of
+maximum bandwidth there must be at least as many sections as ports
+(``2 <= s < m`` for the two-stream analysis).
+
+The results here govern two streams issued by the *same* CPU (the only
+configuration in which section conflicts arise in the Fig. 1 topology).
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import arithmetic
+from .arithmetic import gcd3
+from .theorems import conflict_free_possible
+
+__all__ = [
+    "section_of_bank",
+    "section_set",
+    "section_sets_disjoint",
+    "disjoint_sections_conflict_free",
+    "path_conflict_free",
+    "sections_conflict_free_possible",
+    "sections_conflict_free_start_offset",
+    "validate_section_count",
+]
+
+
+def validate_section_count(m: int, s: int) -> None:
+    """Enforce the paper's structural assumptions ``s | m`` and ``s >= 1``.
+
+    Each section then contains ``m/s`` banks.
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    if s <= 0:
+        raise ValueError("section count s must be positive")
+    if s > m:
+        raise ValueError(f"section count s={s} may not exceed bank count m={m}")
+    if m % s != 0:
+        raise ValueError(f"s must divide m (got s={s}, m={m})")
+
+
+def section_of_bank(j: int, s: int) -> int:
+    """Cyclic bank-to-section map ``k = j mod s`` (paper, Section II)."""
+    if s <= 0:
+        raise ValueError("section count s must be positive")
+    return j % s
+
+
+def section_set(m: int, s: int, d: int, b: int = 0) -> frozenset[int]:
+    """All section addresses visited by a stream (its *section set*)."""
+    validate_section_count(m, s)
+    return frozenset(section_of_bank(j, s) for j in arithmetic.access_set(m, d, b))
+
+
+def section_sets_disjoint(m: int, s: int, d1: int, b1: int, d2: int, b2: int) -> bool:
+    """Concrete disjointness of two streams' section sets.
+
+    Disjoint section sets extend Theorem 2's guarantee to sectioned
+    memories: streams that never share a section never share a path.
+    """
+    return not (section_set(m, s, d1, b1) & section_set(m, s, d2, b2))
+
+
+# ----------------------------------------------------------------------
+# Theorem 8 — disjoint access sets, overlapping section sets
+# ----------------------------------------------------------------------
+def disjoint_sections_conflict_free(s: int, d1: int, d2: int) -> bool:
+    """Theorem 8: with disjoint *access* sets but overlapping *section*
+    sets, conflict-free streams are achievable only if
+    ``gcd(s, d2 - d1) >= 2``.
+
+    Follows from Theorem 3 with ``m -> s`` and ``n_c -> 1`` (a path is
+    held for exactly one clock).
+    """
+    if s <= 0:
+        raise ValueError("section count s must be positive")
+    delta = abs(d2 - d1) % s
+    return math.gcd(s, delta) >= 2
+
+
+# ----------------------------------------------------------------------
+# Theorem 9 and equation (32) — overlapping access sets
+# ----------------------------------------------------------------------
+def path_conflict_free(m: int, n_c: int, s: int, d1: int, d2: int) -> bool:
+    """Theorem 9: if Theorem 3 holds (bank-level conflict-freeness), the
+    sectioned memory is conflict free when ``n_c · d1 ≠ k·s`` for every
+    integer ``k`` — i.e. ``s`` does not divide ``n_c · d1``.
+
+    The relative start ``b2 = n_c·d1`` then always lands simultaneous
+    requests in different sections (``n_c·d1`` and ``s`` relatively
+    prime in the paper's statement; the operative requirement used in its
+    proof and in Fig. 7 is ``s ∤ n_c·d1``).
+    """
+    validate_section_count(m, s)
+    if n_c <= 0:
+        raise ValueError("bank cycle time n_c must be positive")
+    if not conflict_free_possible(m, n_c, d1, d2):
+        return False
+    return (n_c * (d1 % m)) % s != 0
+
+
+def sections_conflict_free_possible(
+    m: int, n_c: int, s: int, d1: int, d2: int
+) -> bool:
+    """Combined Theorem 9 / equation (32) test.
+
+    If ``s | n_c·d1`` the offset ``n_c·d1`` would align simultaneous
+    requests in one section; conflict-freeness survives if an extra clock
+    of slack exists:
+
+        ``gcd(m/f, (d2 - d1)/f) >= 2·(n_c + 1)``               (32)
+
+    with relative start ``(n_c + 1)·d1`` — "an extra clock period is
+    needed in order to avoid a section conflict".
+    """
+    validate_section_count(m, s)
+    if path_conflict_free(m, n_c, s, d1, d2):
+        return True
+    # eq (32): retry with one clock of extra slack, offset (n_c+1)*d1.
+    f = gcd3(m, d1 % m, d2 % m)
+    if f == 0:
+        f = m
+    delta = abs((d2 % m) - (d1 % m)) // f
+    if math.gcd(m // f, delta) < 2 * (n_c + 1):
+        return False
+    # the (n_c+1)-offset must itself miss the path collision
+    return ((n_c + 1) * (d1 % m)) % s != 0
+
+
+def sections_conflict_free_start_offset(
+    m: int, n_c: int, s: int, d1: int, d2: int
+) -> int | None:
+    """Concrete conflict-free relative start for a sectioned memory.
+
+    Returns ``n_c·d1`` when Theorem 9 applies, ``(n_c+1)·d1`` when only
+    equation (32) applies (Fig. 7's construction), else ``None``.
+    """
+    validate_section_count(m, s)
+    if path_conflict_free(m, n_c, s, d1, d2):
+        return (n_c * (d1 % m)) % m
+    if sections_conflict_free_possible(m, n_c, s, d1, d2):
+        return ((n_c + 1) * (d1 % m)) % m
+    return None

@@ -1,0 +1,91 @@
+"""Single-stream effective bandwidth (Section III-A).
+
+With one active stream only plain bank conflicts can occur, and they always
+occur at the start bank: the first ``r`` requests hit ``r`` distinct banks,
+the ``(r+1)``-th returns to the start bank.
+
+* If ``r >= n_c`` the start bank has already recovered: the stream is
+  conflict free and ``b_eff = 1`` (the port's maximum).
+* If ``r < n_c`` the stream stalls ``n_c - r`` clocks every period:
+  ``r`` requests are serviced every ``n_c`` clocks, so ``b_eff = r / n_c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from . import arithmetic
+from .stream import AccessStream
+
+__all__ = ["SingleStreamPrediction", "single_stream_bandwidth", "predict_single"]
+
+
+@dataclass(frozen=True, slots=True)
+class SingleStreamPrediction:
+    """Closed-form steady state of one stream against ``m`` banks.
+
+    Attributes
+    ----------
+    bandwidth:
+        Exact effective bandwidth ``b_eff`` as a :class:`~fractions.Fraction`
+        (``1`` or ``r/n_c``).
+    return_number:
+        Theorem 1's ``r``.
+    conflict_free:
+        ``r >= n_c``; no bank conflicts in steady state.
+    stall_per_period:
+        Clocks lost per period (``0`` or ``n_c - r``).
+    period:
+        Length of the steady-state cycle in clocks (``r`` or ``n_c``).
+    """
+
+    bandwidth: Fraction
+    return_number: int
+    conflict_free: bool
+    stall_per_period: int
+    period: int
+
+    @property
+    def bandwidth_float(self) -> float:
+        """``b_eff`` as a float, for plotting/benchmark output."""
+        return float(self.bandwidth)
+
+
+def single_stream_bandwidth(m: int, d: int, n_c: int) -> Fraction:
+    """``b_eff`` for one infinite stream of stride ``d`` (Section III-A)."""
+    prediction = predict_single(m, d, n_c)
+    return prediction.bandwidth
+
+
+def predict_single(m: int, d: int, n_c: int) -> SingleStreamPrediction:
+    """Full steady-state description for one stream.
+
+    Parameters mirror the paper: ``m`` banks, stride ``d`` (reduced mod m),
+    bank cycle time ``n_c`` clocks.
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    if n_c <= 0:
+        raise ValueError("bank cycle time n_c must be positive")
+    r = arithmetic.return_number(m, d % m)
+    if r >= n_c:
+        return SingleStreamPrediction(
+            bandwidth=Fraction(1),
+            return_number=r,
+            conflict_free=True,
+            stall_per_period=0,
+            period=r,
+        )
+    return SingleStreamPrediction(
+        bandwidth=Fraction(r, n_c),
+        return_number=r,
+        conflict_free=False,
+        stall_per_period=n_c - r,
+        period=n_c,
+    )
+
+
+def predict_single_stream(stream: AccessStream, m: int, n_c: int) -> SingleStreamPrediction:
+    """Overload of :func:`predict_single` taking an :class:`AccessStream`."""
+    return predict_single(m, stream.stride, n_c)

@@ -1,0 +1,160 @@
+"""Vector access streams — the unit of analysis of the paper.
+
+A vector memory instruction (load or store) activates a *port* which then
+issues one access request per clock period to banks
+
+    ``(b + k*d) mod m``,    k = 0, 1, 2, ...
+
+The analytical model (Section III) assumes streams are infinitely long and
+characterises each stream by its start bank ``b``, distance ``d``, return
+number ``r = m/gcd(m, d)`` (Theorem 1) and access set ``Z``.  The simulator
+(:mod:`repro.sim`) additionally supports finite lengths for modelling real
+vector instructions (e.g. 64-element Cray chimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from . import arithmetic
+
+__all__ = ["AccessStream", "INFINITE"]
+
+#: Sentinel length for the paper's "infinitely long" analytical streams.
+INFINITE: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class AccessStream:
+    """A constant-stride stream of bank requests.
+
+    Parameters
+    ----------
+    start_bank:
+        Address ``b`` of the first bank referenced, ``0 <= b < m`` once
+        bound to a memory with ``m`` banks.  Stored unreduced; use
+        :meth:`bound` to normalise against a concrete ``m``.
+    stride:
+        Distance ``d`` between consecutive requests.  The paper restricts
+        ``d`` to ``{0, 1, ..., m-1}`` since only ``d mod m`` matters;
+        :meth:`bound` performs that reduction.
+    length:
+        Number of elements transferred, or :data:`INFINITE` for the
+        analytical infinite stream.
+    label:
+        Cosmetic tag used by the trace renderer ("1", "2", ...).
+    """
+
+    start_bank: int
+    stride: int
+    length: int = INFINITE
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start_bank < 0:
+            raise ValueError("start_bank must be non-negative")
+        if self.stride < 0:
+            raise ValueError(
+                "stride must be non-negative; reduce negative Fortran "
+                "strides modulo m first (see repro.core.fortran)"
+            )
+        if self.length != INFINITE and self.length < 0:
+            raise ValueError("length must be non-negative or INFINITE")
+
+    # ------------------------------------------------------------------
+    # Binding to a concrete memory
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_signed(
+        cls,
+        m: int,
+        start_bank: int,
+        stride: int,
+        *,
+        length: int = INFINITE,
+        label: str = "",
+    ) -> "AccessStream":
+        """Build a stream from a possibly *negative* Fortran stride.
+
+        A backwards loop (``DO I = N, 1, -INC``) walks banks with
+        distance ``-INC ≡ m - (INC mod m) (mod m)``; only the residue
+        matters for conflicts.  ``start_bank`` may also be negative
+        (an address below the array base) and is reduced likewise.
+        """
+        if m <= 0:
+            raise ValueError("bank count m must be positive")
+        return cls(
+            start_bank=start_bank % m,
+            stride=stride % m,
+            length=length,
+            label=label,
+        )
+
+    def bound(self, m: int) -> "AccessStream":
+        """Return a copy with ``start_bank`` and ``stride`` reduced mod m."""
+        if m <= 0:
+            raise ValueError("bank count m must be positive")
+        return replace(self, start_bank=self.start_bank % m, stride=self.stride % m)
+
+    @property
+    def is_infinite(self) -> bool:
+        """True for the analytical infinitely-long stream."""
+        return self.length == INFINITE
+
+    # ------------------------------------------------------------------
+    # Paper quantities (Theorem 1 and Section III definitions)
+    # ------------------------------------------------------------------
+    def return_number(self, m: int) -> int:
+        """``r = m / gcd(m, d)`` — accesses until the start bank recurs."""
+        return arithmetic.return_number(m, self.stride % m)
+
+    def access_set(self, m: int) -> frozenset[int]:
+        """``Z`` — the set of banks this stream ever touches."""
+        return arithmetic.access_set(m, self.stride % m, self.start_bank % m)
+
+    def bank_at(self, k: int, m: int) -> int:
+        """Bank address of the ``(k+1)``-th request: ``(b + k*d) mod m``."""
+        if k < 0:
+            raise ValueError("request index must be non-negative")
+        if not self.is_infinite and k >= self.length:
+            raise IndexError(f"request {k} beyond stream length {self.length}")
+        return (self.start_bank + k * self.stride) % m
+
+    def banks(self, m: int, count: int | None = None) -> list[int]:
+        """First ``count`` bank addresses (default: one full period)."""
+        if count is None:
+            count = self.return_number(m)
+            if not self.is_infinite:
+                count = min(count, self.length)
+        if not self.is_infinite and count > self.length:
+            raise IndexError(
+                f"requested {count} banks from a stream of length {self.length}"
+            )
+        return arithmetic.access_sequence(
+            m, self.stride % m, self.start_bank % m, count
+        )
+
+    def self_conflict_free(self, m: int, n_c: int) -> bool:
+        """Section III-A condition ``r >= n_c``.
+
+        When it fails the stream trips over its own previous access at the
+        start bank every period and cannot sustain one access per clock.
+        """
+        if n_c <= 0:
+            raise ValueError("bank cycle time n_c must be positive")
+        return self.return_number(m) >= n_c
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def with_label(self, label: str) -> "AccessStream":
+        """Copy with a new trace label."""
+        return replace(self, label=label)
+
+    def shifted(self, delta: int, m: int) -> "AccessStream":
+        """Copy with the start bank displaced by ``delta`` (mod m).
+
+        Theorem 3's *synchronization* argument reasons about relative
+        start positions; this helper generates them.
+        """
+        return replace(self, start_bank=(self.start_bank + delta) % m)

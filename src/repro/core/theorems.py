@@ -1,0 +1,344 @@
+"""Theorems 2-7: two concurrent access streams, one section per bank.
+
+This module states, as executable predicates, the paper's analytical
+results for two streams when access paths are *not* a bottleneck
+(``s = m``, so no section conflicts; Section III-B, "Equal Number of
+Sections and Banks").  Streams are characterised by their distances
+``d1, d2`` and (where relevant) start banks ``b1, b2`` against ``m`` banks
+with bank cycle time ``n_c``.
+
+Conventions shared with the paper:
+
+* ``f = gcd(m, d1, d2)`` merely "pushes the relevant banks apart"; all
+  conditions are stated on the ``f``-reduced values.
+* Theorems 4-7 assume ``d1 | m`` and ``d2 > d1`` — by the Appendix
+  isomorphism this loses no generality (see
+  :mod:`repro.core.isomorphism`).
+* ``gcd(m, 0) = m``: equal distances are the extreme conflict-free case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from . import arithmetic
+from .arithmetic import ceil_div, gcd3
+
+__all__ = [
+    "PairGeometry",
+    "disjoint_sets_possible",
+    "disjoint_start_offsets",
+    "conflict_free_possible",
+    "conflict_free_start_offset",
+    "synchronizes",
+    "barrier_possible",
+    "barrier_start_offset",
+    "double_conflict_impossible",
+    "unique_barrier_by_modulus",
+    "unique_barrier_small_m",
+    "unique_barrier",
+    "barrier_bandwidth",
+    "barrier_cycle",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared geometry of a stream pair
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class PairGeometry:
+    """Derived quantities the theorems keep re-using.
+
+    ``f``-reduced values carry a prime in the paper (``m'``, ``d1'``...);
+    here they are ``m_red``, ``d1_red``, ``d2_red``.
+    """
+
+    m: int
+    n_c: int
+    d1: int
+    d2: int
+    f: int
+    m_red: int
+    d1_red: int
+    d2_red: int
+    r1: int
+    r2: int
+
+    @classmethod
+    def of(cls, m: int, n_c: int, d1: int, d2: int) -> "PairGeometry":
+        if m <= 0:
+            raise ValueError("bank count m must be positive")
+        if n_c <= 0:
+            raise ValueError("bank cycle time n_c must be positive")
+        d1 %= m
+        d2 %= m
+        f = gcd3(m, d1, d2)
+        if f == 0:  # both strides ≡ 0
+            f = m
+        return cls(
+            m=m,
+            n_c=n_c,
+            d1=d1,
+            d2=d2,
+            f=f,
+            m_red=m // f,
+            d1_red=d1 // f,
+            d2_red=d2 // f,
+            r1=arithmetic.return_number(m, d1),
+            r2=arithmetic.return_number(m, d2),
+        )
+
+    @property
+    def no_self_conflicts(self) -> bool:
+        """Section III-B's standing assumption ``r1, r2 >= n_c``."""
+        return self.r1 >= self.n_c and self.r2 >= self.n_c
+
+    def require_canonical(self) -> None:
+        """Theorems 4-7 preconditions: ``d1 | m`` and ``d2 > d1``.
+
+        Other pairs must first be normalised with
+        :func:`repro.core.isomorphism.canonicalize`.
+        """
+        if self.d1 == 0 or self.m % self.d1 != 0:
+            raise ValueError(
+                f"theorem requires d1 | m (got d1={self.d1}, m={self.m}); "
+                "canonicalize the pair first (repro.core.isomorphism)"
+            )
+        if self.d2 <= self.d1:
+            raise ValueError(
+                f"theorem requires d2 > d1 (got d1={self.d1}, d2={self.d2}); "
+                "swap or canonicalize the pair first"
+            )
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 — disjoint access sets
+# ----------------------------------------------------------------------
+def disjoint_sets_possible(m: int, d1: int, d2: int) -> bool:
+    """Theorem 2: start banks with ``Z1 ∩ Z2 = ∅`` exist iff
+    ``gcd(m, d1, d2) > 1``.
+
+    Disjoint access sets trivially yield ``b_eff = 2`` because the streams
+    never meet (when ``s = m``).
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    f = gcd3(m, d1 % m, d2 % m)
+    if f == 0:  # d1 ≡ d2 ≡ 0: both sets are {b}; disjoint iff b1 != b2
+        return m > 1
+    return f > 1
+
+
+def disjoint_start_offsets(m: int, d1: int, d2: int) -> list[int]:
+    """Offsets ``b2 - b1`` that make the access sets disjoint.
+
+    From the proof of Theorem 2: with ``f = gcd(m, d1, d2) > 1`` both
+    access sets lie inside cosets of ``f·Z_m``; any offset that is *not*
+    a multiple of ``f`` (e.g. consecutive start banks, ``b2 = b1 + 1``)
+    separates them.  Returns the offsets in ``[0, m)``; empty when
+    disjointness is impossible.
+    """
+    if not disjoint_sets_possible(m, d1, d2):
+        return []
+    f = gcd3(m, d1 % m, d2 % m)
+    if f == 0:
+        return [o for o in range(1, m)]
+    return [o for o in range(m) if o % f != 0]
+
+
+# ----------------------------------------------------------------------
+# Theorem 3 — conflict-free with overlapping access sets
+# ----------------------------------------------------------------------
+def conflict_free_possible(m: int, n_c: int, d1: int, d2: int) -> bool:
+    """Theorem 3: with non-disjoint access sets, conflict-free start banks
+    exist iff ``gcd(m/f, (d2 - d1)/f) >= 2·n_c``.
+
+    The quantity ``g = gcd(m', Δ')`` is the minimal drift between the two
+    progressions; ``g >= 2 n_c`` leaves enough slack for an ``n_c``-clock
+    bank hold on each side of every meeting point.  The convention
+    ``gcd(x, 0) = x`` makes equal distances (``Δ = 0``) conflict free iff
+    ``r = m/f >= 2 n_c`` — the paper's note below the theorem.
+    """
+    g = PairGeometry.of(m, n_c, d1, d2)
+    delta = abs(g.d2_red - g.d1_red)
+    drift = math.gcd(g.m_red, delta)  # gcd(x, 0) == x covers d1 == d2
+    return drift >= 2 * n_c
+
+
+def conflict_free_start_offset(m: int, n_c: int, d1: int, d2: int) -> int | None:
+    """A concrete conflict-free relative start ``b2 - b1`` (mod m).
+
+    Equation (10): when Theorem 3 holds, ``b2 = n_c · d1 (mod m)``
+    relative to ``b1 = 0`` is a valid choice — stream 1 arrives at ``b2``
+    exactly when the bank becomes available again.  Returns ``None`` when
+    Theorem 3 fails.
+    """
+    if not conflict_free_possible(m, n_c, d1, d2):
+        return None
+    return (n_c * (d1 % m)) % m
+
+
+def synchronizes(m: int, n_c: int, d1: int, d2: int) -> bool:
+    """Whether the pair *synchronizes* into a conflict-free cycle.
+
+    Paper, below Theorem 3: if (12) is satisfied, the streams fall into a
+    conflict-free cycle irrespective of the relative starting positions —
+    an improperly-started stream is delayed once and thereafter runs in
+    the (10) configuration.  Synchronization is therefore exactly
+    Theorem 3's condition (for ``s = m``).
+    """
+    return conflict_free_possible(m, n_c, d1, d2)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4 — existence of a barrier-situation
+# ----------------------------------------------------------------------
+def barrier_possible(m: int, n_c: int, d1: int, d2: int) -> bool:
+    """Theorem 4: start banks exist that produce a barrier-situation.
+
+    Preconditions (checked): ``r1 >= 2 n_c``, ``r2 > n_c``, ``d1 | m``,
+    ``d2 > d1``.  Condition (17)/(20): on the ``f``-reduced pair, with
+    ``m'' = m'/d1'``, a barrier arises iff
+
+        ``(d2' - d1') mod m''  ∈  {1, ..., n_c - 1}``
+
+    i.e. stream 2's drift lands inside the ``n_c - 1`` clock shadow of
+    stream 1's bank hold.
+    """
+    g = PairGeometry.of(m, n_c, d1, d2)
+    g.require_canonical()
+    if not (g.r1 >= 2 * n_c and g.r2 > n_c):
+        return False
+    m_pp = g.m_red // g.d1_red
+    c = (g.d2_red - g.d1_red) % m_pp
+    return 1 <= c <= n_c - 1
+
+
+def barrier_start_offset(m: int, n_c: int, d1: int, d2: int) -> int | None:
+    """A concrete relative start producing the barrier-situation.
+
+    Theorem 4's proof places both streams on a common bank (``b1 = b2``,
+    i.e. offset ``0``) with stream 2 delayed at the opening simultaneous
+    bank conflict — which a priority rule favouring stream 1 guarantees.
+    From there the busy-shadow drift of condition (20) keeps stream 2
+    the victim.  Returns ``0`` when Theorem 4 holds, ``None`` otherwise.
+
+    Validated exhaustively in the test suite: for every barrier-possible
+    canonical pair on a grid of shapes, simulating offset 0 under fixed
+    priority lands in the barrier-on-2 regime.
+    """
+    if barrier_possible(m, n_c, d1, d2):
+        return 0
+    return None
+
+
+# ----------------------------------------------------------------------
+# Theorem 5 — impossibility of double conflicts
+# ----------------------------------------------------------------------
+def double_conflict_impossible(m: int, n_c: int, d1: int, d2: int) -> bool:
+    """Theorem 5: a double conflict (mutual delays) never occurs if
+    ``(n_c - 1)(d2 + d1) < m``.
+
+    The bound counts the banks a delayed stream 1 may still hold behind
+    the first conflict point; stream 2 must clear them all before wrapping
+    around.
+    """
+    g = PairGeometry.of(m, n_c, d1, d2)
+    g.require_canonical()
+    return (n_c - 1) * (g.d2 + g.d1) < m
+
+
+# ----------------------------------------------------------------------
+# Theorems 6 & 7 — uniqueness of the barrier-situation
+# ----------------------------------------------------------------------
+def unique_barrier_by_modulus(m: int, n_c: int, d1: int, d2: int) -> bool:
+    """Theorem 6: if Theorem 4 holds and ``(2 n_c - 1) d2 <= m`` the
+    barrier-situation is *unique* — reached with stream 2 delayed,
+    whatever the relative start banks.
+    """
+    g = PairGeometry.of(m, n_c, d1, d2)
+    g.require_canonical()
+    if not barrier_possible(m, n_c, d1, d2):
+        return False
+    return (2 * n_c - 1) * g.d2 <= m
+
+
+def unique_barrier_small_m(
+    m: int, n_c: int, d1: int, d2: int, *, stream1_priority: bool = False
+) -> bool:
+    """Theorem 7: unique barrier for moduli too small for Theorem 6.
+
+    Applies when (17) and (22) hold but not (24).  With
+    ``k = ⌈m/(d1·d2)⌉ · d1`` (the first common bank index after a delay of
+    stream 1, ``k < 2 n_c``) the barrier is unique iff
+
+        ``k·d2 mod m  <  (k - n_c)·d1 mod m``                    (25)
+
+    With ``stream1_priority=True`` (a fixed or currently-favourable
+    cyclic priority rule), equality also suffices — the simultaneous bank
+    conflict is resolved against stream 2 (eq. 28).
+    """
+    g = PairGeometry.of(m, n_c, d1, d2)
+    g.require_canonical()
+    if not barrier_possible(m, n_c, d1, d2):
+        return False
+    if not double_conflict_impossible(m, n_c, d1, d2):
+        return False
+    if g.d1_red == 0 or g.d2_red == 0:
+        return False
+    k_red = ceil_div(g.m_red, g.d1_red * g.d2_red) * g.d1_red
+    if k_red >= 2 * n_c:
+        return False
+    lhs = (k_red * g.d2_red) % g.m_red
+    rhs = ((k_red - n_c) * g.d1_red) % g.m_red
+    if lhs < rhs:
+        return True
+    return stream1_priority and lhs == rhs
+
+
+def unique_barrier(
+    m: int, n_c: int, d1: int, d2: int, *, stream1_priority: bool = False
+) -> bool:
+    """Combined uniqueness test: Theorem 6, falling back to Theorem 7."""
+    if not barrier_possible(m, n_c, d1, d2):
+        return False
+    if unique_barrier_by_modulus(m, n_c, d1, d2):
+        return True
+    return unique_barrier_small_m(
+        m, n_c, d1, d2, stream1_priority=stream1_priority
+    )
+
+
+# ----------------------------------------------------------------------
+# Equation (29) — bandwidth of a unique barrier-situation
+# ----------------------------------------------------------------------
+def barrier_bandwidth(d1: int, d2: int) -> Fraction:
+    """Equation (29): ``b_eff = 1 + d1/d2`` in a unique barrier-situation.
+
+    Derivation: per ``d2/f`` clocks the conflict-free stream makes
+    ``d2/f`` accesses and the barriered stream ``d1/f``, giving
+    ``(d2 + d1)/f`` grants in ``d2/f`` clocks.
+    """
+    if d2 <= 0:
+        raise ValueError("d2 must be positive in a barrier-situation")
+    if d1 < 0:
+        raise ValueError("d1 must be non-negative")
+    return 1 + Fraction(d1, d2)
+
+
+def barrier_cycle(m: int, d1: int, d2: int) -> tuple[int, int, int]:
+    """Steady-state cycle of a unique barrier (paper, above eq. 29).
+
+    Returns ``(clocks, grants_stream1, grants_stream2)`` for one cycle of
+    the barriered steady state: in ``d2/f`` clock periods stream 1 (the
+    barrier) is granted ``d2/f`` accesses and stream 2 only ``d1/f``.
+    """
+    if not 0 < d1 < d2 < m:
+        raise ValueError(
+            f"barrier cycle needs canonical strides 0 < d1 < d2 < m "
+            f"(got d1={d1}, d2={d2}, m={m})"
+        )
+    f = gcd3(m, d1, d2)
+    return (d2 // f, d2 // f, d1 // f)

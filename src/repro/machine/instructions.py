@@ -1,0 +1,97 @@
+"""Vector memory instructions for the machine model.
+
+The Section IV experiment executes Fortran vector loops; at the machine
+level each loop iteration space is strip-mined into vector instructions
+of at most one vector-register length (64 elements on the Cray X-MP),
+each of which drives one memory port with a constant-stride stream.
+
+Only the *memory* side is modelled in detail — arithmetic (the multiply
+and add of the triad) is folded into a chain latency between the loads
+and the dependent store, which is how memory-bound loops behave on the
+real machine once chaining is established.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.stream import AccessStream
+
+__all__ = ["PortKind", "VectorInstruction", "VECTOR_LENGTH"]
+
+#: Cray X-MP vector register length (elements).
+VECTOR_LENGTH = 64
+
+
+class PortKind(enum.Enum):
+    """Which kind of memory port an instruction needs.
+
+    The Cray X-MP gives each CPU two read ports and one write port; a
+    vector load may issue on any idle read port, a store only on the
+    write port.
+    """
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True, slots=True)
+class VectorInstruction:
+    """One strip-mined vector load or store.
+
+    Attributes
+    ----------
+    uid:
+        Program-unique id; dependencies reference it.
+    name:
+        Human-readable tag, e.g. ``"LOAD B[65:128:2]"``.
+    kind:
+        Required port kind.
+    base:
+        Word address of the first element.
+    stride:
+        Address increment between elements (the Fortran ``INC`` for a
+        1-D sweep; eq. 33 for higher dimensions).
+    length:
+        Element count (``<= VECTOR_LENGTH`` in well-formed programs,
+        but not enforced — the model generalises).
+    depends_on:
+        Uids of instructions whose *completion* must precede issue
+        (plus the CPU's chain latency).
+    """
+
+    uid: int
+    name: str
+    kind: PortKind
+    base: int
+    stride: int
+    length: int
+    depends_on: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            raise ValueError("instruction uid must be non-negative")
+        if self.base < 0:
+            raise ValueError("base address must be non-negative")
+        if self.stride <= 0:
+            raise ValueError(
+                "stride must be positive (model negative strides via "
+                "their modular equivalent)"
+            )
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+
+    def stream(self, m: int) -> AccessStream:
+        """The bank-request stream this instruction drives.
+
+        Under low-order interleaving an address stream of stride ``w``
+        is a bank stream of distance ``w mod m`` starting at
+        ``base mod m``.
+        """
+        return AccessStream(
+            start_bank=self.base % m,
+            stride=self.stride % m,
+            length=self.length,
+            label=self.name,
+        )

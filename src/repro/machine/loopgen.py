@@ -1,0 +1,122 @@
+"""Loop compiler: from a declared Fortran-style inner loop to a program.
+
+Closes the gap between the *analysis* of a loop nest
+(:mod:`repro.analysis.loopnest`) and its *execution* on the machine
+model: the same :class:`~repro.analysis.loopnest.ArrayRef` declarations,
+bound to concrete arrays, compile into strip-mined, chained vector
+instructions — so a kernel can be advised analytically and then measured
+under contention without hand-writing its program.
+
+Address generation is column-major (eq. 33's setting): sweeping axis
+``k`` with increment ``inc`` moves ``inc · Π_{i<k} J_i`` *words* per
+iteration.  Loads of a segment precede its stores; every store depends
+on all loads of its segment (read-before-write within one iteration).
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+from ..analysis.loopnest import ArrayRef
+from ..memory.layout import CommonBlock
+from .instructions import VECTOR_LENGTH, PortKind, VectorInstruction
+
+__all__ = ["compile_loop", "word_stride"]
+
+
+def word_stride(ref: ArrayRef) -> int:
+    """Words moved per loop iteration by one reference (un-reduced).
+
+    The exact address stride; ``ref.distance(m)`` is this value mod m.
+    """
+    return ref.inc * prod(ref.dims[:ref.axis], start=1)
+
+
+def compile_loop(
+    refs: list[ArrayRef],
+    trip_count: int,
+    common: CommonBlock,
+    *,
+    vector_length: int = VECTOR_LENGTH,
+    start_indices: dict[int, int] | None = None,
+) -> list[VectorInstruction]:
+    """Compile one inner loop into a strip-mined instruction program.
+
+    Parameters
+    ----------
+    refs:
+        The loop body's array references, in program order.  Loads and
+        stores may interleave; per segment all loads issue before any
+        store and every store depends on that segment's loads.
+    trip_count:
+        Iterations of the inner loop (elements per reference).
+    common:
+        Storage: every ``ref.name`` must be a member; its declared dims
+        must match the reference's.
+    start_indices:
+        Optional per-ref (by position) starting word offset within the
+        array — e.g. to sweep row 3 rather than row 1.
+    """
+    if not refs:
+        raise ValueError("loop body needs at least one array reference")
+    if trip_count <= 0:
+        raise ValueError("trip count must be positive")
+    if vector_length <= 0:
+        raise ValueError("vector length must be positive")
+    starts = start_indices or {}
+
+    bound: list[tuple[ArrayRef, int, int]] = []  # (ref, base, stride)
+    for pos, ref in enumerate(refs):
+        spec = common[ref.name]
+        if spec.dims != ref.dims:
+            raise ValueError(
+                f"{ref.name}: declared dims {spec.dims} != reference "
+                f"dims {ref.dims}"
+            )
+        stride = word_stride(ref)
+        base = spec.base + starts.get(pos, 0)
+        last = base + (trip_count - 1) * stride
+        if last >= spec.base + spec.size:
+            raise ValueError(
+                f"{ref.name}: sweep of {trip_count} x {stride} words "
+                f"overruns the array"
+            )
+        bound.append((ref, base, stride))
+
+    program: list[VectorInstruction] = []
+    uid = 0
+    for seg_start in range(0, trip_count, vector_length):
+        seg_len = min(vector_length, trip_count - seg_start)
+        hi = seg_start + seg_len
+        load_uids: list[int] = []
+        stores: list[tuple[ArrayRef, int, int]] = []
+        for ref, base, stride in bound:
+            if ref.kind == "load":
+                program.append(
+                    VectorInstruction(
+                        uid=uid,
+                        name=f"LOAD {ref.name}[{seg_start}:{hi}]",
+                        kind=PortKind.READ,
+                        base=base + seg_start * stride,
+                        stride=stride,
+                        length=seg_len,
+                    )
+                )
+                load_uids.append(uid)
+                uid += 1
+            else:
+                stores.append((ref, base, stride))
+        for ref, base, stride in stores:
+            program.append(
+                VectorInstruction(
+                    uid=uid,
+                    name=f"STORE {ref.name}[{seg_start}:{hi}]",
+                    kind=PortKind.WRITE,
+                    base=base + seg_start * stride,
+                    stride=stride,
+                    length=seg_len,
+                    depends_on=tuple(load_uids),
+                )
+            )
+            uid += 1
+    return program

@@ -1,0 +1,65 @@
+"""Instruction timelines: a Gantt view of the machine's port schedule.
+
+Shows, per port, when each vector instruction occupied it — making the
+machine model's behaviour inspectable the way the bank traces make the
+memory's.  A stretched bar (more clocks than elements) is a stream that
+stalled; white space on a read port is chaining slack.
+"""
+
+from __future__ import annotations
+
+from .cpu import CpuModel
+
+__all__ = ["render_timeline", "port_utilisation"]
+
+
+def render_timeline(
+    cpu: CpuModel,
+    *,
+    width: int = 72,
+    max_rows: int = 40,
+) -> str:
+    """ASCII Gantt chart of one CPU's retired instructions.
+
+    Each row is one instruction: ``port | name | bar``.  Bars are scaled
+    to ``width`` columns over the full program duration; ``=`` marks
+    occupied clocks.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    rows = cpu.timeline()
+    if not rows:
+        return "(no retired instructions)"
+    t_end = max(done for _, _, _, done in rows) + 1
+    scale = width / t_end
+    lines = [f"clocks 0..{t_end - 1}, {len(rows)} instructions"]
+    shown = rows[:max_rows]
+    name_w = max(len(name) for name, *_ in shown)
+    for name, port, issue, done in shown:
+        lo = int(issue * scale)
+        hi = max(lo + 1, int((done + 1) * scale))
+        bar = " " * lo + "=" * (hi - lo)
+        lines.append(
+            f"P{port} {name:<{name_w}} |{bar:<{width}}| "
+            f"{issue}..{done}"
+        )
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more instructions")
+    return "\n".join(lines)
+
+
+def port_utilisation(cpu: CpuModel) -> dict[int, float]:
+    """Fraction of the program's span each port spent occupied.
+
+    Occupied means an instruction was issued and not yet completed on
+    that port — the port either transferred or stalled every one of
+    those clocks.
+    """
+    rows = cpu.timeline()
+    if not rows:
+        return {}
+    t_end = max(done for _, _, _, done in rows) + 1
+    busy: dict[int, int] = {}
+    for _, port, issue, done in rows:
+        busy[port] = busy.get(port, 0) + (done - issue + 1)
+    return {port: clocks / t_end for port, clocks in sorted(busy.items())}

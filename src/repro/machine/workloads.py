@@ -1,0 +1,142 @@
+"""Workload programs for the machine model — Section IV's experiment.
+
+The measured kernel is the vector triad
+
+    DO 1 I = 1, N*INC, INC
+  1 A(I) = B(I) + C(I)*D(I)
+
+with ``N = 1024`` elements regardless of the increment, arrays placed by
+``COMMON// A(IDIM), B(IDIM), C(IDIM), D(IDIM)`` with
+``IDIM = 16*1024 + 1`` so their first elements sit one bank apart.
+
+Strip-mining: the 1024 iterations become 16 segments of the 64-element
+vector register length; per segment the three loads (B, C, D) compete
+for the CPU's two read ports and the store (A) chains behind them on the
+write port.
+
+The competitor program on the other CPU "is tailored so that the memory
+is constantly accessed by all three ports with a distance of 1" — three
+infinite unit-stride background streams.
+"""
+
+from __future__ import annotations
+
+from ..core.stream import AccessStream
+from ..memory.layout import CommonBlock, triad_common_block
+from .instructions import VECTOR_LENGTH, PortKind, VectorInstruction
+
+__all__ = [
+    "triad_program",
+    "unit_stride_background",
+    "strided_background",
+    "TRIAD_N",
+    "TRIAD_IDIM",
+]
+
+#: Vector length of the measured triad (elements).
+TRIAD_N = 1024
+
+#: COMMON dimension fixing the one-bank-apart layout on 16 banks.
+TRIAD_IDIM = 16 * 1024 + 1
+
+
+def triad_program(
+    inc: int,
+    *,
+    n: int = TRIAD_N,
+    common: CommonBlock | None = None,
+    vector_length: int = VECTOR_LENGTH,
+) -> list[VectorInstruction]:
+    """Strip-mined triad instructions for increment ``inc``.
+
+    Element ``j`` (0-based) of each sweep touches word
+    ``base + j*inc`` — Fortran index ``I = 1 + j*INC``.  Returns loads
+    and stores in program order with store-after-load dependencies
+    inside each segment; segments are independent except through port
+    availability (loads of segment ``k+1`` may overlap the store of
+    segment ``k``, as chaining on the machine allows).
+    """
+    if inc <= 0:
+        raise ValueError("increment must be positive")
+    if n <= 0:
+        raise ValueError("element count must be positive")
+    if vector_length <= 0:
+        raise ValueError("vector length must be positive")
+    if common is None:
+        common = triad_common_block(TRIAD_IDIM)
+    bases = {name: common[name].base for name in ("A", "B", "C", "D")}
+    needed = 1 + (n - 1) * inc
+    for name in bases:
+        if common[name].size < needed:
+            raise ValueError(
+                f"array {name} too small: needs {needed} words for "
+                f"n={n}, inc={inc}"
+            )
+
+    program: list[VectorInstruction] = []
+    uid = 0
+    for seg_start in range(0, n, vector_length):
+        seg_len = min(vector_length, n - seg_start)
+        hi = seg_start + seg_len
+        load_uids: list[int] = []
+        for name in ("B", "C", "D"):
+            program.append(
+                VectorInstruction(
+                    uid=uid,
+                    name=f"LOAD {name}[{seg_start}:{hi}:{inc}]",
+                    kind=PortKind.READ,
+                    base=bases[name] + seg_start * inc,
+                    stride=inc,
+                    length=seg_len,
+                )
+            )
+            load_uids.append(uid)
+            uid += 1
+        program.append(
+            VectorInstruction(
+                uid=uid,
+                name=f"STORE A[{seg_start}:{hi}:{inc}]",
+                kind=PortKind.WRITE,
+                base=bases["A"] + seg_start * inc,
+                stride=inc,
+                length=seg_len,
+                depends_on=tuple(load_uids),
+            )
+        )
+        uid += 1
+    return program
+
+
+def unit_stride_background(
+    m: int, *, ports: int = 3, stagger: int | None = None
+) -> dict[int, AccessStream]:
+    """The other CPU's workload: ``ports`` infinite distance-1 streams.
+
+    ``stagger`` spaces the start banks so the streams do not trip over
+    each other at startup; the default uses the conflict-free relative
+    offset ``n_c·d = n_c`` generalised to equal spacing ``m // ports``.
+    Returns a mapping of port position to stream, ready for
+    :meth:`repro.machine.cpu.CpuModel.set_background`.
+    """
+    if ports <= 0:
+        raise ValueError("port count must be positive")
+    if stagger is None:
+        stagger = max(1, m // ports)
+    return {
+        pos: AccessStream(start_bank=(pos * stagger) % m, stride=1)
+        for pos in range(ports)
+    }
+
+
+def strided_background(
+    m: int, strides: list[int], *, starts: list[int] | None = None
+) -> dict[int, AccessStream]:
+    """General background: one infinite stream per port position."""
+    if starts is None:
+        starts = [0] * len(strides)
+    if len(starts) != len(strides):
+        raise ValueError("starts and strides must align")
+    return {
+        pos: AccessStream(start_bank=b % m, stride=d % m)
+        for pos, (b, d) in enumerate(zip(starts, strides))
+    }

@@ -1,0 +1,61 @@
+"""Interleaved-memory substrate: configuration, banks, sections, layout.
+
+This package models the *hardware* half of Section II — everything the
+analytical model abstracts over and the simulator needs concretely:
+
+``config``
+    :class:`~repro.memory.config.MemoryConfig` and machine presets.
+``bank``
+    :class:`~repro.memory.bank.BankArray` — busy-state vector.
+``sections``
+    Cyclic and consecutive (Cheung & Smith) bank-to-section maps.
+``mapping``
+    Address-to-bank mappings, including skewed placements.
+``layout``
+    Fortran COMMON-block storage association (the triad's setup).
+"""
+
+from .bank import BankArray
+from .config import (
+    CRAY_XMP_16,
+    FIG2_CONFIG,
+    FIG3_CONFIG,
+    FIG5_CONFIG,
+    FIG7_CONFIG,
+    FIG8_CONFIG,
+    MemoryConfig,
+)
+from .layout import CommonBlock, triad_common_block
+from .mapping import (
+    AddressMapping,
+    InterleavedMapping,
+    LinearSkewMapping,
+    XorSkewMapping,
+)
+from .sections import (
+    ConsecutiveSectionMap,
+    CyclicSectionMap,
+    SectionMap,
+    section_map_for,
+)
+
+__all__ = [
+    "AddressMapping",
+    "BankArray",
+    "CommonBlock",
+    "ConsecutiveSectionMap",
+    "CRAY_XMP_16",
+    "CyclicSectionMap",
+    "FIG2_CONFIG",
+    "FIG3_CONFIG",
+    "FIG5_CONFIG",
+    "FIG7_CONFIG",
+    "FIG8_CONFIG",
+    "InterleavedMapping",
+    "LinearSkewMapping",
+    "MemoryConfig",
+    "SectionMap",
+    "XorSkewMapping",
+    "section_map_for",
+    "triad_common_block",
+]

@@ -1,0 +1,105 @@
+"""Bank activity state.
+
+A bank is *active* while servicing a request (Section II): once granted
+at clock ``t`` it rejects further requests until ``t + n_c``.  The
+simulator tracks all ``m`` banks in a single vector of remaining busy
+clocks — decremented once per simulated clock — because that state
+participates in the steady-state cycle detection and needs a compact,
+hashable snapshot.
+
+Implementation note: the counters live in a plain Python list.  Bank
+counts are tiny (8..1024), and profiling showed the per-clock fixed
+overhead of NumPy ufuncs on such short arrays dominating the simulator's
+hot loop; a list with an explicit active-counter is ~3x faster at
+``tick`` and keeps ``is_free`` a raw index.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BankArray"]
+
+
+class BankArray:
+    """Busy counters for ``m`` banks with an ``n_c``-clock hold time.
+
+    The per-clock protocol is:
+
+    1. :meth:`is_free` / arbitration consults the current counters;
+    2. :meth:`grant` marks granted banks busy for ``n_c`` clocks
+       (including the current one);
+    3. :meth:`tick` ends the clock, decrementing every active counter.
+
+    Counters therefore read "remaining busy clocks including this one";
+    a bank with counter 0 is inactive and grantable.
+    """
+
+    __slots__ = ("m", "n_c", "_busy", "_active")
+
+    def __init__(self, m: int, n_c: int) -> None:
+        if m <= 0:
+            raise ValueError("bank count must be positive")
+        if n_c <= 0:
+            raise ValueError("bank cycle time must be positive")
+        self.m = m
+        self.n_c = n_c
+        self._busy = [0] * m
+        self._active = 0  # number of non-zero counters
+
+    # ------------------------------------------------------------------
+    def is_free(self, bank: int) -> bool:
+        """Whether ``bank`` can be granted this clock."""
+        return self._busy[bank] == 0
+
+    def remaining(self, bank: int) -> int:
+        """Busy clocks left (0 for an inactive bank)."""
+        return self._busy[bank]
+
+    def grant(self, bank: int) -> None:
+        """Activate ``bank`` for ``n_c`` clocks (this one included).
+
+        Raises if the bank is still active — arbitration must never grant
+        an active bank; this guards the simulator's invariant.
+        """
+        if self._busy[bank] != 0:
+            raise RuntimeError(
+                f"grant to active bank {bank} "
+                f"({self._busy[bank]} clocks remaining)"
+            )
+        self._busy[bank] = self.n_c
+        self._active += 1
+
+    def tick(self) -> None:
+        """Advance one clock period: active counters decrease by one."""
+        if self._active == 0:
+            return
+        busy = self._busy
+        for j in range(self.m):
+            c = busy[j]
+            if c:
+                busy[j] = c - 1
+                if c == 1:
+                    self._active -= 1
+
+    # ------------------------------------------------------------------
+    def active_banks(self) -> list[int]:
+        """Addresses of currently active banks (ascending)."""
+        return [j for j, c in enumerate(self._busy) if c]
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Hashable copy of the counters, for cycle detection."""
+        return tuple(self._busy)
+
+    def restore(self, snap: tuple[int, ...]) -> None:
+        """Inverse of :meth:`snapshot`."""
+        if len(snap) != self.m:
+            raise ValueError("snapshot size mismatch")
+        self._busy = list(snap)
+        self._active = sum(1 for c in self._busy if c)
+
+    def reset(self) -> None:
+        """All banks inactive."""
+        self._busy = [0] * self.m
+        self._active = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BankArray(m={self.m}, n_c={self.n_c}, busy={self._busy})"

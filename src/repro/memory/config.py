@@ -1,0 +1,156 @@
+"""Memory-system configuration (Section II parameters).
+
+A memory system in the paper is fully specified by
+
+* ``m`` — interleave factor (number of banks), address ``i`` in bank
+  ``i mod m``;
+* ``n_c`` — bank cycle time in clock periods: a referenced bank accepts
+  no further request for ``n_c`` clocks (``t_c = n_c · τ``);
+* ``s`` — number of sections (``s | m``); one access path per section
+  per CPU, occupied for one clock per granted request;
+* the bank-to-section mapping — cyclic ``k = j mod s`` in the paper,
+  or Cheung & Smith's consecutive grouping (Fig. 9).
+
+:class:`MemoryConfig` freezes those choices; presets cover the machines
+the paper refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "MemoryConfig",
+    "CRAY_XMP_16",
+    "FIG2_CONFIG",
+    "FIG3_CONFIG",
+    "FIG5_CONFIG",
+    "FIG7_CONFIG",
+    "FIG8_CONFIG",
+]
+
+_SECTION_MAPPINGS = ("cyclic", "consecutive")
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryConfig:
+    """Static shape of an interleaved memory system.
+
+    Parameters
+    ----------
+    banks:
+        ``m`` — the interleave factor; must be positive.
+    bank_cycle:
+        ``n_c`` — clocks a bank stays active per access; must be positive.
+    sections:
+        ``s`` — section count; ``None`` means "as many sections as banks"
+        (``s = m``, the unsectioned analysis of Section III-B).
+    section_mapping:
+        ``"cyclic"`` for ``k = j mod s`` (paper default) or
+        ``"consecutive"`` for Cheung & Smith's ``k = j // (m/s)`` grouping
+        that prevents linked conflicts (Fig. 9).
+    """
+
+    banks: int
+    bank_cycle: int
+    sections: int | None = None
+    section_mapping: str = "cyclic"
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0:
+            raise ValueError("bank count must be positive")
+        if self.bank_cycle <= 0:
+            raise ValueError("bank cycle time must be positive")
+        s = self.effective_sections
+        if s <= 0:
+            raise ValueError("section count must be positive")
+        if s > self.banks:
+            raise ValueError(
+                f"sections ({s}) may not exceed banks ({self.banks})"
+            )
+        if self.banks % s != 0:
+            raise ValueError(
+                f"sections must divide banks (s={s}, m={self.banks})"
+            )
+        if self.section_mapping not in _SECTION_MAPPINGS:
+            raise ValueError(
+                f"unknown section mapping {self.section_mapping!r}; "
+                f"expected one of {_SECTION_MAPPINGS}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Paper alias for :attr:`banks`."""
+        return self.banks
+
+    @property
+    def n_c(self) -> int:
+        """Paper alias for :attr:`bank_cycle`."""
+        return self.bank_cycle
+
+    @property
+    def effective_sections(self) -> int:
+        """``s`` with the ``None`` default resolved to ``m``."""
+        return self.banks if self.sections is None else self.sections
+
+    @property
+    def banks_per_section(self) -> int:
+        """``m / s`` — each section holds this many banks."""
+        return self.banks // self.effective_sections
+
+    @property
+    def sectioned(self) -> bool:
+        """True when paths are a potential bottleneck (``s < m``)."""
+        return self.effective_sections < self.banks
+
+    # ------------------------------------------------------------------
+    def with_sections(self, s: int | None, mapping: str | None = None) -> "MemoryConfig":
+        """Copy with a different sectioning (mapping optionally changed)."""
+        return replace(
+            self,
+            sections=s,
+            section_mapping=mapping if mapping is not None else self.section_mapping,
+        )
+
+    def bank_of_address(self, address: int) -> int:
+        """Interleaved placement ``j = i mod m`` (Section II)."""
+        if address < 0:
+            raise ValueError("addresses are non-negative")
+        return address % self.banks
+
+    def section_of_bank(self, bank: int) -> int:
+        """Apply the configured bank-to-section map."""
+        if not 0 <= bank < self.banks:
+            raise ValueError(f"bank {bank} outside 0..{self.banks - 1}")
+        s = self.effective_sections
+        if self.section_mapping == "cyclic":
+            return bank % s
+        return bank // self.banks_per_section
+
+    def describe(self) -> str:
+        """One-line human summary for logs and benchmark headers."""
+        return (
+            f"m={self.banks} banks, n_c={self.bank_cycle}, "
+            f"s={self.effective_sections} sections ({self.section_mapping})"
+        )
+
+
+#: The measured machine: 2-processor, 16-bank Cray X-MP with bipolar
+#: memory (``n_c = 4``) and 4 sections (one path per section per CPU).
+CRAY_XMP_16 = MemoryConfig(banks=16, bank_cycle=4, sections=4)
+
+#: Fig. 2 — 12-way interleave, ``n_c = 3``, no section bottleneck.
+FIG2_CONFIG = MemoryConfig(banks=12, bank_cycle=3)
+
+#: Figs. 3-4 — 13-way interleave, ``n_c = 6``.
+FIG3_CONFIG = MemoryConfig(banks=13, bank_cycle=6)
+
+#: Figs. 5-6 — 13-way interleave, ``n_c = 4``.
+FIG5_CONFIG = MemoryConfig(banks=13, bank_cycle=4)
+
+#: Fig. 7 — 12 banks, two sections, ``n_c = 2``.
+FIG7_CONFIG = MemoryConfig(banks=12, bank_cycle=2, sections=2)
+
+#: Figs. 8-9 — 12 banks, three sections, ``n_c = 3``.
+FIG8_CONFIG = MemoryConfig(banks=12, bank_cycle=3, sections=3)

@@ -1,0 +1,99 @@
+"""Fortran COMMON-block layout (Section IV's experimental setup).
+
+The measurement fixes the relative position of its arrays with
+
+    ``COMMON// A(IDIM), B(IDIM), C(IDIM), D(IDIM)``
+
+and ``IDIM = 16*1024 + 1`` so that "the respective first elements of the
+arrays are one bank apart from each other" on the 16-bank X-MP.  This
+module reproduces that mechanism: a :class:`CommonBlock` packs
+:class:`~repro.core.fortran.ArraySpec` instances contiguously from a base
+address and reports each array's start bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fortran import ArraySpec
+
+__all__ = ["CommonBlock", "triad_common_block"]
+
+
+@dataclass(frozen=True)
+class CommonBlock:
+    """A contiguous sequence of arrays sharing one base address.
+
+    Arrays are laid out in declaration order with no padding, exactly as
+    Fortran 77 COMMON storage association prescribes.
+    """
+
+    arrays: tuple[ArraySpec, ...]
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("base address must be non-negative")
+        if not self.arrays:
+            raise ValueError("COMMON block must contain at least one array")
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate array names in COMMON block: {names}")
+        # Recompute each member's base from the running offset; reject
+        # ArraySpecs whose declared base disagrees (they must be created
+        # via `build` or with matching bases).
+        offset = self.base
+        for a in self.arrays:
+            if a.base != offset:
+                raise ValueError(
+                    f"array {a.name} declares base {a.base}, "
+                    f"storage association requires {offset}"
+                )
+            offset += a.size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        members: list[tuple[str, tuple[int, ...]]],
+        base: int = 0,
+    ) -> "CommonBlock":
+        """Create a block from ``(name, dims)`` pairs, assigning bases."""
+        arrays: list[ArraySpec] = []
+        offset = base
+        for name, dims in members:
+            spec = ArraySpec(name=name, dims=dims, base=offset)
+            arrays.append(spec)
+            offset += spec.size
+        return cls(arrays=tuple(arrays), base=base)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total words occupied."""
+        return sum(a.size for a in self.arrays)
+
+    def __getitem__(self, name: str) -> ArraySpec:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(f"no array {name!r} in COMMON block")
+
+    def start_banks(self, m: int) -> dict[str, int]:
+        """Start bank of every member against ``m`` banks."""
+        return {a.name: a.start_bank(m) for a in self.arrays}
+
+
+def triad_common_block(idim: int = 16 * 1024 + 1, base: int = 0) -> CommonBlock:
+    """The paper's measurement layout: ``A, B, C, D`` of ``IDIM`` words.
+
+    With the default ``IDIM = 16*1024 + 1`` on a 16-bank memory the four
+    arrays start in banks ``base, base+1, base+2, base+3`` (mod 16) — one
+    bank apart, as Section IV arranges.
+    """
+    if idim <= 0:
+        raise ValueError("IDIM must be positive")
+    return CommonBlock.build(
+        [("A", (idim,)), ("B", (idim,)), ("C", (idim,)), ("D", (idim,))],
+        base=base,
+    )

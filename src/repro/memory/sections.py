@@ -1,0 +1,97 @@
+"""Bank-to-section maps and access paths.
+
+Sections exist "to reduce the number of access paths to memory"
+(Section II): a CPU owns one path per section, and a granted request
+occupies its path for one clock.  Two maps are implemented:
+
+* :class:`CyclicSectionMap` — the paper's ``k = j mod s``;
+* :class:`ConsecutiveSectionMap` — Cheung & Smith's proposal of grouping
+  ``m/s`` *consecutive* banks per section, which breaks the linked
+  conflict (Fig. 9).
+
+Both are pure functions of the bank address wrapped in small classes so
+the simulator, benchmarks and ablations can swap them by name.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .config import MemoryConfig
+
+__all__ = [
+    "SectionMap",
+    "CyclicSectionMap",
+    "ConsecutiveSectionMap",
+    "section_map_for",
+]
+
+
+class SectionMap(abc.ABC):
+    """Strategy mapping bank addresses to section (path) indices."""
+
+    def __init__(self, m: int, s: int) -> None:
+        if m <= 0 or s <= 0:
+            raise ValueError("bank and section counts must be positive")
+        if s > m or m % s != 0:
+            raise ValueError(f"s must divide m (s={s}, m={m})")
+        self.m = m
+        self.s = s
+
+    @abc.abstractmethod
+    def section_of(self, bank: int) -> int:
+        """Section index of a bank address."""
+
+    def banks_in_section(self, section: int) -> list[int]:
+        """All banks mapped to ``section`` (ascending)."""
+        if not 0 <= section < self.s:
+            raise ValueError(f"section {section} outside 0..{self.s - 1}")
+        return [j for j in range(self.m) if self.section_of(j) == section]
+
+    @property
+    def name(self) -> str:
+        """Config-string identifier (``cyclic`` / ``consecutive``)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(m={self.m}, s={self.s})"
+
+
+class CyclicSectionMap(SectionMap):
+    """Paper default: ``k = j mod s`` — banks striped across sections."""
+
+    def section_of(self, bank: int) -> int:
+        if not 0 <= bank < self.m:
+            raise ValueError(f"bank {bank} outside 0..{self.m - 1}")
+        return bank % self.s
+
+    @property
+    def name(self) -> str:
+        return "cyclic"
+
+
+class ConsecutiveSectionMap(SectionMap):
+    """Cheung & Smith (Fig. 9): ``m/s`` consecutive banks per section.
+
+    Because a unit-stride stream then stays inside one section for
+    ``m/s`` consecutive clocks, the alternating bank/section collision
+    pattern of the linked conflict cannot establish itself.
+    """
+
+    def section_of(self, bank: int) -> int:
+        if not 0 <= bank < self.m:
+            raise ValueError(f"bank {bank} outside 0..{self.m - 1}")
+        return bank // (self.m // self.s)
+
+    @property
+    def name(self) -> str:
+        return "consecutive"
+
+
+def section_map_for(config: MemoryConfig) -> SectionMap:
+    """Instantiate the map selected by a :class:`MemoryConfig`."""
+    cls = {
+        "cyclic": CyclicSectionMap,
+        "consecutive": ConsecutiveSectionMap,
+    }[config.section_mapping]
+    return cls(config.banks, config.effective_sections)

@@ -1,0 +1,82 @@
+"""Cycle-accurate interleaved-memory simulator.
+
+Python re-implementation of the Fortran 77 simulator the authors ran next
+to their Cray X-MP measurements (Section IV):
+
+``port``
+    Request side: one pending access per clock, stall-on-deny.
+``priority``
+    Fixed / cyclic / LRU conflict arbitration rules.
+``engine``
+    The per-clock arbitration loop (bank → section → simultaneous) and
+    exact steady-state (cyclic state) detection.
+``pairs``
+    Two-stream front end with start-offset sweeps.
+``stats``
+    Conflict counters (stall cycles and episodes, per type).
+``trace``
+    Event log feeding the figure renderer in :mod:`repro.viz`.
+"""
+
+from .engine import Engine, SimulationResult, simulate_streams
+from .multi import MultiResult, equal_stride_table, simulate_multi
+from .statespace import (
+    StartSpaceProfile,
+    Trajectory,
+    start_space_profile,
+    trajectory,
+)
+from .pairs import (
+    ObservedRegime,
+    PairResult,
+    bandwidth_by_offset,
+    best_offset,
+    offsets_achieving,
+    simulate_pair,
+    worst_offset,
+)
+from .port import Port
+from .priority import (
+    BlockCyclicPriority,
+    CyclicPriority,
+    FixedPriority,
+    LRUPriority,
+    PriorityRule,
+    make_priority,
+)
+from .stats import ConflictKind, PortStats, SimStats
+from .trace import CycleTrace, DenialEvent, GrantEvent, TraceRecorder
+
+__all__ = [
+    "BlockCyclicPriority",
+    "ConflictKind",
+    "CycleTrace",
+    "CyclicPriority",
+    "DenialEvent",
+    "Engine",
+    "FixedPriority",
+    "GrantEvent",
+    "LRUPriority",
+    "MultiResult",
+    "ObservedRegime",
+    "PairResult",
+    "Port",
+    "PortStats",
+    "PriorityRule",
+    "SimStats",
+    "SimulationResult",
+    "StartSpaceProfile",
+    "TraceRecorder",
+    "Trajectory",
+    "bandwidth_by_offset",
+    "equal_stride_table",
+    "best_offset",
+    "make_priority",
+    "offsets_achieving",
+    "simulate_multi",
+    "simulate_pair",
+    "simulate_streams",
+    "start_space_profile",
+    "trajectory",
+    "worst_offset",
+]

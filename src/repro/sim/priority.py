@@ -1,0 +1,191 @@
+"""Priority rules for resolving simultaneous bank and section conflicts.
+
+When two or more ports contend (same inactive bank across CPUs, or same
+access path within a CPU), "a priority rule determines which port will be
+able to proceed and which ports must wait" (Section II).  The choice
+matters: Fig. 8a shows a *fixed* rule locking two streams into a linked
+conflict (``b_eff = 3/2``) that a *cyclic* rule dissolves (Fig. 8b,
+``b_eff = 2``).
+
+Rules are deliberately tiny state machines with explicit
+``snapshot``/``restore`` so the steady-state detector can include them in
+the simulation state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+__all__ = [
+    "PriorityRule",
+    "FixedPriority",
+    "CyclicPriority",
+    "BlockCyclicPriority",
+    "LRUPriority",
+    "make_priority",
+]
+
+
+class PriorityRule(abc.ABC):
+    """Strategy picking the winner among contending ports.
+
+    ``choose`` receives the contenders as port indices in ascending
+    order plus the current clock; it must return one of them.  ``tick``
+    is called once per simulated clock (after arbitration), ``granted``
+    once per granted port, letting stateful rules update themselves.
+    """
+
+    @abc.abstractmethod
+    def choose(self, contenders: Sequence[int], cycle: int) -> int:
+        """Winner among ``contenders`` (non-empty, ascending)."""
+
+    def tick(self, cycle: int) -> None:
+        """Clock-edge hook (default: stateless)."""
+
+    def granted(self, port: int, cycle: int) -> None:
+        """Grant notification hook (default: stateless)."""
+
+    def snapshot(self) -> tuple:
+        """Hashable internal state for cycle detection."""
+        return ()
+
+    def restore(self, snap: tuple) -> None:
+        """Inverse of :meth:`snapshot`."""
+
+    @property
+    def name(self) -> str:
+        """Identifier used by configs and benchmark tables."""
+        return type(self).__name__.removesuffix("Priority").lower()
+
+
+class FixedPriority(PriorityRule):
+    """Lowest port index always wins (Fig. 8a's rule).
+
+    Deterministic and stateless — and exactly the rule under which the
+    linked conflict of Fig. 8a persists forever.
+    """
+
+    def choose(self, contenders: Sequence[int], cycle: int) -> int:
+        if not contenders:
+            raise ValueError("no contenders")
+        return min(contenders)
+
+
+class CyclicPriority(PriorityRule):
+    """Rotating priority: the favoured port advances every clock.
+
+    With ``n`` ports, on clock ``t`` the port ranked first is
+    ``t mod n``; contenders are compared by their distance (mod ``n``)
+    from that port.  Over any window each port is favoured equally often,
+    which breaks the phase-lock of linked conflicts (Fig. 8b).
+    """
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports <= 0:
+            raise ValueError("need at least one port")
+        self.n_ports = n_ports
+        self._offset = 0
+
+    def choose(self, contenders: Sequence[int], cycle: int) -> int:
+        if not contenders:
+            raise ValueError("no contenders")
+        return min(contenders, key=lambda p: (p - self._offset) % self.n_ports)
+
+    def tick(self, cycle: int) -> None:
+        self._offset = (self._offset + 1) % self.n_ports
+
+    def snapshot(self) -> tuple:
+        return (self._offset,)
+
+    def restore(self, snap: tuple) -> None:
+        (self._offset,) = snap
+
+
+class BlockCyclicPriority(PriorityRule):
+    """Cyclic priority that rotates every ``block`` clocks, not every one.
+
+    The Fig. 8(b) header row reads ``111222111222...`` — the favoured
+    stream holds priority for three consecutive clocks (= ``n_c``)
+    before it passes on.  This rule reproduces that granularity;
+    ``block = 1`` degenerates to :class:`CyclicPriority`.
+    """
+
+    def __init__(self, n_ports: int, block: int) -> None:
+        if n_ports <= 0:
+            raise ValueError("need at least one port")
+        if block <= 0:
+            raise ValueError("block length must be positive")
+        self.n_ports = n_ports
+        self.block = block
+        self._clock = 0
+
+    def choose(self, contenders: Sequence[int], cycle: int) -> int:
+        if not contenders:
+            raise ValueError("no contenders")
+        offset = (self._clock // self.block) % self.n_ports
+        return min(contenders, key=lambda p: (p - offset) % self.n_ports)
+
+    def tick(self, cycle: int) -> None:
+        self._clock += 1
+
+    def snapshot(self) -> tuple:
+        # only the phase within one full rotation matters
+        return (self._clock % (self.block * self.n_ports),)
+
+    def restore(self, snap: tuple) -> None:
+        (self._clock,) = snap
+
+    @property
+    def name(self) -> str:
+        return f"block-cyclic({self.block})"
+
+
+class LRUPriority(PriorityRule):
+    """Least-recently-granted port wins — a fairness-greedy ablation rule.
+
+    Not in the paper; included to ablate the priority design space
+    (DESIGN.md §5.1).  Ties (never granted yet) fall back to port order.
+    """
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports <= 0:
+            raise ValueError("need at least one port")
+        self.n_ports = n_ports
+        self._last_grant = [-1] * n_ports
+
+    def choose(self, contenders: Sequence[int], cycle: int) -> int:
+        if not contenders:
+            raise ValueError("no contenders")
+        return min(contenders, key=lambda p: (self._last_grant[p], p))
+
+    def granted(self, port: int, cycle: int) -> None:
+        self._last_grant[port] = cycle
+
+    def snapshot(self) -> tuple:
+        # Only the *relative order* of last grants matters for future
+        # decisions; normalise to ranks so the state space stays finite.
+        order = sorted(range(self.n_ports), key=lambda p: (self._last_grant[p], p))
+        ranks = [0] * self.n_ports
+        for rank, p in enumerate(order):
+            ranks[p] = rank
+        return tuple(ranks)
+
+    def restore(self, snap: tuple) -> None:
+        # Ranks map back to synthetic timestamps preserving the order.
+        self._last_grant = [int(r) for r in snap]
+
+
+def make_priority(name: str, n_ports: int) -> PriorityRule:
+    """Factory: ``"fixed"``, ``"cyclic"``, ``"block-cyclic:N"`` or
+    ``"lru"``."""
+    if name == "fixed":
+        return FixedPriority()
+    if name == "cyclic":
+        return CyclicPriority(n_ports)
+    if name == "lru":
+        return LRUPriority(n_ports)
+    if name.startswith("block-cyclic:"):
+        block = int(name.split(":", 1)[1])
+        return BlockCyclicPriority(n_ports, block)
+    raise ValueError(f"unknown priority rule {name!r}")

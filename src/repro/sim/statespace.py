@@ -1,0 +1,153 @@
+"""State-space analysis of stream workloads (extension).
+
+The analytical model's assumption 1 rests on the observation that "the
+possible memory states are finite, and some cyclic state will be
+reached".  This module turns that observation into tooling: enumerate
+the trajectory of a workload, measure its transient length and period,
+and aggregate over all relative starts — giving exact distributions
+where the paper could only exhibit examples (Figs. 3-6 are single
+trajectories of such state spaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.stream import AccessStream
+from ..memory.config import MemoryConfig
+from .engine import Engine
+from .port import Port
+from .priority import PriorityRule
+
+__all__ = ["Trajectory", "trajectory", "start_space_profile", "StartSpaceProfile"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One workload's run to its cyclic state.
+
+    ``transient`` — clocks before the periodic regime is entered;
+    ``period`` — length of the cycle;
+    ``bandwidth`` — exact grants/clock over one period;
+    ``grants`` — per-stream grants over one period;
+    ``states_visited`` — distinct states seen (transient + cycle).
+    """
+
+    transient: int
+    period: int
+    bandwidth: Fraction
+    grants: tuple[int, ...]
+    states_visited: int
+
+    @property
+    def cycle_fraction_of_states(self) -> float:
+        """Share of visited states that belong to the cycle."""
+        return self.period / self.states_visited
+
+
+def trajectory(
+    config: MemoryConfig,
+    specs: list[tuple[int, int]],
+    *,
+    cpus: list[int] | None = None,
+    priority: PriorityRule | str = "fixed",
+    max_cycles: int = 1_000_000,
+) -> Trajectory:
+    """Run ``(start_bank, stride)`` streams to their cyclic state."""
+    if not specs:
+        raise ValueError("need at least one stream")
+    if cpus is None:
+        cpus = list(range(len(specs)))
+    if len(cpus) != len(specs):
+        raise ValueError("cpus and specs must align")
+    ports = [Port(index=i, cpu=c) for i, c in enumerate(cpus)]
+    engine = Engine(config, ports, priority=priority)
+    for port, (b, d) in zip(ports, specs):
+        port.assign(AccessStream(b % config.banks, d % config.banks))
+    bw, period, grants, start = engine.run_to_steady_state(max_cycles)
+    return Trajectory(
+        transient=start,
+        period=period,
+        bandwidth=bw,
+        grants=grants,
+        states_visited=start + period,
+    )
+
+
+@dataclass(frozen=True)
+class StartSpaceProfile:
+    """Aggregate behaviour of a stride pair over all relative starts."""
+
+    m: int
+    n_c: int
+    d1: int
+    d2: int
+    bandwidths: dict[int, Fraction]
+    transients: dict[int, int]
+    periods: dict[int, int]
+
+    @property
+    def best(self) -> Fraction:
+        return max(self.bandwidths.values())
+
+    @property
+    def worst(self) -> Fraction:
+        return min(self.bandwidths.values())
+
+    @property
+    def mean_bandwidth(self) -> Fraction:
+        vals = list(self.bandwidths.values())
+        return sum(vals, Fraction(0)) / len(vals)
+
+    @property
+    def max_transient(self) -> int:
+        return max(self.transients.values())
+
+    def bandwidth_histogram(self) -> dict[Fraction, int]:
+        """How many starts land at each steady bandwidth."""
+        hist: dict[Fraction, int] = {}
+        for bw in self.bandwidths.values():
+            hist[bw] = hist.get(bw, 0) + 1
+        return hist
+
+
+def start_space_profile(
+    config: MemoryConfig,
+    d1: int,
+    d2: int,
+    *,
+    same_cpu: bool = False,
+    priority: str = "fixed",
+) -> StartSpaceProfile:
+    """Exact profile of a pair over every relative start offset.
+
+    The paper's "in general the relative starting positions cannot be
+    predicted" motivates looking at the whole distribution: a pair whose
+    *worst* start is fine is robust, one like Fig. 5/6's needs either
+    placement control or architectural help.
+    """
+    m = config.banks
+    cpus = [0, 0] if same_cpu else [0, 1]
+    bandwidths: dict[int, Fraction] = {}
+    transients: dict[int, int] = {}
+    periods: dict[int, int] = {}
+    for off in range(m):
+        t = trajectory(
+            config,
+            [(0, d1), (off, d2)],
+            cpus=cpus,
+            priority=priority,
+        )
+        bandwidths[off] = t.bandwidth
+        transients[off] = t.transient
+        periods[off] = t.period
+    return StartSpaceProfile(
+        m=m,
+        n_c=config.bank_cycle,
+        d1=d1 % m,
+        d2=d2 % m,
+        bandwidths=bandwidths,
+        transients=transients,
+        periods=periods,
+    )

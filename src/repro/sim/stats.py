@@ -1,0 +1,135 @@
+"""Conflict accounting.
+
+Section II names three conflict types — bank, simultaneous bank, and
+section — and the Fig. 10(c)-(e) evaluation reports how many of each a
+workload encounters.  Two countings are useful and both are kept
+(DESIGN.md §5.3):
+
+* **stall cycles** — one count per clock a port spends denied, the
+  quantity that adds up to lost bandwidth;
+* **episodes** — one count per *first* denial after a grant (a conflict
+  "encountered", matching how the paper's simulator reports Fig. 10).
+
+A port's denial each clock is attributed to exactly one cause, evaluated
+in the arbitration order: bank conflict first, then section conflict,
+then simultaneous bank conflict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+__all__ = ["ConflictKind", "PortStats", "SimStats"]
+
+
+class ConflictKind(enum.Enum):
+    """Cause of a denied request (Section II's three conflict types)."""
+
+    BANK = "bank"
+    SIMULTANEOUS = "simultaneous"
+    SECTION = "section"
+
+
+@dataclass
+class PortStats:
+    """Counters for one port."""
+
+    grants: int = 0
+    stall_cycles: dict[ConflictKind, int] = field(
+        default_factory=lambda: {k: 0 for k in ConflictKind}
+    )
+    episodes: dict[ConflictKind, int] = field(
+        default_factory=lambda: {k: 0 for k in ConflictKind}
+    )
+    #: Longest contiguous run of denied clocks seen so far — the
+    #: worst-case latency a single element suffered (a barrier victim's
+    #: signature: runs of length (d2-d1)/f).
+    max_stall_run: int = 0
+    #: True while the port is inside a stall run (for episode counting).
+    _stalled: bool = field(default=False, repr=False)
+    _run: int = field(default=0, repr=False)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(self.stall_cycles.values())
+
+    @property
+    def total_episodes(self) -> int:
+        return sum(self.episodes.values())
+
+    @property
+    def mean_stall_run(self) -> float:
+        """Average stall-run length (0.0 when never stalled)."""
+        if self.total_episodes == 0:
+            return 0.0
+        return self.total_stall_cycles / self.total_episodes
+
+    def record_grant(self) -> None:
+        self.grants += 1
+        self._stalled = False
+        self._run = 0
+
+    def record_denial(self, kind: ConflictKind) -> None:
+        self.stall_cycles[kind] += 1
+        self._run += 1
+        if self._run > self.max_stall_run:
+            self.max_stall_run = self._run
+        if not self._stalled:
+            self.episodes[kind] += 1
+            self._stalled = True
+
+
+@dataclass
+class SimStats:
+    """Aggregate statistics for a simulation run."""
+
+    ports: list[PortStats]
+    cycles: int = 0
+
+    @classmethod
+    def for_ports(cls, n: int) -> "SimStats":
+        return cls(ports=[PortStats() for _ in range(n)])
+
+    # ------------------------------------------------------------------
+    @property
+    def total_grants(self) -> int:
+        return sum(p.grants for p in self.ports)
+
+    def effective_bandwidth(self) -> Fraction:
+        """Measured ``b_eff`` over the whole run (grants per clock)."""
+        if self.cycles <= 0:
+            raise ValueError("no cycles simulated yet")
+        return Fraction(self.total_grants, self.cycles)
+
+    def stall_cycles(self, kind: ConflictKind | None = None) -> int:
+        """Total stall cycles, optionally restricted to one cause."""
+        if kind is None:
+            return sum(p.total_stall_cycles for p in self.ports)
+        return sum(p.stall_cycles[kind] for p in self.ports)
+
+    def episodes(self, kind: ConflictKind | None = None) -> int:
+        """Total conflict episodes, optionally restricted to one cause."""
+        if kind is None:
+            return sum(p.total_episodes for p in self.ports)
+        return sum(p.episodes[kind] for p in self.ports)
+
+    def per_port_grants(self) -> list[int]:
+        return [p.grants for p in self.ports]
+
+    def summary(self) -> dict[str, object]:
+        """Flat dict for report tables / benchmark extra-info."""
+        return {
+            "cycles": self.cycles,
+            "grants": self.total_grants,
+            "b_eff": float(self.effective_bandwidth()) if self.cycles else None,
+            "bank_conflicts": self.episodes(ConflictKind.BANK),
+            "section_conflicts": self.episodes(ConflictKind.SECTION),
+            "simultaneous_conflicts": self.episodes(ConflictKind.SIMULTANEOUS),
+            "bank_stall_cycles": self.stall_cycles(ConflictKind.BANK),
+            "section_stall_cycles": self.stall_cycles(ConflictKind.SECTION),
+            "simultaneous_stall_cycles": self.stall_cycles(
+                ConflictKind.SIMULTANEOUS
+            ),
+        }

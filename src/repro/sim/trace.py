@@ -1,0 +1,105 @@
+"""Per-clock event trace, the raw material of the paper's figures.
+
+Figures 2-9 are bank-by-clock diagrams; :class:`TraceRecorder` captures
+the events they visualise — which port was granted which bank, and which
+port was denied, why, and by whom — so :mod:`repro.viz.ascii_trace` can
+render them after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stats import ConflictKind
+
+__all__ = ["GrantEvent", "DenialEvent", "CycleTrace", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class GrantEvent:
+    """A serviced request."""
+
+    port: int
+    bank: int
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class DenialEvent:
+    """A delayed request.
+
+    ``blocker`` is the port index that held the resource (the bank's
+    current occupant for bank conflicts, the winning contender for
+    section/simultaneous conflicts); ``None`` when untracked.
+    """
+
+    port: int
+    bank: int
+    kind: ConflictKind
+    label: str
+    blocker: int | None = None
+
+
+@dataclass(slots=True)
+class CycleTrace:
+    """Everything that happened in one clock period."""
+
+    cycle: int
+    grants: list[GrantEvent] = field(default_factory=list)
+    denials: list[DenialEvent] = field(default_factory=list)
+    #: label of the port the priority rule favours this clock (the
+    #: "priority" header row of the paper's Figs. 8-9).
+    priority_label: str = ""
+
+
+class TraceRecorder:
+    """Append-only event log with a bounded length.
+
+    The bound prevents a runaway steady-state run from accumulating
+    gigabytes; figures need a few dozen clocks.
+    """
+
+    def __init__(self, max_cycles: int = 10_000) -> None:
+        if max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+        self.max_cycles = max_cycles
+        self.cycles: list[CycleTrace] = []
+        self._current: CycleTrace | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def recording(self) -> bool:
+        """False once the bound is hit; the engine then skips logging."""
+        return len(self.cycles) < self.max_cycles
+
+    def begin_cycle(self, cycle: int, priority_label: str = "") -> None:
+        if not self.recording:
+            self._current = None
+            return
+        self._current = CycleTrace(cycle=cycle, priority_label=priority_label)
+        self.cycles.append(self._current)
+
+    def grant(self, port: int, bank: int, label: str) -> None:
+        if self._current is not None:
+            self._current.grants.append(GrantEvent(port, bank, label))
+
+    def denial(
+        self,
+        port: int,
+        bank: int,
+        kind: ConflictKind,
+        label: str,
+        blocker: int | None = None,
+    ) -> None:
+        if self._current is not None:
+            self._current.denials.append(
+                DenialEvent(port, bank, kind, label, blocker)
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def window(self, start: int, stop: int) -> list[CycleTrace]:
+        """Recorded cycles with ``start <= cycle < stop``."""
+        return [c for c in self.cycles if start <= c.cycle < stop]

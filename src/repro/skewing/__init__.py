@@ -1,0 +1,38 @@
+"""Skewing schemes under the paper's conflict model (extension).
+
+The conclusion recommends considering "the application of skewing
+schemes" to build uniform access environments; this package evaluates
+that recommendation with the same simulator used for everything else.
+
+``streams``
+    :class:`MappedStream` — constant address stride through an arbitrary
+    bank mapping.
+``evaluate``
+    Plain-vs-skewed bandwidth comparisons and stride-sensitivity sweeps.
+"""
+
+from .evaluate import (
+    SkewComparison,
+    compare_mappings,
+    measure_bandwidth,
+    stride_sensitivity,
+)
+from .streams import MappedStream
+from .sweeps import (
+    SweepVerdict,
+    min_recurrence_gap,
+    sweep_report,
+    window_conflict_free,
+)
+
+__all__ = [
+    "MappedStream",
+    "SkewComparison",
+    "SweepVerdict",
+    "compare_mappings",
+    "measure_bandwidth",
+    "min_recurrence_gap",
+    "stride_sensitivity",
+    "sweep_report",
+    "window_conflict_free",
+]

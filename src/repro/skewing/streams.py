@@ -1,0 +1,75 @@
+"""Streams over skewed address mappings.
+
+Under a non-trivial address mapping a constant *address* stride is no
+longer a constant *bank* distance, so the analytical stream model does
+not apply — but the simulator does not care: a port only ever asks
+"which bank does request ``k`` want?".  :class:`MappedStream` answers
+that through an :class:`~repro.memory.mapping.AddressMapping`, exposing
+the same interface :class:`~repro.core.stream.AccessStream` offers the
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.stream import INFINITE
+from ..memory.mapping import AddressMapping
+
+__all__ = ["MappedStream"]
+
+
+@dataclass(frozen=True)
+class MappedStream:
+    """A constant-*address*-stride stream routed through a mapping.
+
+    Drop-in for :class:`AccessStream` at the engine interface
+    (``bank_at`` / ``is_infinite`` / ``length`` / ``label`` /
+    ``with_label`` / ``bound``); not usable with the closed-form theory
+    or steady-state detection, whose arguments assume the modular bank
+    walk.
+    """
+
+    mapping: AddressMapping
+    base: int
+    stride: int
+    length: int = INFINITE
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("base address must be non-negative")
+        if self.stride <= 0:
+            raise ValueError("address stride must be positive")
+        if self.length != INFINITE and self.length < 0:
+            raise ValueError("length must be non-negative or INFINITE")
+
+    @property
+    def is_infinite(self) -> bool:
+        return self.length == INFINITE
+
+    def bank_at(self, k: int, m: int) -> int:
+        if k < 0:
+            raise ValueError("request index must be non-negative")
+        if not self.is_infinite and k >= self.length:
+            raise IndexError(f"request {k} beyond stream length {self.length}")
+        if m != self.mapping.m:
+            raise ValueError(
+                f"mapping is for {self.mapping.m} banks, engine has {m}"
+            )
+        return self.mapping.bank_of(self.base + k * self.stride)
+
+    def banks(self, m: int, count: int) -> list[int]:
+        """First ``count`` bank addresses."""
+        return [self.bank_at(k, m) for k in range(count)]
+
+    def with_label(self, label: str) -> "MappedStream":
+        return replace(self, label=label)
+
+    def bound(self, m: int) -> "MappedStream":
+        """Interface parity with :class:`AccessStream`; validates ``m``."""
+        if m != self.mapping.m:
+            raise ValueError(
+                f"mapping is for {self.mapping.m} banks, engine has {m}"
+            )
+        return self

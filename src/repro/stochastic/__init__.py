@@ -1,0 +1,36 @@
+"""Random-access models and gather streams (the paper's related work).
+
+``models``
+    Hellerman's ``B(m) ≈ sqrt(πm/2)`` and the binomial
+    ``m(1-(1-1/m)^p)`` random-request bandwidths ([1]-[5] context).
+``streams``
+    :class:`RandomStream` — reproducible random gather/scatter bank
+    requests with resubmission semantics.
+``evaluate``
+    Structured-vs-random bandwidth comparisons on the simulator.
+"""
+
+from .evaluate import (
+    GatherComparison,
+    random_stream_bandwidth,
+    structured_vs_random,
+)
+from .models import (
+    binomial_bandwidth,
+    hellerman_approximation,
+    hellerman_bandwidth,
+    simulate_binomial,
+)
+from .streams import RandomStream, splitmix64
+
+__all__ = [
+    "GatherComparison",
+    "RandomStream",
+    "binomial_bandwidth",
+    "hellerman_approximation",
+    "hellerman_bandwidth",
+    "random_stream_bandwidth",
+    "simulate_binomial",
+    "splitmix64",
+    "structured_vs_random",
+]

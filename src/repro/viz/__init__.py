@@ -1,0 +1,25 @@
+"""Text renderings of the paper's figures.
+
+``ascii_trace``
+    Bank/clock diagrams in the notation of Figs. 2-9.
+``series``
+    Bar charts and aligned series tables for the Fig. 10 panels.
+``tables``
+    Generic monospace tables for reports and benchmark output.
+"""
+
+from .ascii_trace import render_result, render_trace, trace_grid
+from .profile import render_histogram, render_profile
+from .series import bar_chart, multi_series_table
+from .tables import format_table
+
+__all__ = [
+    "bar_chart",
+    "format_table",
+    "multi_series_table",
+    "render_histogram",
+    "render_profile",
+    "render_result",
+    "render_trace",
+    "trace_grid",
+]

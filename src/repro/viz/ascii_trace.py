@@ -1,0 +1,151 @@
+"""ASCII rendering of bank/clock traces — the paper's Figs. 2-9.
+
+The figures draw time left to right and banks top to bottom.  Cell
+conventions (taken from the figure captions):
+
+* a granted access prints the stream's label for each of the ``n_c``
+  clocks the bank stays active (e.g. ``111222`` on a bank serving
+  stream 1 then stream 2 with ``n_c = 3``);
+* ``<`` marks a clock in which stream "2" is delayed (by "1"), ``>`` one
+  in which "1" is delayed (by "2") — generalised here to: the delayed
+  port's label is *greater* than the blocker's → ``<``, smaller → ``>``;
+* ``*`` marks a section conflict;
+* ``.`` marks an idle bank.
+
+Delay markers are drawn on the bank the delayed port is waiting for and
+take precedence over the occupant's busy fill (matching e.g. Fig. 3's
+``1<<<<<222222``).
+"""
+
+from __future__ import annotations
+
+from ..memory.config import MemoryConfig
+from ..sim.engine import SimulationResult
+from ..sim.stats import ConflictKind
+from ..sim.trace import TraceRecorder
+
+__all__ = ["render_trace", "render_result", "trace_grid"]
+
+IDLE = "."
+SECTION_MARK = "*"
+
+
+def _delay_mark(delayed_label: str, blocker_label: str | None) -> str:
+    """``<`` / ``>`` per the figure convention, ``<`` when blame unknown."""
+    if blocker_label is None or delayed_label >= blocker_label:
+        return "<"
+    return ">"
+
+
+def trace_grid(
+    trace: TraceRecorder,
+    config: MemoryConfig,
+    *,
+    start: int = 0,
+    stop: int | None = None,
+    port_labels: dict[int, str] | None = None,
+) -> list[list[str]]:
+    """Character grid ``grid[bank][clock - start]`` for a trace window."""
+    if stop is None:
+        stop = len(trace.cycles)
+    if stop <= start:
+        raise ValueError(f"empty trace window [{start}, {stop})")
+    m, n_c = config.banks, config.bank_cycle
+    width = stop - start
+    grid = [[IDLE] * width for _ in range(m)]
+    labels = port_labels or {}
+
+    # Pass 1 — busy fill from grants (may extend past the window edge).
+    for cyc in trace.window(max(0, start - n_c + 1), stop):
+        for g in cyc.grants:
+            label = labels.get(g.port, g.label)
+            for t in range(cyc.cycle, cyc.cycle + n_c):
+                if start <= t < stop:
+                    grid[g.bank][t - start] = label
+
+    # Pass 2 — conflict markers overwrite busy fill (but never the grant
+    # cell itself, which pass 1 wrote at cyc.cycle and no denial shares,
+    # because a denied bank was not granted this clock... except
+    # simultaneous/section conflicts where the *winner* was granted the
+    # same bank: there the marker documents the loser and wins the cell).
+    for cyc in trace.window(start, stop):
+        for d in cyc.denials:
+            col = cyc.cycle - start
+            if not 0 <= col < width:
+                continue
+            if d.kind is ConflictKind.SECTION:
+                grid[d.bank][col] = SECTION_MARK
+            else:
+                blocker_label = None
+                if d.blocker is not None:
+                    blocker_label = labels.get(d.blocker, str(d.blocker + 1))
+                grid[d.bank][col] = _delay_mark(
+                    labels.get(d.port, d.label), blocker_label
+                )
+    return grid
+
+
+def render_trace(
+    trace: TraceRecorder,
+    config: MemoryConfig,
+    *,
+    start: int = 0,
+    stop: int | None = None,
+    show_sections: bool = False,
+    show_priority: bool = False,
+    title: str = "",
+) -> str:
+    """Format a trace window in the paper's figure layout.
+
+    With ``show_sections=True`` rows carry ``section - bank`` headers like
+    Figs. 7-9; ``show_priority=True`` adds the favoured-stream header row
+    of Figs. 8-9.
+    """
+    grid = trace_grid(trace, config, start=start, stop=stop)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "clock     " + "".join(
+        str((start + i) // 10 % 10) if (start + i) % 10 == 0 else " "
+        for i in range(len(grid[0]))
+    )
+    lines.append(header)
+    if show_priority:
+        # the paper's Figs. 8-9 carry a "priority" row naming the
+        # favoured stream per clock.
+        by_cycle = {c.cycle: c.priority_label for c in trace.cycles}
+        marks = [
+            by_cycle.get(start + i, "") or " " for i in range(len(grid[0]))
+        ]
+        lines.append("priority  " + "".join(mk[0] for mk in marks))
+    for bank, row in enumerate(grid):
+        if show_sections:
+            sec = config.section_of_bank(bank)
+            prefix = f"{sec} - {bank:<3d} "
+        else:
+            prefix = f"bank {bank:<4d} "
+        lines.append(prefix + "".join(row))
+    return "\n".join(lines)
+
+
+def render_result(
+    result: SimulationResult,
+    *,
+    start: int = 0,
+    stop: int | None = None,
+    show_sections: bool = False,
+    show_priority: bool = False,
+    title: str = "",
+) -> str:
+    """Render the trace attached to a :class:`SimulationResult`."""
+    if result.trace is None:
+        raise ValueError("simulation was run without trace=True")
+    return render_trace(
+        result.trace,
+        result.config,
+        start=start,
+        stop=stop,
+        show_sections=show_sections,
+        show_priority=show_priority,
+        title=title,
+    )

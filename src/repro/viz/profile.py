@@ -1,0 +1,73 @@
+"""Rendering of start-space profiles (start-dependence, visualised).
+
+Figures 3-6 are single trajectories out of a whole space of relative
+starting positions; :func:`render_profile` shows the full space at a
+glance — one row per start offset, with the steady bandwidth as an exact
+fraction and a proportional bar.
+"""
+
+from __future__ import annotations
+
+from ..sim.statespace import StartSpaceProfile
+
+__all__ = ["render_profile", "render_histogram"]
+
+
+def render_profile(
+    profile: StartSpaceProfile, *, width: int = 40, title: str = ""
+) -> str:
+    """Offset-by-offset view of a pair's start space.
+
+    Bars scale against ``b_eff = 2`` (the two-port maximum) so profiles
+    of different pairs are visually comparable.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"pair d=({profile.d1},{profile.d2}) on m={profile.m}, "
+        f"n_c={profile.n_c}"
+    )
+    for off in sorted(profile.bandwidths):
+        bw = profile.bandwidths[off]
+        bar = "#" * round(width * float(bw) / 2.0)
+        frac = (
+            str(bw.numerator)
+            if bw.denominator == 1
+            else f"{bw.numerator}/{bw.denominator}"
+        )
+        lines.append(
+            f"  b2-b1={off:>3}  |{bar:<{width}}| {frac:>6} "
+            f"(transient {profile.transients[off]}, "
+            f"period {profile.periods[off]})"
+        )
+    lines.append(
+        f"  best {profile.best}, worst {profile.worst}, "
+        f"mean {float(profile.mean_bandwidth):.3f}"
+    )
+    return "\n".join(lines)
+
+
+def render_histogram(
+    profile: StartSpaceProfile, *, width: int = 40, title: str = ""
+) -> str:
+    """Histogram view: how many starts land at each steady bandwidth."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    hist = profile.bandwidth_histogram()
+    peak = max(hist.values())
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for bw in sorted(hist):
+        count = hist[bw]
+        bar = "#" * round(width * count / peak)
+        frac = (
+            str(bw.numerator)
+            if bw.denominator == 1
+            else f"{bw.numerator}/{bw.denominator}"
+        )
+        lines.append(f"  b_eff {frac:>6}: {bar} {count} start(s)")
+    return "\n".join(lines)

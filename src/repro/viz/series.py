@@ -1,0 +1,90 @@
+"""Terminal plots for result series — the Fig. 10 panels.
+
+Figure 10 plots quantities (execution time, conflict counts) against the
+Fortran increment ``INC = 1..16``.  Offline and dependency-free, we render
+them as horizontal ASCII bar charts plus aligned value columns; the
+benchmark harness prints these so "the same rows/series the paper
+reports" are visible in test output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart", "multi_series_table"]
+
+
+def bar_chart(
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 50,
+    x_label: str = "x",
+    y_label: str = "y",
+    bar_char: str = "#",
+) -> str:
+    """Horizontal bar chart: one row per x, bar length ∝ y.
+
+    Values are scaled so the maximum fills ``width`` columns; the numeric
+    value is printed after each bar so nothing is lost to rounding.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        raise ValueError("nothing to plot")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    peak = max(ys)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>6} | {y_label}")
+    for x, y in zip(xs, ys):
+        if y < 0:
+            raise ValueError("bar charts require non-negative values")
+        n = 0 if peak == 0 else round(width * y / peak)
+        lines.append(f"{str(x):>6} | {bar_char * n} {y:g}")
+    return "\n".join(lines)
+
+
+def multi_series_table(
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Aligned columns: one row per x, one column per named series."""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    names = list(series)
+    widths = {
+        name: max(len(name), *(len(_fmt(v, float_format)) for v in series[name]))
+        for name in names
+    }
+    xw = max(len(x_label), *(len(str(x)) for x in xs))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = f"{x_label:>{xw}}  " + "  ".join(
+        f"{n:>{widths[n]}}" for n in names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{str(x):>{xw}}  " + "  ".join(
+            f"{_fmt(series[n][i], float_format):>{widths[n]}}" for n in names
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _fmt(v: float, float_format: str) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, int):
+        return str(v)
+    return float_format.format(v)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.analysis.atlas."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.atlas import loop_advice, pair_atlas_row, stride_atlas
+from repro.memory.config import CRAY_XMP_16, MemoryConfig
+
+
+class TestStrideAtlas:
+    def test_rows_cover_requested_strides(self):
+        rows = stride_atlas(CRAY_XMP_16, range(1, 17))
+        assert [r.stride for r in rows] == list(range(1, 17))
+
+    def test_self_conflicting_flagged(self):
+        rows = {r.stride: r for r in stride_atlas(CRAY_XMP_16, [1, 8, 16])}
+        assert not rows[1].self_conflicting
+        assert rows[8].self_conflicting      # r=2 < 4
+        assert rows[16].self_conflicting     # r=1
+        assert rows[16].distance == 0
+
+    def test_solo_bandwidth(self):
+        rows = {r.stride: r for r in stride_atlas(CRAY_XMP_16, [8])}
+        assert rows[8].solo_bandwidth == Fraction(1, 2)
+
+    def test_safe_property(self):
+        rows = {r.stride: r for r in stride_atlas(CRAY_XMP_16, [1, 8])}
+        assert not rows[8].safe
+        # stride 1 vs stride 1 on 16 banks n_c=4: r=16 >= 8, CF.
+        assert rows[1].safe
+
+
+class TestLoopAdvice:
+    def test_1d_loop(self):
+        adv = loop_advice(CRAY_XMP_16, inc=5)
+        assert adv.distance == 5
+
+    def test_row_sweep_of_bad_array(self):
+        # Sweeping rows of a (16, n) array: distance 0 — the trap.
+        adv = loop_advice(CRAY_XMP_16, inc=1, dims=(16, 16), axis=1)
+        assert adv.distance == 0
+        assert adv.self_conflicting
+
+    def test_safe_dimension_fixes_it(self):
+        adv = loop_advice(CRAY_XMP_16, inc=1, dims=(17, 16), axis=1)
+        assert adv.distance == 1
+        assert not adv.self_conflicting
+
+
+class TestPairAtlasRow:
+    def test_classification_only(self):
+        row = pair_atlas_row(MemoryConfig(12, 3), 1, 7)
+        assert row["regime"] == "conflict-free"
+        assert row["predicted"] == 2
+        assert "sim_best" not in row
+
+    def test_with_simulation(self):
+        row = pair_atlas_row(MemoryConfig(12, 3), 1, 7, simulate=True)
+        assert row["sim_best"] == 2
+        assert row["sim_worst"] == 2

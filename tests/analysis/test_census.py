@@ -1,0 +1,67 @@
+"""Unit tests for repro.analysis.census."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.census import regime_census
+from repro.core.classify import PairRegime
+
+
+class TestRegimeCensus:
+    def test_total_is_pair_count(self):
+        c = regime_census(12, 3)
+        assert c.total == 11 * 12 // 2  # pairs 1 <= d1 <= d2 < 12
+        assert sum(c.counts.values()) == c.total
+
+    def test_locked_distribution_m16(self):
+        """Regression lock on the classifier for the X-MP shape."""
+        c = regime_census(16, 4)
+        assert c.counts[PairRegime.CONFLICT_FREE] == 16
+        assert c.counts[PairRegime.UNIQUE_BARRIER] == 16
+        assert c.counts[PairRegime.SELF_CONFLICT] == 15
+        assert c.counts[PairRegime.BARRIER_START_DEPENDENT] == 16
+        assert c.counts[PairRegime.DISJOINT_POSSIBLE] == 17
+        assert c.counts[PairRegime.CONFLICTING] == 40
+        assert c.determined == 32
+
+    def test_prime_m_has_no_disjoint_or_self_conflict(self):
+        # gcd(m, d) = 1 for every d on a prime bank count.
+        c = regime_census(13, 4)
+        assert PairRegime.DISJOINT_POSSIBLE not in c.counts
+        assert PairRegime.SELF_CONFLICT not in c.counts
+
+    def test_share(self):
+        c = regime_census(12, 3)
+        assert c.share(PairRegime.CONFLICT_FREE) == Fraction(8, 66)
+        assert sum(c.share(r) for r in c.counts) == 1
+
+    def test_exclude_self_conflicting(self):
+        full = regime_census(16, 4)
+        clean = regime_census(16, 4, include_self_conflicting=False)
+        assert PairRegime.SELF_CONFLICT not in clean.counts
+        assert clean.total == full.total - full.counts[PairRegime.SELF_CONFLICT]
+
+    def test_rows_skip_empty(self):
+        c = regime_census(13, 4)
+        names = [r[0] for r in c.rows()]
+        assert "disjoint-possible" not in names
+        assert "conflict-free" in names
+
+    def test_small_nc_more_freedom(self):
+        # lowering n_c can only move pairs toward conflict-freeness.
+        hard = regime_census(16, 4)
+        easy = regime_census(16, 1)
+        assert (
+            easy.counts.get(PairRegime.CONFLICT_FREE, 0)
+            >= hard.counts.get(PairRegime.CONFLICT_FREE, 0)
+        )
+
+    def test_empty_share_raises(self):
+        from repro.analysis.census import RegimeCensus
+
+        c = RegimeCensus(m=4, n_c=2, s=None, counts={}, total=0)
+        with pytest.raises(ValueError):
+            c.share(PairRegime.CONFLICT_FREE)

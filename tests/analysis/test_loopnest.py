@@ -1,0 +1,100 @@
+"""Unit tests for repro.analysis.loopnest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.loopnest import ArrayRef, analyze_kernel
+from repro.core.classify import PairRegime
+from repro.memory.config import CRAY_XMP_16, MemoryConfig
+
+
+class TestArrayRef:
+    def test_distance_1d(self):
+        assert ArrayRef("A", (1000,), inc=5).distance(16) == 5
+
+    def test_distance_row_sweep(self):
+        ref = ArrayRef("A", (100, 50), axis=1, inc=1)
+        assert ref.distance(16) == 100 % 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayRef("A", ())
+        with pytest.raises(ValueError):
+            ArrayRef("A", (8,), kind="prefetch")
+
+
+class TestAnalyzeKernel:
+    def test_clean_unit_stride_kernel(self):
+        report = analyze_kernel(
+            MemoryConfig(banks=16, bank_cycle=4),
+            [
+                ArrayRef("X", (1000,), inc=1),
+                ArrayRef("Y", (1000,), inc=1, kind="store"),
+            ],
+        )
+        assert not report.self_conflicting_refs
+        # equal unit strides with r=16 >= 2n_c: certainly conflict free
+        assert report.clean
+
+    def test_resonant_row_sweep_flagged_and_fixed(self):
+        report = analyze_kernel(
+            CRAY_XMP_16,
+            [ArrayRef("M", (16, 64), axis=1, inc=1)],
+        )
+        (ref,) = report.refs
+        assert ref.distance == 0
+        assert not ref.solo.conflict_free
+        assert ref.suggested_leading_dimension == 17
+
+    def test_no_suggestion_for_axis0(self):
+        # stride comes from the increment itself, not the dimensioning.
+        report = analyze_kernel(
+            CRAY_XMP_16, [ArrayRef("V", (4096,), inc=16)]
+        )
+        (ref,) = report.refs
+        assert not ref.solo.conflict_free
+        assert ref.suggested_leading_dimension is None
+
+    def test_pairwise_matrix(self):
+        report = analyze_kernel(
+            MemoryConfig(banks=12, bank_cycle=3),
+            [
+                ArrayRef("A", (999,), inc=1),
+                ArrayRef("B", (999,), inc=7),
+                ArrayRef("C", (999,), inc=2),
+            ],
+        )
+        assert set(report.pairs) == {(0, 1), (0, 2), (1, 2)}
+        assert report.pairs[(0, 1)].regime is PairRegime.CONFLICT_FREE
+
+    def test_worst_pair(self):
+        report = analyze_kernel(
+            MemoryConfig(banks=13, bank_cycle=4),
+            [ArrayRef("A", (999,), inc=1), ArrayRef("B", (999,), inc=3)],
+        )
+        worst = report.worst_pair
+        assert worst is not None
+        key, cls = worst
+        assert key == (0, 1)
+        assert cls.regime is PairRegime.BARRIER_START_DEPENDENT
+
+    def test_sectioned_config_engages_theorem9(self):
+        report = analyze_kernel(
+            MemoryConfig(banks=12, bank_cycle=2, sections=2),
+            [ArrayRef("A", (999,), inc=1), ArrayRef("B", (999,), inc=1)],
+        )
+        # eq. 32 still admits conflict-freeness at offset 3 (Fig. 7)
+        assert report.pairs[(0, 1)].regime is PairRegime.CONFLICT_FREE
+
+    def test_summary_rows(self):
+        report = analyze_kernel(
+            CRAY_XMP_16, [ArrayRef("A", (999,), inc=2, kind="store")]
+        )
+        rows = report.summary_rows()
+        assert rows[0][0] == "A" and rows[0][1] == "store"
+        assert rows[0][2] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_kernel(CRAY_XMP_16, [])

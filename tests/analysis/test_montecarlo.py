@@ -1,0 +1,61 @@
+"""Unit tests for repro.analysis.montecarlo."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.montecarlo import expected_bandwidth, sample_environments
+from repro.memory.config import MemoryConfig
+
+
+@pytest.fixture
+def cfg():
+    return MemoryConfig(banks=16, bank_cycle=4)
+
+
+class TestSampleEnvironments:
+    def test_three_unit_strides_always_three(self, cfg):
+        # r = 16 >= 3 n_c: any placement synchronizes to full rate.
+        s = sample_environments(cfg, [1, 1, 1], samples=30)
+        assert s.worst == s.best == 3
+        assert s.mean == 3.0
+        assert s.spread == 0.0
+        assert s.best_share == 1.0
+
+    def test_reproducible_with_seed(self, cfg):
+        a = sample_environments(cfg, [1, 1, 8], samples=25, seed=3)
+        b = sample_environments(cfg, [1, 1, 8], samples=25, seed=3)
+        assert a == b
+
+    def test_bounds_ordering(self, cfg):
+        s = sample_environments(cfg, [1, 2, 5], samples=30)
+        assert s.worst <= Fraction(int(s.mean * 10**9), 10**9) + 1
+        assert float(s.worst) <= s.mean <= float(s.best)
+
+    def test_single_stream_degenerate(self, cfg):
+        s = sample_environments(cfg, [8], samples=5)
+        assert s.worst == s.best == Fraction(1, 2)
+
+    def test_pair_matches_exhaustive_profile(self):
+        """With enough samples the pair summary matches the exact
+        start-space enumeration's extremes."""
+        from repro.sim.statespace import start_space_profile
+
+        cfg = MemoryConfig(banks=13, bank_cycle=4)
+        exact = start_space_profile(cfg, 1, 3)
+        sampled = sample_environments(cfg, [1, 3], samples=120, seed=1)
+        assert sampled.worst == exact.worst
+        assert sampled.best == exact.best
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError):
+            sample_environments(cfg, [], samples=5)
+        with pytest.raises(ValueError):
+            sample_environments(cfg, [1], samples=0)
+
+
+class TestExpectedBandwidth:
+    def test_shorthand(self, cfg):
+        assert expected_bandwidth(cfg, [1, 1, 1], samples=10) == 3.0

@@ -1,0 +1,56 @@
+"""Unit tests for repro.analysis.padding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.padding import evaluate_padding, optimize_padding
+
+
+class TestEvaluatePadding:
+    def test_start_banks_follow_pad(self):
+        r = evaluate_padding(1, pad=1, n=64, other_cpu_active=False)
+        assert r.start_banks == {"A": 0, "B": 1, "C": 2, "D": 3}
+
+    def test_pad_zero_aligns_everything(self):
+        r = evaluate_padding(1, pad=0, n=64, other_cpu_active=False)
+        assert set(r.start_banks.values()) == {0}
+
+    def test_idim_reported(self):
+        r = evaluate_padding(1, pad=3, n=64, other_cpu_active=False)
+        assert r.idim % 16 == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_padding(1, pad=-1, n=64)
+        with pytest.raises(ValueError):
+            evaluate_padding(1, pad=0, n=64, base_words=30)  # not mult of m
+        with pytest.raises(ValueError):
+            evaluate_padding(1, pad=0, n=64, base_words=16)  # too small
+
+
+class TestOptimizePadding:
+    def test_ranking_sorted(self):
+        ranked = optimize_padding(
+            1, pads=[0, 1, 2, 3], n=128, other_cpu_active=False
+        )
+        cycles = [r.cycles for r in ranked]
+        assert cycles == sorted(cycles)
+
+    def test_ties_prefer_smaller_pad(self):
+        ranked = optimize_padding(
+            1, pads=[3, 1], n=128, other_cpu_active=False
+        )
+        best = ranked[0]
+        same = [r for r in ranked if r.cycles == best.cycles]
+        assert same[0].pad == min(r.pad for r in same)
+
+    def test_padding_matters_for_dedicated_unit_stride(self):
+        """On the dedicated machine, pad choice changes the triad's time
+        (the four streams collide differently per relative placement)."""
+        ranked = optimize_padding(1, n=256, other_cpu_active=False)
+        assert ranked[0].cycles < ranked[-1].cycles
+
+    def test_default_pad_space_is_one_bank_period(self):
+        ranked = optimize_padding(2, n=64, other_cpu_active=False)
+        assert sorted(r.pad for r in ranked) == list(range(16))

@@ -1,0 +1,55 @@
+"""Unit tests for repro.analysis.report."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.report import (
+    fraction_str,
+    pair_sweep_report,
+    single_sweep_report,
+    triad_report,
+)
+from repro.analysis.sweep import pair_sweep, single_stream_sweep
+from repro.machine.xmp import TriadResult
+
+
+class TestFractionStr:
+    def test_integer(self):
+        assert fraction_str(Fraction(2)) == "2"
+
+    def test_proper_fraction(self):
+        assert fraction_str(Fraction(7, 6)) == "7/6 (1.167)"
+
+    def test_none(self):
+        assert fraction_str(None) == "-"
+
+
+class TestReports:
+    def test_single_sweep_report(self):
+        rows = single_stream_sweep(8, 2, simulate=False)
+        text = single_sweep_report(rows, title="T-A")
+        assert text.splitlines()[0] == "T-A"
+        assert "predicted b_eff" in text
+        assert "NO" not in text  # all agree
+
+    def test_pair_sweep_report(self):
+        rows = pair_sweep(8, 2, pairs=[(1, 3)])
+        text = pair_sweep_report(rows)
+        assert "regime" in text
+        assert "in bounds" in text
+
+    def test_triad_report(self):
+        rows = [
+            TriadResult(
+                inc=1, cycles=2412, other_cpu_active=True,
+                bank_conflicts=992, section_conflicts=87,
+                simultaneous_conflicts=31, bank_stall_cycles=0,
+                section_stall_cycles=0, simultaneous_stall_cycles=0,
+                triad_grants=4096,
+            )
+        ]
+        text = triad_report(rows, title="Fig 10")
+        assert "Fig 10" in text
+        assert "2412" in text
+        assert "992" in text

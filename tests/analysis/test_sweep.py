@@ -1,0 +1,73 @@
+"""Unit tests for repro.analysis.sweep."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sweep import (
+    canonical_pairs,
+    pair_sweep,
+    single_stream_sweep,
+)
+
+
+class TestCanonicalPairs:
+    def test_first_stride_divides_m(self):
+        for d1, d2 in canonical_pairs(12):
+            assert 12 % d1 == 0
+            assert d1 <= d2 < 12
+
+    def test_excludes_zero_stride(self):
+        assert all(d1 != 12 for d1, _ in canonical_pairs(12))
+
+    def test_include_equal_toggle(self):
+        with_eq = canonical_pairs(8, include_equal=True)
+        without = canonical_pairs(8, include_equal=False)
+        assert (1, 1) in with_eq and (1, 1) not in without
+
+    def test_prime_m(self):
+        pairs = canonical_pairs(13)
+        assert all(d1 == 1 for d1, _ in pairs)
+        assert len(pairs) == 12
+
+
+class TestSingleStreamSweep:
+    def test_all_agree(self):
+        rows = single_stream_sweep(12, 3)
+        assert len(rows) == 12
+        assert all(r.agrees for r in rows)
+
+    def test_without_simulation(self):
+        rows = single_stream_sweep(12, 3, simulate=False)
+        assert all(r.predicted == r.simulated for r in rows)
+
+    def test_known_values(self):
+        rows = single_stream_sweep(16, 4)
+        by_d = {r.d: r for r in rows}
+        assert by_d[1].predicted == 1
+        assert by_d[8].predicted == Fraction(1, 2)
+        assert by_d[0].predicted == Fraction(1, 4)
+
+
+class TestPairSweep:
+    def test_bounds_hold_on_small_memory(self):
+        rows = pair_sweep(8, 2)
+        assert rows  # non-empty
+        for r in rows:
+            assert r.within_bounds, (
+                r.d1, r.d2, r.regime, r.best, r.worst,
+                r.classification.bandwidth_lower,
+                r.classification.bandwidth_upper,
+            )
+
+    def test_explicit_pairs(self):
+        rows = pair_sweep(12, 3, pairs=[(1, 7)])
+        assert len(rows) == 1
+        assert rows[0].regime == "conflict-free"
+        assert rows[0].best == rows[0].worst == 2
+
+    def test_priority_parameter(self):
+        rows = pair_sweep(12, 3, pairs=[(1, 7)], priority="cyclic")
+        assert rows[0].best == 2

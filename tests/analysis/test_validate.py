@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.validate — the theorem/simulator bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validate import (
+    Discrepancy,
+    validate_conflict_free,
+    validate_disjoint,
+    validate_single_stream,
+    validate_unique_barrier,
+)
+
+
+class TestSingleStream:
+    @pytest.mark.parametrize("m,n_c", [(8, 2), (12, 3), (13, 6), (16, 4)])
+    def test_no_discrepancies(self, m, n_c):
+        assert validate_single_stream(m, n_c) == []
+
+    def test_subset_of_strides(self):
+        assert validate_single_stream(16, 4, strides=[0, 1, 8]) == []
+
+
+class TestConflictFree:
+    def test_paper_configs_clean(self):
+        pairs = [(1, 7), (1, 5), (1, 1), (2, 2), (1, 6), (3, 3)]
+        assert validate_conflict_free(12, 3, pairs) == []
+
+    def test_xmp_shape_clean(self):
+        pairs = [(1, 1), (1, 5), (1, 9), (2, 2), (1, 3)]
+        assert validate_conflict_free(16, 4, pairs) == []
+
+    def test_self_conflicting_pairs_skipped(self):
+        # d=8 on m=16, n_c=4 violates r >= n_c: outside the hypotheses,
+        # must not produce (spurious) discrepancies.
+        assert validate_conflict_free(16, 4, [(8, 1)]) == []
+
+
+class TestDisjoint:
+    def test_clean(self):
+        assert validate_disjoint(12, 3, [(2, 4), (3, 6), (2, 2)]) == []
+        assert validate_disjoint(16, 4, [(2, 2), (2, 6)]) == []
+
+
+class TestUniqueBarrier:
+    def test_scaled_fig5_clean(self):
+        assert validate_unique_barrier(26, 4, [(1, 3)]) == []
+
+    def test_requires_canonical_pairs(self):
+        with pytest.raises(ValueError):
+            validate_unique_barrier(26, 4, [(3, 1)])
+
+    def test_non_barrier_pairs_skipped(self):
+        assert validate_unique_barrier(12, 3, [(1, 7)]) == []
+
+
+class TestDiscrepancyRepr:
+    def test_str(self):
+        d = Discrepancy(where="x", predicted=1, simulated=2)
+        assert "x" in str(d) and "1" in str(d) and "2" in str(d)
+
+
+class TestSections:
+    def test_fig7_shape_clean(self):
+        from repro.analysis.validate import validate_sections
+
+        pairs = [(d1, d2) for d1 in range(1, 12) for d2 in range(d1, 12)]
+        assert validate_sections(12, 2, 2, pairs) == []
+
+    def test_xmp_shape_clean(self):
+        from repro.analysis.validate import validate_sections
+
+        pairs = [(1, 1), (1, 5), (2, 2), (3, 7), (1, 9)]
+        assert validate_sections(16, 4, 4, pairs) == []
+
+    def test_fig8_shape_clean(self):
+        from repro.analysis.validate import validate_sections
+
+        pairs = [(d, d) for d in range(1, 12)]
+        assert validate_sections(12, 3, 3, pairs) == []

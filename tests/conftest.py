@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+
+
+@pytest.fixture
+def fig2():
+    """Fig. 2 memory: 12 banks, n_c = 3, unsectioned."""
+    return MemoryConfig(banks=12, bank_cycle=3)
+
+
+@pytest.fixture
+def fig3():
+    """Figs. 3-4 memory: 13 banks, n_c = 6."""
+    return MemoryConfig(banks=13, bank_cycle=6)
+
+
+@pytest.fixture
+def fig5():
+    """Figs. 5-6 memory: 13 banks, n_c = 4."""
+    return MemoryConfig(banks=13, bank_cycle=4)
+
+
+@pytest.fixture
+def fig7():
+    """Fig. 7 memory: 12 banks, 2 sections, n_c = 2."""
+    return MemoryConfig(banks=12, bank_cycle=2, sections=2)
+
+
+@pytest.fixture
+def fig8():
+    """Figs. 8-9 memory: 12 banks, 3 sections, n_c = 3."""
+    return MemoryConfig(banks=12, bank_cycle=3, sections=3)
+
+
+@pytest.fixture
+def xmp():
+    """The measured machine's memory: 16 banks, n_c = 4, 4 sections."""
+    return MemoryConfig(banks=16, bank_cycle=4, sections=4)

@@ -1,0 +1,174 @@
+"""Unit tests for repro.core.arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import arithmetic as ar
+
+
+class TestGcdFamily:
+    def test_gcd_basic(self):
+        assert ar.gcd(12, 8) == 4
+        assert ar.gcd(13, 6) == 1
+
+    def test_gcd_zero_convention(self):
+        # The paper's gcd(m, 0) = m convention.
+        assert ar.gcd(16, 0) == 16
+
+    def test_gcd3(self):
+        assert ar.gcd3(12, 4, 6) == 2
+        assert ar.gcd3(12, 1, 7) == 1
+        assert ar.gcd3(16, 8, 4) == 4
+
+    def test_egcd_bezout(self):
+        g, x, y = ar.egcd(240, 46)
+        assert g == math.gcd(240, 46)
+        assert 240 * x + 46 * y == g
+
+    def test_egcd_coprime(self):
+        g, x, y = ar.egcd(7, 12)
+        assert g == 1
+        assert (7 * x) % 12 == 1 % 12
+
+    def test_egcd_zero(self):
+        g, x, y = ar.egcd(5, 0)
+        assert g == 5 and 5 * x + 0 * y == 5
+
+    def test_modinv(self):
+        assert (7 * ar.modinv(7, 12)) % 12 == 1
+        assert (5 * ar.modinv(5, 16)) % 16 == 1
+
+    def test_modinv_rejects_non_units(self):
+        with pytest.raises(ValueError):
+            ar.modinv(4, 12)
+
+    def test_lcm(self):
+        assert ar.lcm(4, 6) == 12
+
+
+class TestDivisorsUnits:
+    def test_divisors_ordered(self):
+        assert ar.divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert ar.divisors(13) == [1, 13]
+        assert ar.divisors(1) == [1]
+
+    def test_divisors_square(self):
+        assert ar.divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_divisors_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ar.divisors(0)
+
+    def test_units_16(self):
+        u = ar.units(16)
+        assert u == [1, 3, 5, 7, 9, 11, 13, 15]
+
+    def test_units_prime(self):
+        assert ar.units(13) == list(range(1, 13))
+
+    def test_is_unit(self):
+        assert ar.is_unit(5, 16)
+        assert not ar.is_unit(6, 16)
+
+
+class TestReturnNumber:
+    """Theorem 1: r = m / gcd(m, d)."""
+
+    def test_coprime_stride_full_period(self):
+        assert ar.return_number(16, 3) == 16
+        assert ar.return_number(13, 6) == 13
+
+    def test_divisor_stride(self):
+        assert ar.return_number(16, 8) == 2
+        assert ar.return_number(16, 4) == 4
+        assert ar.return_number(12, 6) == 2
+
+    def test_zero_stride_single_bank(self):
+        # gcd(m, 0) = m ⇒ r = 1: the stream hammers one bank.
+        assert ar.return_number(16, 0) == 1
+
+    def test_unit_stride(self):
+        assert ar.return_number(16, 1) == 16
+
+    def test_paper_example_m12(self):
+        # Fig. 2's streams d = 1 and d = 7 both have full return number.
+        assert ar.return_number(12, 1) == 12
+        assert ar.return_number(12, 7) == 12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ar.return_number(0, 1)
+        with pytest.raises(ValueError):
+            ar.return_number(8, -1)
+
+
+class TestAccessSets:
+    def test_access_set_size_is_return_number(self):
+        for m in (8, 12, 13, 16):
+            for d in range(m):
+                assert len(ar.access_set(m, d)) == ar.return_number(m, d)
+
+    def test_access_set_is_coset(self):
+        # Z = b + <gcd(m,d)>
+        z = ar.access_set(16, 4, b=3)
+        assert z == frozenset({3, 7, 11, 15})
+
+    def test_access_sequence(self):
+        assert ar.access_sequence(12, 7, 0, 5) == [0, 7, 2, 9, 4]
+
+    def test_access_sequence_negative_count(self):
+        with pytest.raises(ValueError):
+            ar.access_sequence(12, 1, 0, -1)
+
+    def test_disjoint_cosets_when_gcd_gt_1(self):
+        # Theorem 2's construction: consecutive starts with f = 2.
+        z1 = ar.access_set(12, 2, b=0)
+        z2 = ar.access_set(12, 4, b=1)
+        assert not (z1 & z2)
+
+
+class TestProgressions:
+    def test_progression_residues(self):
+        assert ar.progression_residues(12, 8) == frozenset({0, 4, 8})
+        assert ar.progression_residues(12, 5) == frozenset(range(12))
+
+    def test_progression_zero_step(self):
+        assert ar.progression_residues(12, 0) == frozenset({0})
+        assert ar.progression_residues(12, 12) == frozenset({0})
+
+    def test_minimal_positive_residue(self):
+        assert ar.minimal_positive_residue(12, 8) == 4
+        assert ar.minimal_positive_residue(12, 5) == 1
+
+    def test_minimal_positive_residue_zero_is_m(self):
+        # gcd(m, 0) = m convention: equal strides never drift.
+        assert ar.minimal_positive_residue(12, 0) == 12
+        assert ar.minimal_positive_residue(12, 24) == 12
+
+
+class TestFirstCommonIndex:
+    def test_meeting_point(self):
+        hit = ar.first_common_index(12, 1, 0, 7, 3)
+        assert hit is not None
+        k1, k2 = hit
+        assert (0 + k1 * 1) % 12 == (3 + k2 * 7) % 12
+
+    def test_disjoint_streams_return_none(self):
+        assert ar.first_common_index(12, 2, 0, 4, 1) is None
+
+    def test_same_start(self):
+        assert ar.first_common_index(12, 1, 0, 5, 0) == (0, 0)
+
+
+class TestCeilDiv:
+    def test_values(self):
+        assert ar.ceil_div(13, 3) == 5
+        assert ar.ceil_div(12, 3) == 4
+        assert ar.ceil_div(0, 5) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ar.ceil_div(4, 0)

@@ -1,0 +1,53 @@
+"""Unit tests for repro.core.bandwidth."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import bandwidth as bw
+from repro.core.bandwidth import single_stream_prediction_table
+
+
+class TestDefinitions:
+    def test_max_bandwidth_is_port_count(self):
+        assert bw.max_bandwidth(2) == 2
+        assert bw.max_bandwidth(6) == 6
+        with pytest.raises(ValueError):
+            bw.max_bandwidth(0)
+
+    def test_effective_bandwidth_exact(self):
+        assert bw.effective_bandwidth(7, 6) == Fraction(7, 6)
+        assert bw.effective_bandwidth(0, 10) == 0
+
+    def test_effective_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            bw.effective_bandwidth(1, 0)
+        with pytest.raises(ValueError):
+            bw.effective_bandwidth(-1, 4)
+
+
+class TestPairPrediction:
+    def test_conflict_free(self):
+        assert bw.predict_pair_bandwidth(12, 3, 1, 7) == 2
+
+    def test_unique_barrier(self):
+        assert bw.predict_pair_bandwidth(26, 4, 1, 3) == Fraction(4, 3)
+
+    def test_start_dependent_returns_none(self):
+        assert bw.predict_pair_bandwidth(13, 4, 1, 3) is None
+
+    def test_bounds(self):
+        lo, hi = bw.predicted_or_bounds(12, 3, 1, 7)
+        assert lo == hi == 2
+        lo, hi = bw.predicted_or_bounds(13, 4, 1, 3)
+        assert lo < hi
+
+
+class TestPredictionTable:
+    def test_rows(self):
+        rows = single_stream_prediction_table(16, 4, [1, 8, 16])
+        assert rows[0] == (1, 16, Fraction(1))
+        assert rows[1] == (8, 2, Fraction(1, 2))
+        assert rows[2] == (0, 1, Fraction(1, 4))

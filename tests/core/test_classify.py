@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.classify."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.classify import PairRegime, classify_pair
+
+
+class TestConflictFree:
+    def test_fig2_pair(self):
+        c = classify_pair(12, 3, 1, 7)
+        assert c.regime is PairRegime.CONFLICT_FREE
+        assert c.predicted_bandwidth == 2
+        assert c.conflict_free_offset == 3  # n_c * d1
+
+    def test_bounds_collapse(self):
+        c = classify_pair(12, 3, 1, 7)
+        assert c.bandwidth_lower == c.bandwidth_upper == 2
+
+    def test_equal_strides_large_r(self):
+        c = classify_pair(16, 4, 2, 2)  # r = 8 = 2*n_c
+        assert c.regime is PairRegime.CONFLICT_FREE
+
+
+class TestSelfConflict:
+    def test_detected(self):
+        c = classify_pair(16, 4, 8, 1)  # r1 = 2 < 4
+        assert c.regime is PairRegime.SELF_CONFLICT
+        assert c.predicted_bandwidth is None
+        # upper bound: solo caps 1/2 + 1
+        assert c.bandwidth_upper == Fraction(3, 2)
+
+    def test_stride_zero(self):
+        c = classify_pair(16, 4, 0, 1)
+        assert c.regime is PairRegime.SELF_CONFLICT
+        assert c.notes  # explains the capped bandwidth
+
+
+class TestUniqueBarrier:
+    def test_scaled_fig5(self):
+        # m=26, n_c=4, d=(1,3): Theorem 6 applies.
+        c = classify_pair(26, 4, 1, 3)
+        assert c.regime is PairRegime.UNIQUE_BARRIER
+        assert c.predicted_bandwidth == Fraction(4, 3)
+        assert c.unique_barrier
+        assert c.delayed_stream == 2
+
+    def test_swapped_orientation_flags_victim(self):
+        # Swapping the strides swaps the barriered stream.
+        c = classify_pair(26, 4, 3, 1)
+        assert c.regime is PairRegime.UNIQUE_BARRIER
+        assert c.delayed_stream == 1
+
+    def test_delayed_stream_none_elsewhere(self):
+        assert classify_pair(12, 3, 1, 7).delayed_stream is None
+
+
+class TestStartDependentBarrier:
+    def test_fig5_pair(self):
+        # m=13, n_c=4, d=(1,3): barrier possible, not unique (Figs. 5-6).
+        c = classify_pair(13, 4, 1, 3)
+        assert c.regime is PairRegime.BARRIER_START_DEPENDENT
+        assert c.predicted_bandwidth is None
+        assert c.barrier_possible
+        assert c.bandwidth_lower <= Fraction(4, 3) <= c.bandwidth_upper
+
+
+class TestDisjointPossible:
+    def test_non_synchronizing_but_disjoint(self):
+        # m=12, n_c=3, d=(2,4): f=2>1 so disjoint starts exist; drift
+        # gcd(6,1)=1 < 6 so Theorem 3 fails.
+        c = classify_pair(12, 3, 2, 4)
+        assert c.regime is PairRegime.DISJOINT_POSSIBLE
+        assert c.predicted_bandwidth is None
+        assert c.bandwidth_upper == 2
+
+
+class TestConflicting:
+    def test_fig3_pair(self):
+        # m=13, n_c=6, d=(1,6): not CF, barrier possible but has double
+        # conflicts and no uniqueness (Figs. 3-4) — but barrier_possible
+        # keeps it in the start-dependent regime.
+        c = classify_pair(13, 6, 1, 6)
+        assert c.regime in (
+            PairRegime.BARRIER_START_DEPENDENT,
+            PairRegime.CONFLICTING,
+        )
+        assert c.predicted_bandwidth is None
+
+    def test_generic_conflicting(self):
+        # m=13, n_c=4, d=(1,6): c = 5 >= n_c, no barrier, prime m so no
+        # disjoint starts, drift gcd(13,5)=1 < 8 so no CF.
+        c = classify_pair(13, 4, 1, 6)
+        assert c.regime is PairRegime.CONFLICTING
+        assert c.bandwidth_lower < c.bandwidth_upper
+
+
+class TestSectionedClassification:
+    def test_fig7_conflict_free_via_eq32(self):
+        c = classify_pair(12, 2, 1, 1, s=2)
+        assert c.regime is PairRegime.CONFLICT_FREE
+        assert c.conflict_free_offset == 3  # (n_c+1)*d1
+
+    def test_sections_can_break_bank_level_cf(self):
+        # d=(2,2) on m=12, n_c=2: bank-level CF (r=6 >= 4) but s=2 makes
+        # every path offset collide.
+        bank_level = classify_pair(12, 2, 2, 2)
+        assert bank_level.regime is PairRegime.CONFLICT_FREE
+        sectioned = classify_pair(12, 2, 2, 2, s=2)
+        assert sectioned.regime is not PairRegime.CONFLICT_FREE
+        assert any("section" in n for n in sectioned.notes)
+
+
+class TestInputNormalisation:
+    def test_strides_reduced_mod_m(self):
+        a = classify_pair(12, 3, 13, 19)
+        b = classify_pair(12, 3, 1, 7)
+        assert a.regime is b.regime
+        assert a.predicted_bandwidth == b.predicted_bandwidth

@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.fortran (eq. 33 and Section V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fortran as ft
+
+
+class TestLoopDistance:
+    def test_1d_stride_is_inc_mod_m(self):
+        # Section V: "it is simply the stride modulo m of the DO loop".
+        assert ft.loop_distance(16, 5) == 5
+        assert ft.loop_distance(16, 17) == 1
+        assert ft.loop_distance(16, 16) == 0
+
+    def test_second_dimension_multiplies_j1(self):
+        # Sweeping the 2nd dim of a (100, 50) array: d = INC * 100 mod m.
+        assert ft.loop_distance(16, 1, (100, 50), axis=1) == 100 % 16
+        assert ft.loop_distance(16, 2, (100, 50), axis=1) == 200 % 16
+
+    def test_third_dimension(self):
+        assert ft.loop_distance(8, 1, (4, 6, 3), axis=2) == (4 * 6) % 8
+
+    def test_negative_inc_reduced(self):
+        assert ft.loop_distance(16, -1) == 15
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            ft.loop_distance(16, 1, (10,), axis=1)
+        with pytest.raises(ValueError):
+            ft.loop_distance(16, 1, (), axis=1)
+        with pytest.raises(ValueError):
+            ft.loop_distance(0, 1)
+
+
+class TestArraySpec:
+    def test_column_major_offset(self):
+        a = ft.ArraySpec("X", (4, 3))
+        # element (i, j) at (i-1) + (j-1)*4
+        assert a.offset(1, 1) == 0
+        assert a.offset(2, 1) == 1
+        assert a.offset(1, 2) == 4
+        assert a.offset(4, 3) == 11
+
+    def test_size(self):
+        assert ft.ArraySpec("X", (4, 3)).size == 12
+
+    def test_address_and_bank(self):
+        a = ft.ArraySpec("X", (4, 3), base=100)
+        assert a.address(1, 1) == 100
+        assert a.bank(16, 1, 2) == (100 + 4) % 16
+
+    def test_start_bank(self):
+        assert ft.ArraySpec("X", (5,), base=17).start_bank(16) == 1
+
+    def test_index_validation(self):
+        a = ft.ArraySpec("X", (4, 3))
+        with pytest.raises(IndexError):
+            a.offset(5, 1)
+        with pytest.raises(IndexError):
+            a.offset(0, 1)
+        with pytest.raises(ValueError):
+            a.offset(1)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            ft.ArraySpec("X", ())
+        with pytest.raises(ValueError):
+            ft.ArraySpec("X", (0,))
+        with pytest.raises(ValueError):
+            ft.ArraySpec("X", (4,), base=-1)
+
+    def test_element_offset_helper(self):
+        assert ft.element_offset((4, 3), (2, 2)) == 5
+
+
+class TestAccessPatternDistances:
+    def test_row_distance(self):
+        # Rows of a column-major (J1, J2) array step J1 words.
+        assert ft.row_distance(16, (100, 50)) == 100 % 16
+        assert ft.row_distance(16, (16, 16)) == 0  # the Section V trap!
+
+    def test_column_distance(self):
+        assert ft.column_distance(16, (100, 50)) == 1
+
+    def test_diagonal_distance(self):
+        assert ft.diagonal_distance(16, (100, 100)) == 101 % 16
+        assert ft.diagonal_distance(16, (15, 15)) == 0  # J1+1 = 16
+
+    def test_dimension_requirements(self):
+        with pytest.raises(ValueError):
+            ft.row_distance(16, (10,))
+        with pytest.raises(ValueError):
+            ft.diagonal_distance(16, (10,))
+        with pytest.raises(ValueError):
+            ft.column_distance(16, ())
+
+
+class TestSafeLeadingDimension:
+    def test_already_safe(self):
+        assert ft.safe_leading_dimension(16, 101) == 101
+
+    def test_bumps_to_coprime(self):
+        # 100 shares a factor 4 with 16; next coprime is 101.
+        assert ft.safe_leading_dimension(16, 100) == 101
+        assert ft.safe_leading_dimension(16, 16) == 17
+
+    def test_prime_bank_count(self):
+        # Every dimension >= 1 coexists with a prime m unless a multiple.
+        assert ft.safe_leading_dimension(13, 13) == 14
+        assert ft.safe_leading_dimension(13, 12) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ft.safe_leading_dimension(0, 4)
+        with pytest.raises(ValueError):
+            ft.safe_leading_dimension(16, 0)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.isomorphism (Appendix)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import isomorphism as iso
+from repro.core.arithmetic import units
+
+
+class TestOrbit:
+    def test_contains_self(self):
+        assert (1, 3) in iso.orbit(16, 1, 3)
+
+    def test_paper_example_1_3(self):
+        # m = 16: 1 ⊕ 3 = 5 ⊕ 15 = 11 ⊕ 1.
+        orb = iso.orbit(16, 1, 3)
+        assert (5, 15) in orb
+        assert (11, 1) in orb
+
+    def test_paper_example_2_3(self):
+        # m = 16: 2 ⊕ 3 = 6 ⊕ 9 = 6 ⊕ 1.
+        orb = iso.orbit(16, 2, 3)
+        assert (6, 9) in orb
+        assert (6, 1) in orb
+
+    def test_orbit_size_divides_unit_count(self):
+        for m in (8, 12, 13, 16):
+            for pair in [(1, 3), (2, 5), (4, 6)]:
+                orb = iso.orbit(m, *pair)
+                assert len(units(m)) % len(orb) == 0
+
+    def test_validates_m(self):
+        with pytest.raises(ValueError):
+            iso.orbit(0, 1, 2)
+
+
+class TestAreIsomorphic:
+    def test_positive(self):
+        assert iso.are_isomorphic(16, (5, 15), (1, 3))
+        assert iso.are_isomorphic(16, (6, 1), (2, 3))
+
+    def test_negative(self):
+        # 1 ⊕ 2 has gcd pattern (1, 2); 1 ⊕ 3 has (1, 1): different orbits.
+        assert not iso.are_isomorphic(16, (1, 2), (1, 3))
+
+    def test_order_sensitive(self):
+        # (3, 1) is the *swapped* pair; the orbit of (1, 3) under m=16
+        # does not contain it (k*1=3 and k*3=1 needs k=3 and k=11).
+        assert not iso.are_isomorphic(16, (3, 1), (1, 3))
+
+
+class TestCanonicalize:
+    def test_first_distance_divides_m(self):
+        for m in (8, 12, 16):
+            for d1 in range(1, m):
+                for d2 in range(m):
+                    c = iso.canonicalize(m, d1, d2)
+                    assert m % c.d1 == 0, (m, d1, d2, c)
+
+    def test_canonical_d1_is_gcd(self):
+        c = iso.canonicalize(16, 6, 9)
+        assert c.d1 == math.gcd(16, 6) == 2
+
+    def test_transform_is_consistent(self):
+        m = 16
+        for d1, d2 in [(3, 7), (6, 9), (5, 15), (10, 4)]:
+            c = iso.canonicalize(m, d1, d2)
+            assert (c.k * d1) % m == c.d1 % m
+            assert (c.k * d2) % m == c.d2
+
+    def test_idempotent_on_canonical_input(self):
+        c = iso.canonicalize(12, 1, 7)
+        assert (c.d1, c.d2) == (1, 7)
+
+    def test_class_invariant(self):
+        # All members of one orbit canonicalize identically.
+        m = 16
+        base = iso.canonicalize(m, 2, 3)
+        for kd1, kd2 in iso.orbit(m, 2, 3):
+            if kd1 == 0:
+                continue
+            c = iso.canonicalize(m, kd1, kd2)
+            assert (c.d1, c.d2) == (base.d1, base.d2)
+
+
+class TestCanonicalPair:
+    def test_prefers_unswapped(self):
+        c = iso.canonical_pair(12, 1, 7)
+        assert not c.swapped
+        assert (c.d1, c.d2) == (1, 7)
+
+    def test_group_action_fixes_order_without_swap(self):
+        # (7, 1) maps to (1, 7) via k = 7 — the unit renumbering alone
+        # restores d1 <= d2, so no stream swap is required.
+        c = iso.canonical_pair(12, 7, 1)
+        assert not c.swapped
+        assert (c.d1, c.d2) == (1, 7)
+
+    def test_swaps_when_group_action_cannot_fix_order(self):
+        # (1, 0): every renumbering keeps d2 = 0 < d1, so the streams
+        # must be exchanged to land in the theorems' domain.
+        c = iso.canonical_pair(12, 1, 0)
+        assert c.swapped
+
+    def test_roundtrip_theorem_domain(self):
+        # Every canonical_pair output satisfies d1 | m and d2 >= d1.
+        for m in (12, 16):
+            for d1 in range(1, m):
+                for d2 in range(1, m):
+                    c = iso.canonical_pair(m, d1, d2)
+                    assert m % c.d1 == 0
+                    assert c.d2 >= (c.d1 % m) or c.d2 >= c.d1 % m

@@ -1,0 +1,104 @@
+"""Unit tests for repro.core.multistream (k-stream extensions)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.multistream import (
+    capacity_bound,
+    equal_stride_bandwidth_bound,
+    equal_stride_conflict_free,
+    equal_stride_offsets,
+    max_conflict_free_streams,
+)
+
+
+class TestCapacityBound:
+    def test_port_limited(self):
+        assert capacity_bound(16, 4, 2) == 2
+
+    def test_bank_limited_xmp_remark(self):
+        # Section IV: six ports on 16 banks with n_c=4 cap at 16/4 = 4.
+        assert capacity_bound(16, 4, 6) == 4
+
+    def test_fractional_capacity(self):
+        assert capacity_bound(13, 6, 4) == Fraction(13, 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capacity_bound(0, 4, 2)
+        with pytest.raises(ValueError):
+            capacity_bound(16, 0, 2)
+        with pytest.raises(ValueError):
+            capacity_bound(16, 4, 0)
+
+
+class TestMaxConflictFreeStreams:
+    def test_unit_stride(self):
+        assert max_conflict_free_streams(16, 4, 1) == 4
+        assert max_conflict_free_streams(12, 3, 1) == 4
+        assert max_conflict_free_streams(13, 6, 1) == 2
+
+    def test_reduced_ring(self):
+        # d=2 on 16 banks reaches only 8 banks: r/n_c = 8/4 = 2.
+        assert max_conflict_free_streams(16, 4, 2) == 2
+
+    def test_self_conflicting_stride(self):
+        assert max_conflict_free_streams(16, 4, 8) == 0
+
+    def test_p2_matches_theorem3_equal_case(self):
+        from repro.core.theorems import conflict_free_possible
+
+        for m, n_c in [(12, 3), (16, 4), (13, 4)]:
+            for d in range(1, m):
+                lhs = equal_stride_conflict_free(m, n_c, d, 2)
+                rhs = conflict_free_possible(m, n_c, d, d)
+                assert lhs == rhs, (m, n_c, d)
+
+
+class TestEqualStrideOffsets:
+    def test_offsets_shape(self):
+        offs = equal_stride_offsets(16, 4, 1, 4)
+        assert offs == [0, 4, 8, 12]
+
+    def test_none_when_impossible(self):
+        assert equal_stride_offsets(16, 4, 1, 5) is None
+
+    def test_offsets_distinct_banks(self):
+        offs = equal_stride_offsets(12, 3, 1, 4)
+        assert offs is not None and len(set(offs)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equal_stride_conflict_free(16, 4, 1, 0)
+        with pytest.raises(ValueError):
+            equal_stride_bandwidth_bound(16, 4, 1, 0)
+
+
+class TestBandwidthBound:
+    def test_conflict_free_region(self):
+        assert equal_stride_bandwidth_bound(16, 4, 1, 3) == 3
+
+    def test_saturated_region(self):
+        assert equal_stride_bandwidth_bound(16, 4, 1, 6) == 4
+        assert equal_stride_bandwidth_bound(16, 4, 2, 4) == 2  # r=8, 8/4
+
+    def test_monotone_in_p(self):
+        prev = Fraction(0)
+        for p in range(1, 9):
+            cur = equal_stride_bandwidth_bound(16, 4, 1, p)
+            assert cur >= prev
+            prev = cur
+
+
+class TestBoundsAreTightAgainstSimulator:
+    def test_staggered_streams_achieve_bound(self):
+        from repro.memory.config import MemoryConfig
+        from repro.sim.multi import equal_stride_table
+
+        cfg = MemoryConfig(banks=16, bank_cycle=4)
+        table = equal_stride_table(cfg, 1, 8)
+        for p, bw in table.items():
+            assert bw == equal_stride_bandwidth_bound(16, 4, 1, p), p

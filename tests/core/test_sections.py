@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.sections (Theorems 8-9, eqs. 30-32)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import sections as sec
+
+
+class TestStructure:
+    def test_validate_section_count(self):
+        sec.validate_section_count(12, 3)
+        with pytest.raises(ValueError):
+            sec.validate_section_count(12, 5)  # 5 ∤ 12
+        with pytest.raises(ValueError):
+            sec.validate_section_count(12, 24)  # s > m
+        with pytest.raises(ValueError):
+            sec.validate_section_count(12, 0)
+        with pytest.raises(ValueError):
+            sec.validate_section_count(0, 1)
+
+    def test_section_of_bank_cyclic(self):
+        assert [sec.section_of_bank(j, 2) for j in range(4)] == [0, 1, 0, 1]
+        with pytest.raises(ValueError):
+            sec.section_of_bank(0, 0)
+
+    def test_section_set(self):
+        # d = 4 on m = 12 visits banks {0,4,8}; with s = 2 all even: {0}.
+        assert sec.section_set(12, 2, 4, 0) == frozenset({0})
+        assert sec.section_set(12, 2, 4, 1) == frozenset({1})
+        # d = 1 visits everything.
+        assert sec.section_set(12, 3, 1, 0) == frozenset({0, 1, 2})
+
+    def test_section_sets_disjoint(self):
+        assert sec.section_sets_disjoint(12, 2, 4, 0, 4, 1)
+        assert not sec.section_sets_disjoint(12, 2, 1, 0, 1, 1)
+
+
+class TestTheorem8:
+    def test_condition(self):
+        # gcd(s, d2-d1) >= 2.
+        assert sec.disjoint_sections_conflict_free(4, 2, 6)   # gcd(4,4)=4
+        assert not sec.disjoint_sections_conflict_free(4, 2, 3)  # gcd(4,1)=1
+
+    def test_equal_strides_always_pass(self):
+        # gcd(s, 0) = s >= 2 for any sectioned memory.
+        assert sec.disjoint_sections_conflict_free(2, 3, 3)
+
+    def test_validates_s(self):
+        with pytest.raises(ValueError):
+            sec.disjoint_sections_conflict_free(0, 1, 2)
+
+
+class TestTheorem9:
+    def test_fig7_violates_t9_but_satisfies_eq32(self):
+        # Fig. 7: m=12, s=2, n_c=2, d1=d2=1.
+        # n_c*d1 = 2 is a multiple of s=2 ⇒ Theorem 9 path fails...
+        assert not sec.path_conflict_free(12, 2, 2, 1, 1)
+        # ...but eq. (32) holds: gcd(12, 0)=12 >= 2*(2+1)=6, and the
+        # (n_c+1)*d1 = 3 offset misses the path collision.
+        assert sec.sections_conflict_free_possible(12, 2, 2, 1, 1)
+        assert sec.sections_conflict_free_start_offset(12, 2, 2, 1, 1) == 3
+
+    def test_t9_direct_path(self):
+        # m=12, s=4, n_c=3, d1=d2=1: T3 holds (gcd(12,0)=12 >= 6) and
+        # n_c*d1 = 3 is not a multiple of 4.
+        assert sec.path_conflict_free(12, 3, 4, 1, 1)
+        assert sec.sections_conflict_free_start_offset(12, 3, 4, 1, 1) == 3
+
+    def test_requires_bank_level_cf(self):
+        # Bank-level Theorem 3 fails ⇒ sectioned CF impossible.
+        assert not sec.path_conflict_free(13, 6, 13, 1, 6)
+        with pytest.raises(ValueError):
+            # s must divide m: 13 prime makes most s illegal.
+            sec.path_conflict_free(13, 6, 2, 1, 6)
+
+    def test_eq32_failure_gives_none(self):
+        # m=12, s=2, n_c=2, d=(2,2): f=2, m'=6, drift 0 ⇒ gcd = 6 >= 6
+        # for eq32? 2*(n_c+1) = 6 ⇒ holds; offset (n_c+1)*d1 = 6 ≡ 0 mod 2
+        # ⇒ the offset still collides ⇒ not conflict free.
+        assert not sec.sections_conflict_free_possible(12, 2, 2, 2, 2)
+        assert sec.sections_conflict_free_start_offset(12, 2, 2, 2, 2) is None
+
+    def test_validates_nc(self):
+        with pytest.raises(ValueError):
+            sec.path_conflict_free(12, 0, 2, 1, 1)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.single (Section III-A)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.single import (
+    predict_single,
+    predict_single_stream,
+    single_stream_bandwidth,
+)
+from repro.core.stream import AccessStream
+
+
+class TestConflictFreeRegime:
+    def test_unit_stride_full_bandwidth(self):
+        p = predict_single(16, 1, 4)
+        assert p.bandwidth == 1
+        assert p.conflict_free
+        assert p.stall_per_period == 0
+        assert p.period == 16
+
+    def test_boundary_r_equals_nc(self):
+        # r = n_c is conflict free: the start bank has just recovered.
+        p = predict_single(16, 4, 4)  # r = 4
+        assert p.return_number == 4
+        assert p.conflict_free
+        assert p.bandwidth == 1
+
+
+class TestSelfConflictRegime:
+    def test_r_below_nc(self):
+        # m=16, d=8 ⇒ r=2 < n_c=4 ⇒ b_eff = 2/4.
+        p = predict_single(16, 8, 4)
+        assert p.bandwidth == Fraction(1, 2)
+        assert not p.conflict_free
+        assert p.stall_per_period == 2
+        assert p.period == 4
+
+    def test_stride_zero_worst_case(self):
+        # d ≡ 0: r = 1, b_eff = 1/n_c.
+        p = predict_single(16, 0, 4)
+        assert p.bandwidth == Fraction(1, 4)
+        assert p.period == 4
+
+    def test_stride_m_equivalent_to_zero(self):
+        assert predict_single(16, 16, 4) == predict_single(16, 0, 4)
+
+    def test_bandwidth_float(self):
+        assert predict_single(16, 8, 4).bandwidth_float == 0.5
+
+
+class TestConveniences:
+    def test_single_stream_bandwidth(self):
+        assert single_stream_bandwidth(12, 6, 3) == Fraction(2, 3)
+
+    def test_stream_overload(self):
+        s = AccessStream(start_bank=5, stride=8)
+        assert predict_single_stream(s, 16, 4).bandwidth == Fraction(1, 2)
+
+    def test_start_bank_irrelevant(self):
+        # The regime depends only on the stride.
+        a = predict_single_stream(AccessStream(0, 8), 16, 4)
+        b = predict_single_stream(AccessStream(9, 8), 16, 4)
+        assert a == b
+
+
+class TestValidation:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            predict_single(0, 1, 4)
+
+    def test_rejects_bad_nc(self):
+        with pytest.raises(ValueError):
+            predict_single(16, 1, 0)
+
+
+class TestExhaustiveConsistency:
+    def test_bandwidth_formula_everywhere(self):
+        """b_eff == min(1, r/n_c) for a grid of shapes."""
+        for m in (2, 3, 8, 12, 13, 16):
+            for n_c in (1, 2, 3, 4, 6):
+                for d in range(m):
+                    p = predict_single(m, d, n_c)
+                    assert p.bandwidth == min(
+                        Fraction(1), Fraction(p.return_number, n_c)
+                    )
+                    # serviced requests per period equals r (or the period
+                    # itself when conflict free).
+                    assert p.period == (
+                        p.return_number if p.conflict_free else n_c
+                    )

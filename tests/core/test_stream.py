@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stream import INFINITE, AccessStream
+
+
+class TestConstruction:
+    def test_defaults_infinite(self):
+        s = AccessStream(start_bank=0, stride=1)
+        assert s.is_infinite
+        assert s.length == INFINITE
+
+    def test_label_default_empty(self):
+        assert AccessStream(0, 1).label == ""
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            AccessStream(-1, 1)
+
+    def test_rejects_negative_stride(self):
+        with pytest.raises(ValueError):
+            AccessStream(0, -3)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            AccessStream(0, 1, length=-2)
+
+    def test_zero_length_is_legal(self):
+        s = AccessStream(0, 1, length=0)
+        assert not s.is_infinite
+
+    def test_frozen(self):
+        s = AccessStream(0, 1)
+        with pytest.raises(AttributeError):
+            s.stride = 2  # type: ignore[misc]
+
+
+class TestBinding:
+    def test_bound_reduces_modulo(self):
+        s = AccessStream(start_bank=25, stride=19).bound(12)
+        assert s.start_bank == 1 and s.stride == 7
+
+    def test_bound_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            AccessStream(0, 1).bound(0)
+
+
+class TestPaperQuantities:
+    def test_return_number_theorem1(self):
+        assert AccessStream(0, 8).return_number(16) == 2
+        assert AccessStream(0, 7).return_number(12) == 12
+
+    def test_access_set(self):
+        s = AccessStream(start_bank=1, stride=4)
+        assert s.access_set(12) == frozenset({1, 5, 9})
+
+    def test_bank_at(self):
+        s = AccessStream(start_bank=3, stride=7)
+        assert [s.bank_at(k, 12) for k in range(4)] == [3, 10, 5, 0]
+
+    def test_bank_at_bounds(self):
+        s = AccessStream(0, 1, length=2)
+        assert s.bank_at(1, 8) == 1
+        with pytest.raises(IndexError):
+            s.bank_at(2, 8)
+        with pytest.raises(ValueError):
+            s.bank_at(-1, 8)
+
+    def test_banks_default_one_period(self):
+        s = AccessStream(0, 4)
+        assert s.banks(12) == [0, 4, 8]
+
+    def test_banks_finite_stream_truncated(self):
+        s = AccessStream(0, 4, length=2)
+        assert s.banks(12) == [0, 4]
+        with pytest.raises(IndexError):
+            s.banks(12, count=5)
+
+    def test_self_conflict_free(self):
+        # r = 2 < n_c = 4 on 16 banks with d = 8: self-conflicting.
+        assert not AccessStream(0, 8).self_conflict_free(16, 4)
+        assert AccessStream(0, 1).self_conflict_free(16, 4)
+
+    def test_self_conflict_free_validates_nc(self):
+        with pytest.raises(ValueError):
+            AccessStream(0, 1).self_conflict_free(16, 0)
+
+
+class TestHelpers:
+    def test_with_label(self):
+        s = AccessStream(0, 1).with_label("2")
+        assert s.label == "2"
+
+    def test_shifted(self):
+        s = AccessStream(start_bank=10, stride=1).shifted(5, 12)
+        assert s.start_bank == 3
+
+    def test_shifted_preserves_other_fields(self):
+        s = AccessStream(0, 7, length=9, label="x").shifted(1, 12)
+        assert (s.stride, s.length, s.label) == (7, 9, "x")
+
+
+class TestFromSigned:
+    def test_negative_stride_reduced(self):
+        s = AccessStream.from_signed(16, 0, -1)
+        assert s.stride == 15
+
+    def test_negative_start_reduced(self):
+        s = AccessStream.from_signed(16, -3, 2)
+        assert s.start_bank == 13
+
+    def test_backwards_loop_same_conflict_behaviour(self):
+        """-d and m-d produce identical bank walks."""
+        fwd = AccessStream(start_bank=0, stride=13)
+        bwd = AccessStream.from_signed(16, 0, -3)
+        assert [bwd.bank_at(k, 16) for k in range(16)] == [
+            fwd.bank_at(k, 16) for k in range(16)
+        ]
+
+    def test_length_and_label_carried(self):
+        s = AccessStream.from_signed(8, 0, -2, length=5, label="back")
+        assert s.length == 5 and s.label == "back"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessStream.from_signed(0, 0, 1)

@@ -1,0 +1,247 @@
+"""Unit tests for repro.core.theorems (Theorems 2-7, eq. 29)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import theorems as th
+from repro.core.arithmetic import access_set
+from repro.core.theorems import PairGeometry
+
+
+class TestPairGeometry:
+    def test_reduction(self):
+        g = PairGeometry.of(12, 3, 4, 6)
+        assert g.f == 2
+        assert (g.m_red, g.d1_red, g.d2_red) == (6, 2, 3)
+        assert (g.r1, g.r2) == (3, 2)
+
+    def test_zero_strides(self):
+        g = PairGeometry.of(12, 3, 0, 0)
+        assert g.f == 12 and g.m_red == 1
+
+    def test_no_self_conflicts_flag(self):
+        assert PairGeometry.of(12, 3, 1, 7).no_self_conflicts
+        assert not PairGeometry.of(16, 4, 8, 1).no_self_conflicts
+
+    def test_require_canonical(self):
+        PairGeometry.of(12, 3, 1, 5).require_canonical()  # fine: 1 | 12
+        with pytest.raises(ValueError):
+            PairGeometry.of(12, 3, 5, 7).require_canonical()  # 5 ∤ 12
+        with pytest.raises(ValueError):
+            PairGeometry.of(12, 3, 2, 1).require_canonical()  # d2 < d1
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            PairGeometry.of(0, 3, 1, 2)
+        with pytest.raises(ValueError):
+            PairGeometry.of(12, 0, 1, 2)
+
+
+class TestTheorem2Disjoint:
+    def test_possible_iff_gcd3_gt_1(self):
+        assert th.disjoint_sets_possible(12, 2, 4)
+        assert th.disjoint_sets_possible(12, 3, 6)
+        assert not th.disjoint_sets_possible(12, 1, 7)
+        assert not th.disjoint_sets_possible(13, 2, 4)  # prime m
+
+    def test_offsets_actually_disjoint(self):
+        m = 12
+        for d1, d2 in [(2, 4), (3, 6), (2, 2), (4, 8), (6, 6)]:
+            offs = th.disjoint_start_offsets(m, d1, d2)
+            assert offs, f"expected offsets for ({d1},{d2})"
+            for off in offs:
+                z1 = access_set(m, d1, 0)
+                z2 = access_set(m, d2, off)
+                assert not (z1 & z2), (d1, d2, off)
+
+    def test_consecutive_start_banks_work(self):
+        # The proof's construction: b2 = b1 + 1 when f > 1.
+        assert 1 in th.disjoint_start_offsets(12, 2, 4)
+
+    def test_no_offsets_when_impossible(self):
+        assert th.disjoint_start_offsets(12, 1, 7) == []
+
+    def test_zero_strides(self):
+        # Both streams pinned to one bank: disjoint iff different banks.
+        assert th.disjoint_sets_possible(12, 0, 0)
+        offs = th.disjoint_start_offsets(12, 0, 0)
+        assert 0 not in offs and len(offs) == 11
+
+    def test_m_one_degenerate(self):
+        assert not th.disjoint_sets_possible(1, 0, 0)
+
+
+class TestTheorem3ConflictFree:
+    def test_fig2_case(self):
+        # m=12, n_c=3, d=(1,7): gcd(12, 6) = 6 >= 2*3.
+        assert th.conflict_free_possible(12, 3, 1, 7)
+
+    def test_fig3_case_not_cf(self):
+        # m=13, n_c=6, d=(1,6): gcd(13,5)=1 < 12.
+        assert not th.conflict_free_possible(13, 6, 1, 6)
+
+    def test_equal_strides_gcd_zero_convention(self):
+        # d1 = d2: drift 0, gcd(m', 0) = m' = r; CF iff r >= 2 n_c.
+        assert th.conflict_free_possible(12, 3, 1, 1)       # r=12 >= 6
+        assert not th.conflict_free_possible(12, 3, 4, 4)   # r=3 < 6
+        assert th.conflict_free_possible(16, 4, 2, 2)       # r=8 >= 8
+
+    def test_f_reduction(self):
+        # (d1,d2)=(2,14) on m=24, n_c=3: f=2 → (1,7) on 12, gcd=6 ≥ 6.
+        assert th.conflict_free_possible(24, 3, 2, 14)
+
+    def test_start_offset_is_nc_d1(self):
+        assert th.conflict_free_start_offset(12, 3, 1, 7) == 3
+        assert th.conflict_free_start_offset(13, 6, 1, 6) is None
+
+    def test_synchronizes_alias(self):
+        assert th.synchronizes(12, 3, 1, 7)
+        assert not th.synchronizes(13, 6, 1, 6)
+
+    def test_symmetry_in_pair_order(self):
+        # |d2-d1| makes the condition order-independent.
+        assert th.conflict_free_possible(12, 3, 7, 1)
+
+
+class TestTheorem4Barrier:
+    def test_fig3_barrier_possible(self):
+        # m=13, n_c=6, d=(1,6): (6-1) mod 13 = 5 ∈ [1,5].
+        assert th.barrier_possible(13, 6, 1, 6)
+
+    def test_fig5_barrier_possible(self):
+        # m=13, n_c=4, d=(1,3): (3-1) mod 13 = 2 ∈ [1,3].
+        assert th.barrier_possible(13, 4, 1, 3)
+
+    def test_drift_too_large(self):
+        # m=13, n_c=4, d=(1,6): c = 5 >= n_c ⇒ no barrier.
+        assert not th.barrier_possible(13, 4, 1, 6)
+
+    def test_requires_r1_at_least_2nc(self):
+        # m=12, d1=2 ⇒ r1=6 < 2*4: preconditions fail.
+        assert not th.barrier_possible(12, 4, 2, 3)
+
+    def test_requires_canonical_form(self):
+        with pytest.raises(ValueError):
+            th.barrier_possible(13, 4, 3, 1)  # d2 < d1
+        with pytest.raises(ValueError):
+            th.barrier_possible(12, 3, 5, 7)  # d1 ∤ m
+
+    def test_drift_zero_mod_mpp_not_barrier(self):
+        # m=12, n_c=2, d=(3,7): f=1, m''=12/3=4, c=(7-3) mod 4 = 0 —
+        # the streams' meeting drift never lands in the busy shadow.
+        assert not th.barrier_possible(12, 2, 3, 7)
+
+
+class TestTheorem5DoubleConflict:
+    def test_fig5_no_double(self):
+        # (n_c-1)(d2+d1) = 3*4 = 12 < 13.
+        assert th.double_conflict_impossible(13, 4, 1, 3)
+
+    def test_fig3_double_possible(self):
+        # (6-1)*(6+1) = 35 >= 13: double conflicts can occur (Fig. 4!).
+        assert not th.double_conflict_impossible(13, 6, 1, 6)
+
+
+class TestTheorems6And7Uniqueness:
+    def test_fig5_not_unique(self):
+        # m=13, n_c=4, d=(1,3): (2*4-1)*3 = 21 > 13 — Theorem 6 fails,
+        # and Fig. 6 indeed shows an inverted barrier for b2 = 1.
+        assert not th.unique_barrier_by_modulus(13, 4, 1, 3)
+
+    def test_theorem6_large_m(self):
+        # Scale the Fig. 5 pair up: m=26, n_c=4, d=(1,3): 21 <= 26 and
+        # barrier still possible ((3-1) mod 26 = 2 < 4).
+        assert th.barrier_possible(26, 4, 1, 3)
+        assert th.unique_barrier_by_modulus(26, 4, 1, 3)
+
+    def test_unique_barrier_combined(self):
+        assert th.unique_barrier(26, 4, 1, 3)
+        assert not th.unique_barrier(13, 4, 1, 6)  # no barrier at all
+
+    def test_theorem7_small_m_path(self):
+        # Any pair where T4+T5 hold but T6 fails exercises eq. (25).
+        # m=13, n_c=4, d=(1,3): k = ceil(13/3)*1 = 5 < 8;
+        # lhs = 5*3 mod 13 = 2; rhs = (5-4)*1 = 1 ⇒ 2 < 1 false ⇒ not unique.
+        assert not th.unique_barrier_small_m(13, 4, 1, 3)
+
+    def test_theorem7_priority_equality_case(self):
+        # The eq. (28) tie-break can only ever *add* uniqueness.
+        for m, n_c, d1, d2 in [(13, 4, 1, 3), (13, 6, 1, 6), (26, 4, 1, 3)]:
+            base = th.unique_barrier(m, n_c, d1, d2, stream1_priority=False)
+            with_prio = th.unique_barrier(m, n_c, d1, d2, stream1_priority=True)
+            assert base <= with_prio
+
+
+class TestEq29BarrierBandwidth:
+    def test_values(self):
+        assert th.barrier_bandwidth(1, 6) == Fraction(7, 6)
+        assert th.barrier_bandwidth(1, 3) == Fraction(4, 3)
+        assert th.barrier_bandwidth(2, 3) == Fraction(5, 3)
+
+    def test_strictly_below_two(self):
+        for d1 in range(1, 8):
+            for d2 in range(d1 + 1, 9):
+                assert 1 < th.barrier_bandwidth(d1, d2) < 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            th.barrier_bandwidth(1, 0)
+        with pytest.raises(ValueError):
+            th.barrier_bandwidth(-1, 3)
+
+
+class TestBarrierCycle:
+    def test_cycle_counts(self):
+        clocks, g1, g2 = th.barrier_cycle(13, 1, 6)
+        assert (clocks, g1, g2) == (6, 6, 1)
+        assert Fraction(g1 + g2, clocks) == th.barrier_bandwidth(1, 6)
+
+    def test_reduced_by_f(self):
+        clocks, g1, g2 = th.barrier_cycle(26, 2, 6)
+        assert (clocks, g1, g2) == (3, 3, 1)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            th.barrier_cycle(12, 0, 12)
+
+
+class TestBarrierStartOffset:
+    def test_offset_zero_when_possible(self):
+        assert th.barrier_start_offset(13, 6, 1, 6) == 0
+        assert th.barrier_start_offset(13, 4, 1, 3) == 0
+
+    def test_none_when_impossible(self):
+        assert th.barrier_start_offset(13, 4, 1, 6) is None
+
+    def test_offset_actually_barriers_stream_2(self):
+        """Exhaustive check of the construction across shapes."""
+        from repro.analysis.sweep import canonical_pairs
+        from repro.core.single import predict_single
+        from repro.memory.config import MemoryConfig
+        from repro.sim.pairs import ObservedRegime, simulate_pair
+
+        checked = 0
+        for m, n_c in [(13, 4), (16, 2), (26, 4)]:
+            cfg = MemoryConfig(banks=m, bank_cycle=n_c)
+            for d1, d2 in canonical_pairs(m):
+                if d1 >= d2:
+                    continue
+                r1 = predict_single(m, d1, n_c)
+                r2 = predict_single(m, d2, n_c)
+                if not (
+                    r1.return_number >= 2 * n_c
+                    and r2.return_number > n_c
+                ):
+                    continue
+                off = th.barrier_start_offset(m, n_c, d1, d2)
+                if off is None:
+                    continue
+                pr = simulate_pair(cfg, d1, d2, b2=off, priority="fixed")
+                assert pr.regime is ObservedRegime.BARRIER_ON_2, (
+                    m, n_c, d1, d2,
+                )
+                checked += 1
+        assert checked >= 10

@@ -1,0 +1,176 @@
+"""Integration tests: every trace figure of the paper, end to end.
+
+Each test sets up the exact configuration of a figure, runs the
+cycle-accurate simulator, and checks the quantitative claims the figure
+illustrates (steady bandwidth, regime, who delays whom).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import classify_pair, theorems
+from repro.core.classify import PairRegime
+from repro.sim.pairs import ObservedRegime, simulate_pair
+
+
+class TestFig2ConflictFree:
+    """m=12, n_c=3, d=(1,7): conflict-free, b_eff = 2."""
+
+    def test_theory(self, fig2):
+        assert theorems.conflict_free_possible(12, 3, 1, 7)
+        assert classify_pair(12, 3, 1, 7).regime is PairRegime.CONFLICT_FREE
+
+    def test_simulation_from_every_start(self, fig2):
+        # Synchronization: all 12 relative starts converge to b_eff = 2.
+        for b2 in range(12):
+            pr = simulate_pair(fig2, 1, 7, b2=b2)
+            assert pr.bandwidth == 2, b2
+            assert pr.regime is ObservedRegime.CONFLICT_FREE
+
+
+class TestFig3Barrier:
+    """m=13, n_c=6, d=(1,6): barrier-situation, b_eff = 7/6."""
+
+    def test_theory(self, fig3):
+        assert theorems.barrier_possible(13, 6, 1, 6)
+        # Theorem 5's guard fails: double conflicts ARE possible here.
+        assert not theorems.double_conflict_impossible(13, 6, 1, 6)
+        assert theorems.barrier_bandwidth(1, 6) == Fraction(7, 6)
+
+    def test_simulated_barrier_at_paper_start(self, fig3):
+        pr = simulate_pair(fig3, 1, 6, b2=0)
+        assert pr.bandwidth == Fraction(7, 6)
+        assert pr.regime is ObservedRegime.BARRIER_ON_2
+
+    def test_barrier_cycle_structure(self, fig3):
+        # One barrier period: 6 clocks, stream 1 gets 6 grants, stream 2
+        # gets 1 (paper, above eq. 29).
+        pr = simulate_pair(fig3, 1, 6, b2=0)
+        assert pr.period % 6 == 0
+        scale = pr.period // 6
+        assert pr.grants == (6 * scale, 1 * scale)
+
+
+class TestFig4DoubleConflict:
+    """Same memory, b2 = 1: the barrier is NOT reached — mutual delays."""
+
+    def test_simulated(self, fig3):
+        pr = simulate_pair(fig3, 1, 6, b2=1)
+        assert pr.regime is ObservedRegime.MUTUAL
+        # both streams lose grants in the cycle
+        assert pr.grants[0] < pr.period
+        assert pr.grants[1] < pr.period
+
+    def test_start_dependence_documented_by_classifier(self):
+        c = classify_pair(13, 6, 1, 6)
+        assert c.predicted_bandwidth is None
+        assert c.bandwidth_lower <= Fraction(16, 17)
+
+
+class TestFig5And6BarrierOrientation:
+    """m=13, n_c=4, d=(1,3): barrier for b2=7, inverted for b2=1."""
+
+    def test_theory(self):
+        assert theorems.barrier_possible(13, 4, 1, 3)
+        assert theorems.double_conflict_impossible(13, 4, 1, 3)
+        # Not unique: Theorem 6's modulus bound fails...
+        assert not theorems.unique_barrier_by_modulus(13, 4, 1, 3)
+        # ...and Theorem 7's eq. (25) also rejects it.
+        assert not theorems.unique_barrier_small_m(13, 4, 1, 3)
+
+    def test_fig5_barrier(self, fig5):
+        pr = simulate_pair(fig5, 1, 3, b2=7)
+        assert pr.bandwidth == Fraction(4, 3)
+        assert pr.regime is ObservedRegime.BARRIER_ON_2
+
+    def test_fig6_inverted_barrier(self, fig5):
+        pr = simulate_pair(fig5, 1, 3, b2=1)
+        assert pr.regime is ObservedRegime.BARRIER_ON_1
+
+    def test_no_double_conflicts_any_start(self, fig5):
+        # Theorem 5 holds, so no start may produce mutual delays.
+        for b2 in range(13):
+            pr = simulate_pair(fig5, 1, 3, b2=b2)
+            assert pr.regime is not ObservedRegime.MUTUAL, b2
+
+
+class TestUniqueBarrierScaledUp:
+    """m=26, n_c=4, d=(1,3): Theorem 6 applies — barrier from EVERY start."""
+
+    def test_theory(self):
+        assert theorems.unique_barrier_by_modulus(26, 4, 1, 3)
+
+    def test_every_start_barriers_stream2(self):
+        from repro.memory.config import MemoryConfig
+
+        cfg = MemoryConfig(banks=26, bank_cycle=4)
+        for b2 in range(26):
+            pr = simulate_pair(cfg, 1, 3, b2=b2)
+            assert pr.bandwidth == Fraction(4, 3), b2
+            assert pr.regime is ObservedRegime.BARRIER_ON_2, b2
+
+
+class TestFig7SectionedConflictFree:
+    """m=12, s=2, n_c=2, d=(1,1), offset (n_c+1)d1=3: conflict free."""
+
+    def test_theory(self):
+        from repro.core import sections as sec
+
+        # Theorem 9's direct path fails (2 | n_c*d1 = 2)...
+        assert not sec.path_conflict_free(12, 2, 2, 1, 1)
+        # ...but eq. (32) rescues it with the 3-offset.
+        assert sec.sections_conflict_free_start_offset(12, 2, 2, 1, 1) == 3
+
+    def test_simulated(self, fig7):
+        pr = simulate_pair(fig7, 1, 1, b2=3, same_cpu=True)
+        assert pr.bandwidth == 2
+        assert pr.regime is ObservedRegime.CONFLICT_FREE
+
+    def test_nc_offset_fails(self, fig7):
+        # The n_c*d1 = 2 offset collides on the paths: b_eff < 2.
+        pr = simulate_pair(fig7, 1, 1, b2=2, same_cpu=True)
+        assert pr.bandwidth < 2
+
+
+class TestFig8LinkedConflict:
+    """m=12, s=3, n_c=3, d=(1,1), b=(0,1): fixed priority locks at 3/2,
+    cyclic priority resolves to 2."""
+
+    def test_fixed_priority_locks(self, fig8):
+        pr = simulate_pair(fig8, 1, 1, b2=1, same_cpu=True, priority="fixed")
+        assert pr.bandwidth == Fraction(3, 2)
+
+    def test_cyclic_priority_resolves(self, fig8):
+        pr = simulate_pair(fig8, 1, 1, b2=1, same_cpu=True, priority="cyclic")
+        assert pr.bandwidth == 2
+        assert pr.regime is ObservedRegime.CONFLICT_FREE
+
+    def test_linked_conflict_mixes_conflict_kinds(self, fig8):
+        # The defining feature: alternating bank and section conflicts.
+        from repro.sim.stats import ConflictKind
+
+        pr = simulate_pair(
+            fig8, 1, 1, b2=1, same_cpu=True, priority="fixed", trace=True
+        )
+        stats = pr.result.stats
+        assert stats.stall_cycles(ConflictKind.BANK) > 0
+        assert stats.stall_cycles(ConflictKind.SECTION) > 0
+
+
+class TestFig9ConsecutiveSections:
+    """Cheung & Smith's consecutive grouping prevents the linked
+    conflict even under fixed priority."""
+
+    def test_simulated(self, fig8):
+        cfg = fig8.with_sections(3, "consecutive")
+        pr = simulate_pair(cfg, 1, 1, b2=1, same_cpu=True, priority="fixed")
+        assert pr.bandwidth == 2
+        assert pr.regime is ObservedRegime.CONFLICT_FREE
+
+    def test_mapping_is_the_only_change(self, fig8):
+        # identical run with cyclic striping locks (control experiment)
+        pr = simulate_pair(fig8, 1, 1, b2=1, same_cpu=True, priority="fixed")
+        assert pr.bandwidth == Fraction(3, 2)

@@ -1,0 +1,104 @@
+"""Broad cross-validation: every closed form against the simulator.
+
+These are the heavyweight consistency sweeps (DESIGN.md T-A/T-B/T-C as
+tests rather than benches) over several memory shapes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sweep import canonical_pairs, pair_sweep
+from repro.analysis.validate import (
+    validate_conflict_free,
+    validate_disjoint,
+    validate_single_stream,
+    validate_unique_barrier,
+)
+from repro.core import theorems
+from repro.core.single import predict_single
+
+
+SHAPES = [(8, 2), (8, 4), (12, 3), (13, 4), (16, 4)]
+
+
+class TestSingleStreamEverywhere:
+    @pytest.mark.parametrize("m,n_c", SHAPES)
+    def test_no_discrepancies(self, m, n_c):
+        assert validate_single_stream(m, n_c) == []
+
+
+class TestTheorem2Everywhere:
+    @pytest.mark.parametrize("m,n_c", [(8, 2), (12, 3), (16, 4)])
+    def test_no_discrepancies(self, m, n_c):
+        pairs = [
+            (d1, d2)
+            for d1 in range(1, m)
+            for d2 in range(d1, m)
+        ]
+        assert validate_disjoint(m, n_c, pairs) == []
+
+
+class TestTheorem3Everywhere:
+    @pytest.mark.parametrize("m,n_c", [(8, 2), (12, 3), (13, 4)])
+    def test_no_discrepancies(self, m, n_c):
+        pairs = [
+            (d1, d2)
+            for d1 in range(1, m)
+            for d2 in range(d1, m)
+        ]
+        assert validate_conflict_free(m, n_c, pairs) == []
+
+
+class TestUniqueBarrierEverywhere:
+    @pytest.mark.parametrize("m,n_c", [(12, 2), (13, 4), (16, 2), (26, 4)])
+    def test_no_discrepancies(self, m, n_c):
+        pairs = [
+            (d1, d2) for d1, d2 in canonical_pairs(m) if d1 < d2
+        ]
+        assert validate_unique_barrier(m, n_c, pairs) == []
+
+
+class TestClassifierBoundsEverywhere:
+    @pytest.mark.parametrize("m,n_c", [(8, 2), (12, 3)])
+    def test_bounds_bracket_simulation(self, m, n_c):
+        for row in pair_sweep(m, n_c):
+            assert row.within_bounds, (
+                row.d1, row.d2, row.regime, row.best, row.worst,
+            )
+
+
+class TestBarrierBandwidthFormula:
+    def test_eq29_against_simulation_where_unique(self):
+        """For every unique-barrier pair found on a grid of shapes, the
+        simulated bandwidth equals 1 + d1/d2 from every start."""
+        from repro.memory.config import MemoryConfig
+        from repro.sim.pairs import simulate_pair
+
+        hits = 0
+        for m, n_c in [(16, 2), (26, 4), (24, 3)]:
+            cfg = MemoryConfig(banks=m, bank_cycle=n_c)
+            for d1, d2 in canonical_pairs(m):
+                if d1 >= d2:
+                    continue
+                r1 = predict_single(m, d1, n_c)
+                r2 = predict_single(m, d2, n_c)
+                if not (r1.return_number >= 2 * n_c and r2.return_number > n_c):
+                    continue
+                if not theorems.unique_barrier(
+                    m, n_c, d1, d2, stream1_priority=True
+                ):
+                    continue
+                hits += 1
+                expect = theorems.barrier_bandwidth(d1, d2)
+                from repro.core.arithmetic import access_set
+
+                z1 = access_set(m, d1, 0)
+                for b2 in range(0, m, max(1, m // 6)):  # sample starts
+                    if not (z1 & access_set(m, d2, b2)):
+                        continue  # disjoint sets: Theorem 2 territory
+                    pr = simulate_pair(cfg, d1, d2, b2=b2, priority="fixed")
+                    assert pr.bandwidth == expect, (m, n_c, d1, d2, b2)
+        assert hits >= 3  # the sweep actually exercised the formula

@@ -1,0 +1,49 @@
+"""Unit tests for repro.machine.experiments (dueling triads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.experiments import contention_matrix, dueling_triads
+
+
+class TestDuelingTriads:
+    def test_symmetric_increments_balance(self):
+        r = dueling_triads(1, 1, n=256)
+        assert r.imbalance < 1.1
+        assert r.total_cycles >= max(r.cycles_cpu0, r.cycles_cpu1)
+
+    def test_unit_stride_beats_stride3(self):
+        # the INC=3 CPU is barriered by the INC=1 CPU's streams
+        r = dueling_triads(1, 3, n=256)
+        assert r.cycles_cpu1 > 1.2 * r.cycles_cpu0
+
+    def test_role_swap_mirrors(self):
+        a = dueling_triads(1, 3, n=256)
+        b = dueling_triads(3, 1, n=256)
+        # the loser is whoever runs INC=3, whichever CPU that is
+        assert a.cycles_cpu1 > a.cycles_cpu0
+        assert b.cycles_cpu0 > b.cycles_cpu1
+
+    def test_conflict_summaries_present(self):
+        r = dueling_triads(2, 2, n=128)
+        for summary in (r.conflicts_cpu0, r.conflicts_cpu1):
+            assert set(summary) == {"bank", "section", "simultaneous"}
+            assert all(v >= 0 for v in summary.values())
+
+    def test_shared_common_is_worse_or_equal(self):
+        sep = dueling_triads(1, 1, n=256, separate_commons=True)
+        shared = dueling_triads(1, 1, n=256, separate_commons=False)
+        total_sep = sep.cycles_cpu0 + sep.cycles_cpu1
+        total_shared = shared.cycles_cpu0 + shared.cycles_cpu1
+        assert total_shared >= 0.9 * total_sep  # at least not magically faster
+
+
+class TestContentionMatrix:
+    def test_grid_shape(self):
+        grid = contention_matrix([1, 2], [1, 3], n=128)
+        assert set(grid) == {(1, 1), (1, 3), (2, 1), (2, 3)}
+
+    def test_entries_are_duels(self):
+        grid = contention_matrix([1], [1], n=128)
+        assert grid[(1, 1)].inc0 == 1 and grid[(1, 1)].inc1 == 1

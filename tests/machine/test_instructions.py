@@ -1,0 +1,53 @@
+"""Unit tests for repro.machine.instructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.instructions import (
+    VECTOR_LENGTH,
+    PortKind,
+    VectorInstruction,
+)
+
+
+class TestVectorInstruction:
+    def test_stream_projection(self):
+        instr = VectorInstruction(
+            uid=0, name="LOAD B", kind=PortKind.READ,
+            base=17, stride=3, length=5,
+        )
+        s = instr.stream(16)
+        assert s.start_bank == 1
+        assert s.stride == 3
+        assert s.length == 5
+        assert s.label == "LOAD B"
+
+    def test_stride_reduced_mod_banks(self):
+        instr = VectorInstruction(
+            uid=0, name="x", kind=PortKind.READ, base=0, stride=18, length=4
+        )
+        assert instr.stream(16).stride == 2
+
+    def test_vector_length_constant(self):
+        assert VECTOR_LENGTH == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorInstruction(uid=-1, name="x", kind=PortKind.READ,
+                              base=0, stride=1, length=1)
+        with pytest.raises(ValueError):
+            VectorInstruction(uid=0, name="x", kind=PortKind.READ,
+                              base=-1, stride=1, length=1)
+        with pytest.raises(ValueError):
+            VectorInstruction(uid=0, name="x", kind=PortKind.READ,
+                              base=0, stride=0, length=1)
+        with pytest.raises(ValueError):
+            VectorInstruction(uid=0, name="x", kind=PortKind.READ,
+                              base=0, stride=1, length=0)
+
+    def test_frozen(self):
+        instr = VectorInstruction(uid=0, name="x", kind=PortKind.READ,
+                                  base=0, stride=1, length=1)
+        with pytest.raises(AttributeError):
+            instr.base = 5  # type: ignore[misc]

@@ -1,0 +1,128 @@
+"""Unit tests for repro.machine.kernels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fortran import ArraySpec
+from repro.machine.instructions import PortKind
+from repro.machine.kernels import (
+    copy_program,
+    daxpy_program,
+    matrix_sweep_program,
+    scale_program,
+    sum_program,
+)
+from repro.machine.xmp import run_program
+from repro.memory.layout import CommonBlock
+
+
+@pytest.fixture
+def common():
+    return CommonBlock.build(
+        [("A", (4096,)), ("B", (4096,)), ("C", (4096,)), ("D", (4096,))]
+    )
+
+
+class TestProgramShapes:
+    def test_copy(self, common):
+        prog = copy_program(1, n=128, common=common)
+        assert len(prog) == 4  # 2 segments x (load + store)
+        assert prog[0].kind is PortKind.READ
+        assert prog[1].kind is PortKind.WRITE
+        assert prog[1].depends_on == (prog[0].uid,)
+
+    def test_scale_same_memory_shape_as_copy(self, common):
+        a = copy_program(2, n=64, common=common)
+        b = scale_program(2, n=64, common=common)
+        assert [(i.kind, i.base, i.stride, i.length) for i in a] == [
+            (i.kind, i.base, i.stride, i.length) for i in b
+        ]
+
+    def test_sum_is_load_only(self, common):
+        prog = sum_program(1, n=128, common=common, src="A")
+        assert all(i.kind is PortKind.READ for i in prog)
+        assert len(prog) == 2
+
+    def test_daxpy(self, common):
+        prog = daxpy_program(1, n=64, common=common)
+        kinds = [i.kind for i in prog]
+        assert kinds == [PortKind.READ, PortKind.READ, PortKind.WRITE]
+        # the store writes the same array the second load reads
+        assert prog[2].base == prog[1].base
+
+    def test_strided_addresses(self, common):
+        prog = copy_program(3, n=128, common=common)
+        seg2_load = prog[2]
+        assert seg2_load.base == common["B"].base + 64 * 3
+        assert seg2_load.stride == 3
+
+    def test_overflow_detected(self, common):
+        with pytest.raises(ValueError):
+            copy_program(64, n=128, common=common)  # needs 1+127*64 words
+
+    def test_validation(self, common):
+        with pytest.raises(ValueError):
+            copy_program(0, n=64, common=common)
+        with pytest.raises(ValueError):
+            copy_program(1, n=0, common=common)
+
+
+class TestMatrixSweep:
+    def test_column_row_diagonal_strides(self):
+        arr = ArraySpec("M", (100, 50), base=0)
+        col = matrix_sweep_program(arr, "column")
+        row = matrix_sweep_program(arr, "row")
+        diag = matrix_sweep_program(arr, "diagonal")
+        assert col[0].stride == 1 and col[0].length == 64
+        assert row[0].stride == 100
+        assert diag[0].stride == 101
+        # lengths: column 100, row 50, diagonal 50
+        assert sum(i.length for i in col) == 100
+        assert sum(i.length for i in row) == 50
+        assert sum(i.length for i in diag) == 50
+
+    def test_store_doubles_instructions(self):
+        arr = ArraySpec("M", (64, 64))
+        ro = matrix_sweep_program(arr, "row")
+        rw = matrix_sweep_program(arr, "row", store=True)
+        assert len(rw) == 2 * len(ro)
+        assert rw[1].kind is PortKind.WRITE
+
+    def test_validation(self):
+        arr = ArraySpec("M", (8, 8))
+        with pytest.raises(ValueError):
+            matrix_sweep_program(arr, "antidiagonal")
+        with pytest.raises(ValueError):
+            matrix_sweep_program(arr, "row", n=100)
+        with pytest.raises(ValueError):
+            matrix_sweep_program(ArraySpec("V", (8,)), "row")
+
+
+class TestKernelsOnTheMachine:
+    def test_copy_runs(self, common):
+        r = run_program(
+            copy_program(1, n=128, common=common), other_cpu_active=False
+        )
+        assert r.triad_grants == 2 * 128
+
+    def test_daxpy_slower_than_copy(self, common):
+        copy = run_program(
+            copy_program(1, n=256, common=common), other_cpu_active=False
+        )
+        daxpy = run_program(
+            daxpy_program(1, n=256, common=common), other_cpu_active=False
+        )
+        assert daxpy.cycles >= copy.cycles
+
+    def test_row_sweep_of_resonant_matrix_is_slow(self):
+        # (16, 64) column-major: row stride 16 ≡ 0 mod 16 — one bank.
+        bad = ArraySpec("M", (16, 64))
+        good = ArraySpec("M", (17, 64))
+        slow = run_program(
+            matrix_sweep_program(bad, "row"), other_cpu_active=False
+        )
+        fast = run_program(
+            matrix_sweep_program(good, "row"), other_cpu_active=False
+        )
+        assert slow.cycles > 2 * fast.cycles

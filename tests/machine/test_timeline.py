@@ -1,0 +1,92 @@
+"""Unit tests for repro.machine.timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.timeline import port_utilisation, render_timeline
+from repro.machine.workloads import triad_program
+from repro.machine.xmp import build_xmp
+from repro.memory.layout import triad_common_block
+
+
+@pytest.fixture
+def finished_cpu():
+    machine = build_xmp()
+    cpu = machine.cpus[0]
+    cpu.load_program(triad_program(1, n=128, common=triad_common_block()))
+    machine.run_until_programs_finish()
+    return cpu
+
+
+class TestCpuTimeline:
+    def test_rows_cover_all_instructions(self, finished_cpu):
+        rows = finished_cpu.timeline()
+        assert len(rows) == 8  # 2 segments x 4 instructions
+
+    def test_rows_sorted_by_issue(self, finished_cpu):
+        rows = finished_cpu.timeline()
+        issues = [issue for _, _, issue, _ in rows]
+        assert issues == sorted(issues)
+
+    def test_completion_after_issue(self, finished_cpu):
+        for name, port, issue, done in finished_cpu.timeline():
+            assert done >= issue, name
+
+    def test_loads_on_read_ports_stores_on_write(self, finished_cpu):
+        for name, port, *_ in finished_cpu.timeline():
+            if name.startswith("LOAD"):
+                assert port in (0, 1), name
+            else:
+                assert port == 2, name
+
+    def test_store_starts_after_its_loads(self, finished_cpu):
+        rows = finished_cpu.timeline()
+        seg0_loads = [r for r in rows if "[0:64" in r[0] and r[0].startswith("LOAD")]
+        seg0_store = next(r for r in rows if r[0].startswith("STORE A[0:64"))
+        assert seg0_store[2] > max(r[3] for r in seg0_loads)
+
+    def test_port_of(self, finished_cpu):
+        assert finished_cpu.port_of(0) in (0, 1)  # first load
+
+    def test_empty_program(self):
+        machine = build_xmp()
+        assert machine.cpus[0].timeline() == []
+
+
+class TestRenderTimeline:
+    def test_render_layout(self, finished_cpu):
+        text = render_timeline(finished_cpu, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("clocks 0..")
+        assert len(lines) == 1 + 8
+        assert all("|" in l for l in lines[1:])
+
+    def test_max_rows_truncation(self, finished_cpu):
+        text = render_timeline(finished_cpu, width=40, max_rows=3)
+        assert "more instructions" in text
+
+    def test_empty(self):
+        machine = build_xmp()
+        assert "no retired" in render_timeline(machine.cpus[0])
+
+    def test_validation(self, finished_cpu):
+        with pytest.raises(ValueError):
+            render_timeline(finished_cpu, width=0)
+
+
+class TestPortUtilisation:
+    def test_fractions_in_unit_interval(self, finished_cpu):
+        util = port_utilisation(finished_cpu)
+        assert set(util) == {0, 1, 2}
+        for v in util.values():
+            assert 0 < v <= 1
+
+    def test_read_ports_busier_than_write(self, finished_cpu):
+        # 3 loads per segment on 2 read ports vs 1 store on the write port
+        util = port_utilisation(finished_cpu)
+        assert util[0] + util[1] > 2 * util[2]
+
+    def test_empty(self):
+        machine = build_xmp()
+        assert port_utilisation(machine.cpus[0]) == {}

@@ -1,0 +1,94 @@
+"""Unit tests for repro.machine.workloads (triad program generation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.instructions import PortKind
+from repro.machine.workloads import (
+    TRIAD_IDIM,
+    TRIAD_N,
+    strided_background,
+    triad_program,
+    unit_stride_background,
+)
+from repro.memory.layout import triad_common_block
+
+
+class TestTriadProgram:
+    def test_segment_count(self):
+        prog = triad_program(1)
+        # 1024 elements / 64 per segment = 16 segments × 4 instructions.
+        assert len(prog) == 16 * 4
+
+    def test_segment_structure(self):
+        prog = triad_program(2)
+        seg0 = prog[:4]
+        kinds = [i.kind for i in seg0]
+        assert kinds == [
+            PortKind.READ, PortKind.READ, PortKind.READ, PortKind.WRITE,
+        ]
+        store = seg0[3]
+        assert store.depends_on == (0, 1, 2)
+        # loads are independent
+        assert all(i.depends_on == () for i in seg0[:3])
+
+    def test_addresses_follow_inc(self):
+        common = triad_common_block()
+        prog = triad_program(3, common=common)
+        load_b_seg1 = prog[4]  # second segment's B load
+        assert load_b_seg1.base == common["B"].base + 64 * 3
+        assert load_b_seg1.stride == 3
+        assert load_b_seg1.length == 64
+
+    def test_start_banks_one_apart(self):
+        prog = triad_program(1)
+        first_banks = [i.stream(16).start_bank for i in prog[:4]]
+        # loads B, C, D then store A
+        assert first_banks == [1, 2, 3, 0]
+
+    def test_ragged_tail_segment(self):
+        prog = triad_program(1, n=100)  # 64 + 36
+        assert len(prog) == 8
+        assert prog[4].length == 36
+
+    def test_overflow_detection(self):
+        with pytest.raises(ValueError):
+            triad_program(17)  # 1 + 1023*17 > IDIM
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            triad_program(0)
+        with pytest.raises(ValueError):
+            triad_program(1, n=0)
+        with pytest.raises(ValueError):
+            triad_program(1, vector_length=0)
+
+    def test_constants(self):
+        assert TRIAD_N == 1024
+        assert TRIAD_IDIM == 16 * 1024 + 1
+
+
+class TestBackgrounds:
+    def test_unit_stride_default_stagger(self):
+        bg = unit_stride_background(16)
+        assert set(bg) == {0, 1, 2}
+        assert [bg[i].start_bank for i in range(3)] == [0, 5, 10]
+        assert all(s.stride == 1 and s.is_infinite for s in bg.values())
+
+    def test_explicit_stagger(self):
+        bg = unit_stride_background(16, ports=2, stagger=4)
+        assert [bg[i].start_bank for i in range(2)] == [0, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unit_stride_background(16, ports=0)
+
+    def test_strided_background(self):
+        bg = strided_background(16, [1, 2], starts=[3, 20])
+        assert bg[0].stride == 1 and bg[0].start_bank == 3
+        assert bg[1].stride == 2 and bg[1].start_bank == 4
+
+    def test_strided_background_validation(self):
+        with pytest.raises(ValueError):
+            strided_background(16, [1, 2], starts=[0])

@@ -1,0 +1,89 @@
+"""Unit tests for repro.memory.bank."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.bank import BankArray
+
+
+class TestLifecycle:
+    def test_initially_free(self):
+        banks = BankArray(4, 3)
+        assert all(banks.is_free(j) for j in range(4))
+        assert banks.active_banks() == []
+
+    def test_grant_holds_nc_clocks(self):
+        banks = BankArray(4, 3)
+        banks.grant(1)
+        assert not banks.is_free(1)
+        assert banks.remaining(1) == 3
+        banks.tick()
+        assert banks.remaining(1) == 2
+        banks.tick()
+        assert not banks.is_free(1)
+        banks.tick()
+        assert banks.is_free(1)  # free exactly after n_c ticks
+
+    def test_grant_to_active_bank_is_a_bug(self):
+        banks = BankArray(4, 3)
+        banks.grant(0)
+        with pytest.raises(RuntimeError):
+            banks.grant(0)
+
+    def test_regrant_after_recovery(self):
+        banks = BankArray(2, 2)
+        banks.grant(0)
+        banks.tick()
+        banks.tick()
+        banks.grant(0)  # no error
+        assert banks.remaining(0) == 2
+
+    def test_nc_one_frees_next_clock(self):
+        banks = BankArray(2, 1)
+        banks.grant(0)
+        assert not banks.is_free(0)
+        banks.tick()
+        assert banks.is_free(0)
+
+    def test_independent_banks(self):
+        banks = BankArray(3, 4)
+        banks.grant(0)
+        banks.grant(2)
+        assert banks.is_free(1)
+        assert banks.active_banks() == [0, 2]
+
+
+class TestSnapshots:
+    def test_roundtrip(self):
+        banks = BankArray(4, 3)
+        banks.grant(2)
+        banks.tick()
+        snap = banks.snapshot()
+        assert snap == (0, 0, 2, 0)
+        banks.tick()
+        banks.restore(snap)
+        assert banks.remaining(2) == 2
+
+    def test_snapshot_is_hashable(self):
+        banks = BankArray(4, 3)
+        hash(banks.snapshot())
+
+    def test_restore_validates_size(self):
+        banks = BankArray(4, 3)
+        with pytest.raises(ValueError):
+            banks.restore((0, 0))
+
+    def test_reset(self):
+        banks = BankArray(4, 3)
+        banks.grant(0)
+        banks.reset()
+        assert banks.active_banks() == []
+
+
+class TestValidation:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            BankArray(0, 3)
+        with pytest.raises(ValueError):
+            BankArray(4, 0)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.memory.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.config import (
+    CRAY_XMP_16,
+    FIG2_CONFIG,
+    FIG7_CONFIG,
+    FIG8_CONFIG,
+    MemoryConfig,
+)
+
+
+class TestConstruction:
+    def test_defaults_unsectioned(self):
+        c = MemoryConfig(banks=12, bank_cycle=3)
+        assert c.effective_sections == 12
+        assert not c.sectioned
+        assert c.banks_per_section == 1
+
+    def test_paper_aliases(self):
+        c = MemoryConfig(banks=12, bank_cycle=3)
+        assert c.m == 12 and c.n_c == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(banks=0, bank_cycle=3)
+        with pytest.raises(ValueError):
+            MemoryConfig(banks=12, bank_cycle=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(banks=12, bank_cycle=3, sections=5)  # 5 ∤ 12
+        with pytest.raises(ValueError):
+            MemoryConfig(banks=12, bank_cycle=3, sections=24)
+        with pytest.raises(ValueError):
+            MemoryConfig(banks=12, bank_cycle=3, sections=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(banks=12, bank_cycle=3, section_mapping="random")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FIG2_CONFIG.banks = 8  # type: ignore[misc]
+
+
+class TestMappings:
+    def test_bank_of_address(self):
+        c = MemoryConfig(banks=16, bank_cycle=4)
+        assert c.bank_of_address(0) == 0
+        assert c.bank_of_address(16 * 1024 + 1) == 1
+        with pytest.raises(ValueError):
+            c.bank_of_address(-1)
+
+    def test_cyclic_section_of_bank(self):
+        c = MemoryConfig(banks=12, bank_cycle=3, sections=3)
+        assert [c.section_of_bank(j) for j in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_consecutive_section_of_bank(self):
+        c = MemoryConfig(
+            banks=12, bank_cycle=3, sections=3, section_mapping="consecutive"
+        )
+        assert [c.section_of_bank(j) for j in (0, 3, 4, 7, 8, 11)] == [
+            0, 0, 1, 1, 2, 2,
+        ]
+
+    def test_section_of_bank_bounds(self):
+        with pytest.raises(ValueError):
+            FIG8_CONFIG.section_of_bank(12)
+
+
+class TestHelpers:
+    def test_with_sections(self):
+        c = FIG8_CONFIG.with_sections(3, "consecutive")
+        assert c.section_mapping == "consecutive"
+        assert c.banks == FIG8_CONFIG.banks
+        # original untouched
+        assert FIG8_CONFIG.section_mapping == "cyclic"
+
+    def test_with_sections_keeps_mapping_by_default(self):
+        c = FIG7_CONFIG.with_sections(6)
+        assert c.section_mapping == "cyclic"
+        assert c.effective_sections == 6
+
+    def test_describe(self):
+        assert "m=16" in CRAY_XMP_16.describe()
+        assert "n_c=4" in CRAY_XMP_16.describe()
+
+
+class TestPresets:
+    def test_xmp_shape(self):
+        assert CRAY_XMP_16.banks == 16
+        assert CRAY_XMP_16.bank_cycle == 4
+        assert CRAY_XMP_16.effective_sections == 4
+        assert CRAY_XMP_16.sectioned
+
+    def test_fig_presets(self):
+        assert (FIG2_CONFIG.banks, FIG2_CONFIG.bank_cycle) == (12, 3)
+        assert FIG7_CONFIG.effective_sections == 2
+        assert FIG8_CONFIG.effective_sections == 3

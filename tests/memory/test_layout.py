@@ -1,0 +1,64 @@
+"""Unit tests for repro.memory.layout (COMMON blocks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fortran import ArraySpec
+from repro.memory.layout import CommonBlock, triad_common_block
+
+
+class TestBuild:
+    def test_storage_association(self):
+        blk = CommonBlock.build([("A", (10,)), ("B", (5,)), ("C", (2, 3))])
+        assert blk["A"].base == 0
+        assert blk["B"].base == 10
+        assert blk["C"].base == 15
+        assert blk.size == 21
+
+    def test_nonzero_base(self):
+        blk = CommonBlock.build([("A", (4,))], base=100)
+        assert blk["A"].base == 100
+
+    def test_getitem_unknown(self):
+        blk = CommonBlock.build([("A", (4,))])
+        with pytest.raises(KeyError):
+            blk["Z"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            CommonBlock.build([("A", (4,)), ("A", (4,))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CommonBlock(arrays=(), base=0)
+
+    def test_mismatched_bases_rejected(self):
+        a = ArraySpec("A", (10,), base=0)
+        b = ArraySpec("B", (5,), base=11)  # should be 10
+        with pytest.raises(ValueError):
+            CommonBlock(arrays=(a, b))
+
+
+class TestTriadLayout:
+    def test_one_bank_apart(self):
+        """Section IV: IDIM = 16*1024+1 puts A,B,C,D one bank apart."""
+        blk = triad_common_block()
+        banks = blk.start_banks(16)
+        assert banks == {"A": 0, "B": 1, "C": 2, "D": 3}
+
+    def test_other_idim_changes_spacing(self):
+        blk = triad_common_block(idim=16 * 1024)  # multiple of 16
+        banks = blk.start_banks(16)
+        assert banks == {"A": 0, "B": 0, "C": 0, "D": 0}
+
+    def test_sizes(self):
+        blk = triad_common_block()
+        assert blk.size == 4 * (16 * 1024 + 1)
+        assert all(
+            blk[n].size == 16 * 1024 + 1 for n in ("A", "B", "C", "D")
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            triad_common_block(idim=0)

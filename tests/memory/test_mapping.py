@@ -1,0 +1,106 @@
+"""Unit tests for repro.memory.mapping (interleave + skew)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.mapping import InterleavedMapping, LinearSkewMapping
+
+
+class TestInterleaved:
+    def test_low_order_bits(self):
+        m = InterleavedMapping(16)
+        assert m.bank_of(0) == 0
+        assert m.bank_of(17) == 1
+        assert m.cell_of(17) == 1
+        assert m.locate(35) == (3, 2)
+
+    def test_stream_banks_constant_distance(self):
+        m = InterleavedMapping(12)
+        banks = m.stream_banks(base=3, stride=7, count=5)
+        assert banks == [3, 10, 5, 0, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterleavedMapping(0)
+        m = InterleavedMapping(4)
+        with pytest.raises(ValueError):
+            m.bank_of(-1)
+        with pytest.raises(ValueError):
+            m.stream_banks(0, 1, -1)
+
+
+class TestLinearSkew:
+    def test_zero_skew_is_interleave(self):
+        plain = InterleavedMapping(8)
+        skew0 = LinearSkewMapping(8, skew=0)
+        for a in range(64):
+            assert plain.bank_of(a) == skew0.bank_of(a)
+
+    def test_row_rotation(self):
+        m = LinearSkewMapping(4, skew=1)
+        # row 0: banks 0,1,2,3; row 1 rotated by 1: 1,2,3,0; ...
+        assert [m.bank_of(a) for a in range(4)] == [0, 1, 2, 3]
+        assert [m.bank_of(a) for a in range(4, 8)] == [1, 2, 3, 0]
+        assert [m.bank_of(a) for a in range(8, 12)] == [2, 3, 0, 1]
+
+    def test_each_row_is_a_permutation(self):
+        m = LinearSkewMapping(8, skew=3)
+        for row in range(8):
+            banks = {m.bank_of(row * 8 + col) for col in range(8)}
+            assert banks == set(range(8))
+
+    def test_column_sweep_distributes(self):
+        # The headline property: stride = m (a column of an m-wide
+        # array) hits all banks instead of one.
+        m = LinearSkewMapping(8, skew=1)
+        banks = m.stream_banks(base=0, stride=8, count=8)
+        assert set(banks) == set(range(8))
+        plain = InterleavedMapping(8)
+        assert set(plain.stream_banks(0, 8, 8)) == {0}
+
+    def test_skew_reduced_mod_m(self):
+        a = LinearSkewMapping(8, skew=9)
+        b = LinearSkewMapping(8, skew=1)
+        for addr in range(64):
+            assert a.bank_of(addr) == b.bank_of(addr)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSkewMapping(8, skew=-1)
+        m = LinearSkewMapping(8, 1)
+        with pytest.raises(ValueError):
+            m.bank_of(-1)
+        with pytest.raises(ValueError):
+            m.effective_stride_period(0)
+
+
+class TestXorSkew:
+    def test_requires_power_of_two(self):
+        from repro.memory.mapping import XorSkewMapping
+
+        with pytest.raises(ValueError):
+            XorSkewMapping(12)
+        with pytest.raises(ValueError):
+            XorSkewMapping(16, mult=4)  # even multiplier
+
+    def test_rows_are_permutations(self):
+        from repro.memory.mapping import XorSkewMapping
+
+        m = XorSkewMapping(8, mult=3)
+        for row in range(8):
+            banks = {m.bank_of(row * 8 + col) for col in range(8)}
+            assert banks == set(range(8))
+
+    def test_column_stride_scatters(self):
+        from repro.memory.mapping import XorSkewMapping
+
+        m = XorSkewMapping(16)
+        banks = m.stream_banks(0, 16, 16)
+        assert set(banks) == set(range(16))
+
+    def test_negative_address_rejected(self):
+        from repro.memory.mapping import XorSkewMapping
+
+        with pytest.raises(ValueError):
+            XorSkewMapping(8).bank_of(-1)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.memory.sections (bank-to-section maps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.memory.sections import (
+    ConsecutiveSectionMap,
+    CyclicSectionMap,
+    section_map_for,
+)
+
+
+class TestCyclicMap:
+    def test_striping(self):
+        smap = CyclicSectionMap(12, 3)
+        assert [smap.section_of(j) for j in range(12)] == [
+            0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2,
+        ]
+
+    def test_banks_in_section(self):
+        smap = CyclicSectionMap(12, 3)
+        assert smap.banks_in_section(1) == [1, 4, 7, 10]
+
+    def test_name(self):
+        assert CyclicSectionMap(12, 3).name == "cyclic"
+
+
+class TestConsecutiveMap:
+    def test_grouping(self):
+        smap = ConsecutiveSectionMap(12, 3)
+        assert [smap.section_of(j) for j in range(12)] == [
+            0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+        ]
+
+    def test_banks_in_section(self):
+        smap = ConsecutiveSectionMap(12, 3)
+        assert smap.banks_in_section(2) == [8, 9, 10, 11]
+
+    def test_unit_stride_stays_in_section(self):
+        # The property that defeats the linked conflict (Fig. 9): a
+        # d = 1 stream changes section only every m/s accesses.
+        smap = ConsecutiveSectionMap(12, 3)
+        sections = [smap.section_of(j % 12) for j in range(12)]
+        changes = sum(
+            1 for a, b in zip(sections, sections[1:]) if a != b
+        )
+        assert changes == 2  # vs 11 for the cyclic map
+
+    def test_name(self):
+        assert ConsecutiveSectionMap(12, 3).name == "consecutive"
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("cls", [CyclicSectionMap, ConsecutiveSectionMap])
+    def test_partition(self, cls):
+        smap = cls(12, 4)
+        seen: set[int] = set()
+        for k in range(4):
+            banks = smap.banks_in_section(k)
+            assert len(banks) == 3  # m/s each
+            seen.update(banks)
+        assert seen == set(range(12))
+
+    @pytest.mark.parametrize("cls", [CyclicSectionMap, ConsecutiveSectionMap])
+    def test_validation(self, cls):
+        with pytest.raises(ValueError):
+            cls(12, 5)
+        with pytest.raises(ValueError):
+            cls(12, 0)
+        with pytest.raises(ValueError):
+            cls(12, 24)
+        smap = cls(12, 3)
+        with pytest.raises(ValueError):
+            smap.section_of(12)
+        with pytest.raises(ValueError):
+            smap.banks_in_section(3)
+
+
+class TestFactory:
+    def test_cyclic_from_config(self):
+        cfg = MemoryConfig(banks=12, bank_cycle=3, sections=3)
+        assert isinstance(section_map_for(cfg), CyclicSectionMap)
+
+    def test_consecutive_from_config(self):
+        cfg = MemoryConfig(
+            banks=12, bank_cycle=3, sections=3, section_mapping="consecutive"
+        )
+        assert isinstance(section_map_for(cfg), ConsecutiveSectionMap)
+
+    def test_matches_config_shortcut(self):
+        # MemoryConfig.section_of_bank and the map must agree everywhere.
+        for mapping in ("cyclic", "consecutive"):
+            cfg = MemoryConfig(
+                banks=12, bank_cycle=3, sections=4, section_mapping=mapping
+            )
+            smap = section_map_for(cfg)
+            for j in range(12):
+                assert smap.section_of(j) == cfg.section_of_bank(j)

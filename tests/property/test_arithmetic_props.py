@@ -1,0 +1,110 @@
+"""Property-based tests for the number-theoretic core."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import arithmetic as ar
+from repro.core.stream import AccessStream
+
+banks = st.integers(min_value=1, max_value=64)
+strides = st.integers(min_value=0, max_value=200)
+
+
+class TestReturnNumberProperties:
+    @given(m=banks, d=strides)
+    def test_divides_m(self, m, d):
+        """Theorem 1 corollary: r | m always."""
+        assert m % ar.return_number(m, d % m) == 0
+
+    @given(m=banks, d=strides)
+    def test_matches_brute_force(self, m, d):
+        """r is literally the first repetition index of the bank walk."""
+        d %= m
+        seen = set()
+        k = 0
+        bank = 0
+        while bank not in seen:
+            seen.add(bank)
+            k += 1
+            bank = (k * d) % m
+        assert ar.return_number(m, d) == k
+
+    @given(m=banks, d=strides, b=strides)
+    def test_access_set_size(self, m, d, b):
+        assert len(ar.access_set(m, d % m, b % m)) == ar.return_number(m, d % m)
+
+    @given(m=banks, d=strides, b=strides, k=st.integers(0, 500))
+    def test_periodicity(self, m, d, b, k):
+        """bank(k + r) == bank(k)."""
+        s = AccessStream(start_bank=b % m, stride=d % m)
+        r = s.return_number(m)
+        assert s.bank_at(k, m) == s.bank_at(k + r, m)
+
+
+class TestEgcdProperties:
+    @given(a=st.integers(0, 10**6), b=st.integers(0, 10**6))
+    def test_bezout_identity(self, a, b):
+        g, x, y = ar.egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    @given(m=st.integers(2, 500), data=st.data())
+    def test_modinv_inverts(self, m, data):
+        a = data.draw(
+            st.sampled_from([k for k in range(1, m) if math.gcd(k, m) == 1])
+        )
+        assert (a * ar.modinv(a, m)) % m == 1
+
+
+class TestDivisorsProperties:
+    @given(n=st.integers(1, 5000))
+    def test_all_and_only_divisors(self, n):
+        ds = ar.divisors(n)
+        assert ds == sorted(ds)
+        assert all(n % d == 0 for d in ds)
+        assert len(ds) == sum(1 for k in range(1, n + 1) if n % k == 0)
+
+
+class TestProgressionProperties:
+    @given(m=st.integers(1, 64), step=st.integers(0, 200))
+    def test_minimal_residue_is_min_of_nonzero_orbit(self, m, step):
+        got = ar.minimal_positive_residue(m, step)
+        values = {(k * step) % m for k in range(1, 2 * m + 1)}
+        positive = {v for v in values if v > 0}
+        if positive:
+            assert got == min(positive)
+        else:
+            assert got == m  # gcd(m, 0) = m convention
+
+    @given(m=st.integers(1, 64), step=st.integers(0, 200))
+    def test_residues_are_multiples_of_gcd(self, m, step):
+        g = math.gcd(m, step % m)
+        rs = ar.progression_residues(m, step)
+        if g == 0:
+            assert rs == frozenset({0})
+        else:
+            assert rs == frozenset(range(0, m, g))
+
+
+class TestFirstCommonIndexProperties:
+    @given(
+        m=st.integers(2, 24),
+        d1=st.integers(0, 23),
+        d2=st.integers(0, 23),
+        b2=st.integers(0, 23),
+    )
+    @settings(max_examples=60)
+    def test_agrees_with_set_intersection(self, m, d1, d2, b2):
+        hit = ar.first_common_index(m, d1 % m, 0, d2 % m, b2 % m)
+        z1 = ar.access_set(m, d1 % m, 0)
+        z2 = ar.access_set(m, d2 % m, b2 % m)
+        if z1 & z2:
+            assert hit is not None
+            k1, k2 = hit
+            assert (k1 * (d1 % m)) % m == (b2 % m + k2 * (d2 % m)) % m
+        else:
+            assert hit is None

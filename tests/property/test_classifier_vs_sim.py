@@ -1,0 +1,69 @@
+"""Property: the classifier's exact predictions always match simulation.
+
+For random shapes and stride pairs, whenever :func:`classify_pair`
+commits to an exact bandwidth (conflict-free or Theorem-6 unique
+barrier), the cycle-accurate simulator must agree — on the appropriate
+start domain (overlapping access sets for barriers).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arithmetic import access_set
+from repro.core.classify import PairRegime, classify_pair
+from repro.memory.config import MemoryConfig
+from repro.sim.pairs import ObservedRegime, simulate_pair
+
+
+@st.composite
+def pair_case(draw):
+    m = draw(st.sampled_from([8, 12, 13, 16, 20, 24]))
+    n_c = draw(st.integers(2, 5))
+    d1 = draw(st.integers(1, m - 1))
+    d2 = draw(st.integers(1, m - 1))
+    b2 = draw(st.integers(0, m - 1))
+    return m, n_c, d1, d2, b2
+
+
+class TestExactPredictionsHold:
+    @given(case=pair_case())
+    @settings(max_examples=120, deadline=None)
+    def test_exact_predictions_match_simulation(self, case):
+        m, n_c, d1, d2, b2 = case
+        cls = classify_pair(m, n_c, d1, d2, stream1_priority=True)
+        if cls.predicted_bandwidth is None:
+            return  # nothing exact claimed
+
+        cfg = MemoryConfig(banks=m, bank_cycle=n_c)
+        pr = simulate_pair(cfg, d1, d2, b2=b2, priority="fixed")
+
+        if cls.regime is PairRegime.CONFLICT_FREE:
+            # synchronization: every start reaches 2
+            assert pr.bandwidth == 2, case
+        elif cls.regime is PairRegime.UNIQUE_BARRIER:
+            overlapping = bool(
+                access_set(m, d1, 0) & access_set(m, d2, b2)
+            )
+            if overlapping:
+                assert pr.bandwidth == cls.predicted_bandwidth, case
+                # and the predicted victim really is the delayed one
+                expect = (
+                    ObservedRegime.BARRIER_ON_1
+                    if cls.delayed_stream == 1
+                    else ObservedRegime.BARRIER_ON_2
+                )
+                assert pr.regime is expect, case
+            else:
+                # disjoint starts legitimately reach 2 (Theorem 2)
+                assert pr.bandwidth == 2, case
+
+    @given(case=pair_case())
+    @settings(max_examples=120, deadline=None)
+    def test_bounds_always_bracket(self, case):
+        m, n_c, d1, d2, b2 = case
+        cls = classify_pair(m, n_c, d1, d2, stream1_priority=True)
+        cfg = MemoryConfig(banks=m, bank_cycle=n_c)
+        pr = simulate_pair(cfg, d1, d2, b2=b2, priority="fixed")
+        assert cls.bandwidth_lower <= pr.bandwidth <= cls.bandwidth_upper, case

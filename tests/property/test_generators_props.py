@@ -1,0 +1,114 @@
+"""Cross-consistency properties between the program generators.
+
+The kernel library (:mod:`repro.machine.kernels`), the triad generator
+(:mod:`repro.machine.workloads`) and the loop compiler
+(:mod:`repro.machine.loopgen`) produce programs through different code
+paths; where their inputs coincide, their outputs must too.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loopnest import ArrayRef
+from repro.machine.kernels import copy_program, daxpy_program
+from repro.machine.loopgen import compile_loop
+from repro.machine.workloads import triad_program
+from repro.memory.layout import CommonBlock
+
+
+def shape(program):
+    """The memory-relevant projection of a program."""
+    return [
+        (i.kind, i.base, i.stride, i.length, i.depends_on)
+        for i in program
+    ]
+
+
+@st.composite
+def loop_params(draw):
+    inc = draw(st.integers(1, 8))
+    n = draw(st.integers(1, 300))
+    return inc, n
+
+
+class TestGeneratorEquivalence:
+    @given(p=loop_params())
+    @settings(max_examples=30, deadline=None)
+    def test_copy_equals_compiled_loop(self, p):
+        inc, n = p
+        size = 1 + 300 * 8
+        common = CommonBlock.build([("A", (size,)), ("B", (size,))])
+        kernel = copy_program(inc, n=n, common=common)
+        compiled = compile_loop(
+            [
+                ArrayRef("B", (size,), inc=inc, kind="load"),
+                ArrayRef("A", (size,), inc=inc, kind="store"),
+            ],
+            n,
+            common,
+        )
+        assert shape(kernel) == shape(compiled)
+
+    @given(p=loop_params())
+    @settings(max_examples=30, deadline=None)
+    def test_daxpy_equals_compiled_loop(self, p):
+        inc, n = p
+        size = 1 + 300 * 8
+        common = CommonBlock.build([("A", (size,)), ("B", (size,))])
+        kernel = daxpy_program(inc, n=n, common=common)
+        compiled = compile_loop(
+            [
+                ArrayRef("B", (size,), inc=inc, kind="load"),
+                ArrayRef("A", (size,), inc=inc, kind="load"),
+                ArrayRef("A", (size,), inc=inc, kind="store"),
+            ],
+            n,
+            common,
+        )
+        assert shape(kernel) == shape(compiled)
+
+    @given(p=loop_params())
+    @settings(max_examples=30, deadline=None)
+    def test_triad_equals_compiled_loop(self, p):
+        inc, n = p
+        size = 1 + 300 * 8
+        common = CommonBlock.build(
+            [("A", (size,)), ("B", (size,)), ("C", (size,)), ("D", (size,))]
+        )
+        kernel = triad_program(inc, n=n, common=common)
+        compiled = compile_loop(
+            [
+                ArrayRef("B", (size,), inc=inc, kind="load"),
+                ArrayRef("C", (size,), inc=inc, kind="load"),
+                ArrayRef("D", (size,), inc=inc, kind="load"),
+                ArrayRef("A", (size,), inc=inc, kind="store"),
+            ],
+            n,
+            common,
+        )
+        assert shape(kernel) == shape(compiled)
+
+
+class TestMultistreamBoundProperty:
+    @given(
+        m=st.sampled_from([4, 8, 12, 16]),
+        n_c=st.integers(1, 4),
+        d=st.integers(1, 15),
+        p=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equal_stride_bound_is_achieved(self, m, n_c, d, p):
+        """The staggered construction always attains the ring bound."""
+        from repro.core.multistream import equal_stride_bandwidth_bound
+        from repro.memory.config import MemoryConfig
+        from repro.sim.multi import simulate_multi
+
+        d %= m
+        if d == 0:
+            d = 1
+        cfg = MemoryConfig(banks=m, bank_cycle=n_c)
+        specs = [((i * n_c * d) % m, d) for i in range(p)]
+        got = simulate_multi(cfg, specs).bandwidth
+        assert got == equal_stride_bandwidth_bound(m, n_c, d, p)

@@ -1,0 +1,151 @@
+"""Differential testing: the engine vs an independent reference model.
+
+A second, deliberately naive implementation of Section II's semantics —
+written in a different style (event dicts, no NumPy, no phase lists) —
+is compared clock-by-clock against :class:`repro.sim.engine.Engine` on
+randomly generated configurations.  Any divergence in the grant sequence
+fails the property.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import AccessStream
+from repro.memory.config import MemoryConfig
+from repro.sim.engine import Engine
+from repro.sim.port import Port
+
+
+# ----------------------------------------------------------------------
+# The reference model (independent re-implementation)
+# ----------------------------------------------------------------------
+def reference_simulate(
+    m: int,
+    n_c: int,
+    s: int,
+    mapping: str,
+    streams: list[tuple[int, int, int]],  # (cpu, start, stride)
+    priority: str,
+    clocks: int,
+) -> list[list[tuple[int, int]]]:
+    """Return, per clock, the sorted list of (port, bank) grants."""
+
+    def section_of(bank: int) -> int:
+        if mapping == "cyclic":
+            return bank % s
+        return bank // (m // s)
+
+    free_at = {j: 0 for j in range(m)}  # clock at which bank j frees
+    pos = [0] * len(streams)
+    grants_log: list[list[tuple[int, int]]] = []
+    rotation = 0  # cyclic priority offset
+    last_grant = [-1] * len(streams)  # LRU bookkeeping
+
+    for t in range(clocks):
+        wants = {}
+        for i, (cpu, start, stride) in enumerate(streams):
+            wants[i] = (start + pos[i] * stride) % m
+
+        def rank(port: int) -> tuple:
+            if priority == "fixed":
+                return (port,)
+            if priority == "lru":
+                return (last_grant[port], port)
+            if priority.startswith("block-cyclic:"):
+                block = int(priority.split(":", 1)[1])
+                offset = (t // block) % len(streams)
+                return ((port - offset) % len(streams), port)
+            return ((port - rotation) % len(streams), port)
+
+        # Stage 1 (inside each CPU): among ports whose bank is inactive,
+        # each (cpu, section) path goes to the best-ranked requester;
+        # losers are done for this clock (the two-stage topology does
+        # NOT resurrect them if the winner later loses at the memory).
+        path_winner: dict[tuple[int, int], int] = {}
+        for port in sorted(wants, key=rank):
+            bank = wants[port]
+            if free_at[bank] > t:
+                continue
+            path = (streams[port][0], section_of(bank))
+            path_winner.setdefault(path, port)
+
+        # Stage 2 (at the memory): among the forwarded requests, each
+        # bank goes to the best-ranked port.
+        bank_winner: dict[int, int] = {}
+        for port in sorted(path_winner.values(), key=rank):
+            bank = wants[port]
+            bank_winner.setdefault(bank, port)
+
+        granted = []
+        for bank, port in bank_winner.items():
+            granted.append((port, bank))
+            free_at[bank] = t + n_c
+            pos[port] += 1
+            last_grant[port] = t
+        grants_log.append(sorted(granted))
+        rotation = (rotation + 1) % len(streams)
+    return grants_log
+
+
+def engine_simulate(
+    m, n_c, s, mapping, streams, priority, clocks
+) -> list[list[tuple[int, int]]]:
+    cfg = MemoryConfig(
+        banks=m, bank_cycle=n_c, sections=s, section_mapping=mapping
+    )
+    ports = [Port(index=i, cpu=c) for i, (c, _, _) in enumerate(streams)]
+    engine = Engine(cfg, ports, priority=priority, trace=True)
+    for port, (_, b, d) in zip(ports, streams):
+        port.assign(AccessStream(b % m, d % m))
+    engine.run(clocks)
+    assert engine.trace is not None
+    out = []
+    for cyc in engine.trace.cycles:
+        out.append(sorted((g.port, g.bank) for g in cyc.grants))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The property
+# ----------------------------------------------------------------------
+@st.composite
+def scenario(draw):
+    m = draw(st.sampled_from([4, 8, 12, 16]))
+    n_c = draw(st.integers(1, 4))
+    divisors = [d for d in range(1, m + 1) if m % d == 0]
+    s = draw(st.sampled_from(divisors))
+    mapping = draw(st.sampled_from(["cyclic", "consecutive"]))
+    n_streams = draw(st.integers(1, 4))
+    streams = [
+        (
+            draw(st.integers(0, 1)),          # cpu
+            draw(st.integers(0, m - 1)),      # start bank
+            draw(st.integers(0, m - 1)),      # stride
+        )
+        for _ in range(n_streams)
+    ]
+    priority = draw(
+        st.sampled_from(["fixed", "cyclic", "lru", "block-cyclic:3"])
+    )
+    return m, n_c, s, mapping, streams, priority
+
+
+class TestDifferential:
+    @given(sc=scenario(), clocks=st.integers(10, 80))
+    @settings(max_examples=150, deadline=None)
+    def test_engine_matches_reference(self, sc, clocks):
+        m, n_c, s, mapping, streams, priority = sc
+        ref = reference_simulate(m, n_c, s, mapping, streams, priority, clocks)
+        got = engine_simulate(m, n_c, s, mapping, streams, priority, clocks)
+        assert got == ref
+
+    def test_reference_reproduces_fig3_bandwidth(self):
+        """Anchor the reference model itself against the paper."""
+        log = reference_simulate(
+            13, 6, 13, "cyclic",
+            [(0, 0, 1), (1, 0, 6)], "fixed", 600,
+        )
+        grants = sum(len(g) for g in log[200:600])  # skip transient
+        assert abs(grants / 400 - 7 / 6) < 0.01

@@ -1,0 +1,137 @@
+"""Property-based tests on simulator invariants."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.single import predict_single
+from repro.core.stream import AccessStream
+from repro.memory.config import MemoryConfig
+from repro.sim.engine import Engine, simulate_streams
+from repro.sim.pairs import simulate_pair
+from repro.sim.port import Port
+
+
+@st.composite
+def memory_shape(draw):
+    m = draw(st.integers(2, 20))
+    n_c = draw(st.integers(1, 5))
+    return MemoryConfig(banks=m, bank_cycle=n_c)
+
+
+class TestConservationLaws:
+    @given(
+        cfg=memory_shape(),
+        d1=st.integers(0, 19),
+        d2=st.integers(0, 19),
+        b2=st.integers(0, 19),
+        horizon=st.integers(5, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_grants_plus_stalls_equals_port_clocks(self, cfg, d1, d2, b2, horizon):
+        """Every clock, every non-idle port either grants or stalls."""
+        m = cfg.banks
+        res = simulate_streams(
+            cfg,
+            [AccessStream(0, d1 % m), AccessStream(b2 % m, d2 % m)],
+            cpus=[0, 1],
+            cycles=horizon,
+        )
+        for ps in res.stats.ports:
+            assert ps.grants + ps.total_stall_cycles == horizon
+
+    @given(
+        cfg=memory_shape(),
+        d=st.integers(0, 19),
+        horizon=st.integers(5, 60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_bank_double_booking(self, cfg, d, horizon):
+        """A bank never serves two grants within n_c clocks."""
+        m = cfg.banks
+        res = simulate_streams(
+            cfg,
+            [AccessStream(0, d % m), AccessStream(1 % m, 1)],
+            cpus=[0, 1],
+            cycles=horizon,
+            trace=True,
+        )
+        last_grant: dict[int, int] = {}
+        assert res.trace is not None
+        for cyc in res.trace.cycles:
+            for g in cyc.grants:
+                if g.bank in last_grant:
+                    assert cyc.cycle - last_grant[g.bank] >= cfg.bank_cycle
+                last_grant[g.bank] = cyc.cycle
+
+
+class TestSteadyStateProperties:
+    @given(cfg=memory_shape(), d=st.integers(0, 19))
+    @settings(max_examples=60, deadline=None)
+    def test_single_stream_exactness(self, cfg, d):
+        """Simulator steady state == Section III-A closed form, always."""
+        m = cfg.banks
+        res = simulate_streams(
+            cfg, [AccessStream(0, d % m)], cpus=[0], steady=True
+        )
+        assert res.steady_bandwidth == predict_single(m, d % m, cfg.bank_cycle).bandwidth
+
+    @given(
+        cfg=memory_shape(),
+        d1=st.integers(0, 19),
+        d2=st.integers(0, 19),
+        b2=st.integers(0, 19),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pair_bandwidth_within_absolute_bounds(self, cfg, d1, d2, b2):
+        m = cfg.banks
+        pr = simulate_pair(cfg, d1 % m, d2 % m, b2=b2 % m)
+        assert 0 < pr.bandwidth <= 2
+        # per-stream rate can never exceed 1
+        assert pr.grants[0] <= pr.period
+        assert pr.grants[1] <= pr.period
+
+    @given(
+        cfg=memory_shape(),
+        d1=st.integers(0, 19),
+        d2=st.integers(0, 19),
+        b2=st.integers(0, 19),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_priority_rule_does_not_change_determinism(self, cfg, d1, d2, b2):
+        """Same inputs, same rule ⇒ identical steady state (pure function)."""
+        m = cfg.banks
+        a = simulate_pair(cfg, d1 % m, d2 % m, b2=b2 % m, priority="cyclic")
+        b = simulate_pair(cfg, d1 % m, d2 % m, b2=b2 % m, priority="cyclic")
+        assert a.bandwidth == b.bandwidth
+        assert a.period == b.period
+
+
+class TestTimeShiftEquivalence:
+    @given(
+        cfg=memory_shape(),
+        d=st.integers(1, 19),
+        delay=st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_time_offset_equals_space_offset(self, cfg, d, delay):
+        """The paper's assumption 2 argument: starting stream 2 ``t``
+        clocks late is the same as starting it ``t*d2`` banks back —
+        both runs converge to the same steady bandwidth (stream 1
+        conflict-free while alone)."""
+        m = cfg.banks
+        d %= m
+        if d == 0:
+            return
+        # run A: both start together, stream 2 displaced in space
+        a = simulate_pair(cfg, 1, d, b2=(-delay) % m)
+        # run B: emulate late start by letting stream 1 run alone first.
+        ports = [Port(index=0, cpu=0), Port(index=1, cpu=1)]
+        engine = Engine(cfg, ports)
+        ports[0].assign(AccessStream(delay % m, 1))  # as if it ran `delay` clocks
+        ports[1].assign(AccessStream(0, d))
+        bw, _, _, _ = engine.run_to_steady_state()
+        assert bw == a.bandwidth

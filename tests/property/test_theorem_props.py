@@ -1,0 +1,125 @@
+"""Property-based tests: theorems vs brute force and invariances."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import theorems as th
+from repro.core.arithmetic import access_set, units
+from repro.core.classify import classify_pair
+from repro.core.isomorphism import canonicalize, orbit
+
+
+small_m = st.integers(min_value=2, max_value=24)
+
+
+@st.composite
+def shape_and_pair(draw):
+    m = draw(small_m)
+    n_c = draw(st.integers(1, 6))
+    d1 = draw(st.integers(0, m - 1))
+    d2 = draw(st.integers(0, m - 1))
+    return m, n_c, d1, d2
+
+
+class TestTheorem2Properties:
+    @given(args=shape_and_pair())
+    @settings(max_examples=150)
+    def test_disjointness_matches_brute_force(self, args):
+        m, _, d1, d2 = args
+        exists = any(
+            not (access_set(m, d1, 0) & access_set(m, d2, b2))
+            for b2 in range(m)
+        )
+        assert th.disjoint_sets_possible(m, d1, d2) == exists
+
+    @given(args=shape_and_pair())
+    @settings(max_examples=100)
+    def test_offsets_sound(self, args):
+        m, _, d1, d2 = args
+        for off in th.disjoint_start_offsets(m, d1, d2):
+            assert not (access_set(m, d1, 0) & access_set(m, d2, off))
+
+
+class TestConflictFreeInvariances:
+    @given(args=shape_and_pair())
+    @settings(max_examples=150)
+    def test_symmetric_in_stream_order(self, args):
+        m, n_c, d1, d2 = args
+        assert th.conflict_free_possible(m, n_c, d1, d2) == th.conflict_free_possible(
+            m, n_c, d2, d1
+        )
+
+    @given(args=shape_and_pair(), data=st.data())
+    @settings(max_examples=100)
+    def test_invariant_under_isomorphism(self, args, data):
+        """Bank renumbering (Appendix) preserves Theorem 3's verdict."""
+        m, n_c, d1, d2 = args
+        k = data.draw(st.sampled_from(units(m)))
+        assert th.conflict_free_possible(m, n_c, d1, d2) == th.conflict_free_possible(
+            m, n_c, (k * d1) % m, (k * d2) % m
+        )
+
+    @given(args=shape_and_pair())
+    @settings(max_examples=100)
+    def test_nc_monotone(self, args):
+        """Raising the bank cycle time can only destroy conflict-freeness."""
+        m, n_c, d1, d2 = args
+        if not th.conflict_free_possible(m, n_c + 1, d1, d2):
+            return
+        assert th.conflict_free_possible(m, n_c, d1, d2)
+
+
+class TestIsomorphismProperties:
+    @given(m=small_m, d1=st.integers(0, 23), d2=st.integers(0, 23))
+    @settings(max_examples=100)
+    def test_orbit_is_equivalence_class(self, m, d1, d2):
+        d1 %= m
+        d2 %= m
+        orb = orbit(m, d1, d2)
+        # reflexive
+        assert (d1, d2) in orb
+        # every member generates the same orbit
+        other = sorted(orb)[0]
+        assert orbit(m, *other) == orb
+
+    @given(m=small_m, d1=st.integers(1, 23), d2=st.integers(0, 23))
+    @settings(max_examples=100)
+    def test_canonical_form_in_orbit_with_divisor_head(self, m, d1, d2):
+        d1 %= m
+        d2 %= m
+        if d1 == 0:
+            return
+        c = canonicalize(m, d1, d2)
+        assert m % c.d1 == 0
+        assert ((c.d1 % m, c.d2)) in orbit(m, d1, d2)
+
+
+class TestClassifierProperties:
+    @given(args=shape_and_pair())
+    @settings(max_examples=100)
+    def test_bounds_are_ordered_and_capped(self, args):
+        m, n_c, d1, d2 = args
+        c = classify_pair(m, n_c, d1, d2)
+        assert 0 <= c.bandwidth_lower <= c.bandwidth_upper <= 2
+        if c.predicted_bandwidth is not None:
+            assert (
+                c.bandwidth_lower
+                <= c.predicted_bandwidth
+                <= c.bandwidth_upper
+            )
+
+    @given(args=shape_and_pair())
+    @settings(max_examples=100)
+    def test_symmetric_regime_under_swap(self, args):
+        """Stream order is presentation, not physics: the regime and
+        bounds agree for (d1,d2) and (d2,d1)."""
+        m, n_c, d1, d2 = args
+        a = classify_pair(m, n_c, d1, d2)
+        b = classify_pair(m, n_c, d2, d1)
+        assert a.regime is b.regime
+        assert a.bandwidth_lower == b.bandwidth_lower
+        assert a.bandwidth_upper == b.bandwidth_upper

@@ -1,0 +1,78 @@
+"""Unit tests for repro.sim.pairs."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.sim.pairs import (
+    ObservedRegime,
+    bandwidth_by_offset,
+    best_offset,
+    offsets_achieving,
+    simulate_pair,
+    worst_offset,
+)
+
+
+class TestSimulatePair:
+    def test_conflict_free(self, fig2):
+        pr = simulate_pair(fig2, 1, 7, b2=3)
+        assert pr.bandwidth == 2
+        assert pr.regime is ObservedRegime.CONFLICT_FREE
+        assert pr.grants[0] == pr.grants[1] == pr.period
+
+    def test_barrier(self, fig3):
+        pr = simulate_pair(fig3, 1, 6, b2=0)
+        assert pr.bandwidth == Fraction(7, 6)
+        assert pr.regime is ObservedRegime.BARRIER_ON_2
+
+    def test_double_conflict(self, fig3):
+        pr = simulate_pair(fig3, 1, 6, b2=1)
+        assert pr.regime is ObservedRegime.MUTUAL
+        assert pr.bandwidth < Fraction(7, 6)
+
+    def test_inverted_barrier(self, fig5):
+        pr = simulate_pair(fig5, 1, 3, b2=1)
+        assert pr.regime is ObservedRegime.BARRIER_ON_1
+
+    def test_same_cpu_activates_sections(self, fig7):
+        cf = simulate_pair(fig7, 1, 1, b2=3, same_cpu=True)
+        assert cf.bandwidth == 2
+        clash = simulate_pair(fig7, 1, 1, b2=2, same_cpu=True)
+        assert clash.bandwidth < 2
+
+    def test_bandwidth_float(self, fig3):
+        pr = simulate_pair(fig3, 1, 6, b2=0)
+        assert pr.bandwidth_float == pytest.approx(7 / 6)
+
+
+class TestOffsetSweeps:
+    def test_table_covers_all_offsets(self, fig2):
+        table = bandwidth_by_offset(fig2, 1, 7)
+        assert sorted(table) == list(range(12))
+
+    def test_synchronizing_pair_flat_table(self, fig2):
+        # Theorem 3 pairs synchronize: every start reaches 2.
+        table = bandwidth_by_offset(fig2, 1, 7)
+        assert set(table.values()) == {Fraction(2)}
+
+    def test_custom_offsets(self, fig3):
+        table = bandwidth_by_offset(fig3, 1, 6, offsets=[0, 1])
+        assert set(table) == {0, 1}
+
+    def test_best_and_worst(self, fig3):
+        off_best, bw_best = best_offset(fig3, 1, 6)
+        off_worst, bw_worst = worst_offset(fig3, 1, 6)
+        assert bw_best == Fraction(7, 6)
+        assert bw_worst < bw_best
+        assert off_best != off_worst
+
+    def test_offsets_achieving(self, fig3):
+        hits = offsets_achieving(fig3, 1, 6, Fraction(7, 6))
+        assert 0 in hits
+        # every listed offset really achieves it
+        for off in hits:
+            assert simulate_pair(fig3, 1, 6, b2=off).bandwidth == Fraction(7, 6)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.sim.port."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stream import AccessStream
+from repro.sim.port import Port
+
+
+class TestAssignment:
+    def test_fresh_port_is_idle(self):
+        assert Port(index=0).idle
+
+    def test_default_label_is_one_based(self):
+        assert Port(index=0).label == "1"
+        assert Port(index=3).label == "4"
+
+    def test_assign_infinite(self):
+        p = Port(index=0)
+        p.assign(AccessStream(0, 1))
+        assert not p.idle
+
+    def test_assign_label_inherited(self):
+        p = Port(index=1)
+        p.assign(AccessStream(0, 1))
+        assert p.stream is not None and p.stream.label == "2"
+
+    def test_assign_keeps_explicit_label(self):
+        p = Port(index=1)
+        p.assign(AccessStream(0, 1, label="B-load"))
+        assert p.stream is not None and p.stream.label == "B-load"
+
+    def test_cannot_reassign_busy_port(self):
+        p = Port(index=0)
+        p.assign(AccessStream(0, 1))
+        with pytest.raises(RuntimeError):
+            p.assign(AccessStream(0, 2))
+
+    def test_reassign_after_drain(self):
+        p = Port(index=0)
+        p.assign(AccessStream(0, 1, length=1))
+        p.advance()
+        assert p.idle
+        p.assign(AccessStream(5, 2, length=3))
+        assert p.current_bank(8) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Port(index=-1)
+        with pytest.raises(ValueError):
+            Port(index=0, cpu=-1)
+
+
+class TestRequestProtocol:
+    def test_current_bank_walks_on_advance(self):
+        p = Port(index=0)
+        p.assign(AccessStream(start_bank=3, stride=7))
+        assert p.current_bank(12) == 3
+        p.advance()
+        assert p.current_bank(12) == 10
+        assert p.position == 1
+        assert p.granted_total == 1
+
+    def test_denial_is_implicit(self):
+        # A denied port simply does not advance; the request repeats.
+        p = Port(index=0)
+        p.assign(AccessStream(0, 5))
+        before = p.current_bank(12)
+        # ... engine denies: nothing to call ...
+        assert p.current_bank(12) == before
+
+    def test_finite_stream_drains(self):
+        p = Port(index=0)
+        p.assign(AccessStream(0, 1, length=2))
+        p.advance()
+        p.advance()
+        assert p.idle
+        with pytest.raises(RuntimeError):
+            p.current_bank(8)
+        with pytest.raises(RuntimeError):
+            p.advance()
+
+    def test_granted_total_spans_streams(self):
+        p = Port(index=0)
+        p.assign(AccessStream(0, 1, length=2))
+        p.advance()
+        p.advance()
+        p.assign(AccessStream(0, 1, length=1))
+        p.advance()
+        assert p.granted_total == 3
+
+
+class TestSnapshots:
+    def test_snapshot_bank(self):
+        p = Port(index=0)
+        assert p.snapshot_bank(8) is None
+        p.assign(AccessStream(2, 3))
+        assert p.snapshot_bank(8) == 2
+        p.advance()
+        assert p.snapshot_bank(8) == 5
+
+    def test_reset(self):
+        p = Port(index=0)
+        p.assign(AccessStream(0, 1))
+        p.advance()
+        p.reset()
+        assert p.idle and p.granted_total == 0

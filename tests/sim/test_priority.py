@@ -1,0 +1,185 @@
+"""Unit tests for repro.sim.priority."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.priority import (
+    CyclicPriority,
+    FixedPriority,
+    LRUPriority,
+    make_priority,
+)
+
+
+class TestFixed:
+    def test_lowest_index_wins(self):
+        rule = FixedPriority()
+        assert rule.choose([2, 0, 5], cycle=0) == 0
+        assert rule.choose([3], cycle=7) == 3
+
+    def test_stateless(self):
+        rule = FixedPriority()
+        rule.tick(0)
+        rule.granted(1, 0)
+        assert rule.snapshot() == ()
+        assert rule.choose([1, 2], 100) == 1
+
+    def test_empty_contenders(self):
+        with pytest.raises(ValueError):
+            FixedPriority().choose([], 0)
+
+
+class TestCyclic:
+    def test_rotation_changes_winner(self):
+        rule = CyclicPriority(3)
+        assert rule.choose([0, 1, 2], 0) == 0
+        rule.tick(0)
+        assert rule.choose([0, 1, 2], 1) == 1
+        rule.tick(1)
+        assert rule.choose([0, 1, 2], 2) == 2
+        rule.tick(2)
+        assert rule.choose([0, 1, 2], 3) == 0  # wrapped
+
+    def test_favoured_absent(self):
+        rule = CyclicPriority(4)
+        rule.tick(0)  # offset 1
+        # contenders 0 and 3: distances (0-1)%4=3, (3-1)%4=2 ⇒ 3 wins.
+        assert rule.choose([0, 3], 1) == 3
+
+    def test_fairness_over_window(self):
+        rule = CyclicPriority(2)
+        wins = [0, 0]
+        for t in range(10):
+            wins[rule.choose([0, 1], t)] += 1
+            rule.tick(t)
+        assert wins == [5, 5]
+
+    def test_snapshot_roundtrip(self):
+        rule = CyclicPriority(3)
+        rule.tick(0)
+        snap = rule.snapshot()
+        rule.tick(1)
+        rule.restore(snap)
+        assert rule.choose([0, 1, 2], 9) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclicPriority(0)
+        with pytest.raises(ValueError):
+            CyclicPriority(2).choose([], 0)
+
+
+class TestLRU:
+    def test_never_granted_ties_break_by_index(self):
+        rule = LRUPriority(3)
+        assert rule.choose([1, 2], 0) == 1
+
+    def test_recent_grant_loses(self):
+        rule = LRUPriority(3)
+        rule.granted(0, 0)
+        assert rule.choose([0, 1], 1) == 1
+        rule.granted(1, 1)
+        assert rule.choose([0, 1], 2) == 0
+
+    def test_snapshot_is_rank_based(self):
+        # Absolute timestamps must not leak into the state key (they
+        # grow without bound and would defeat cycle detection).
+        a = LRUPriority(2)
+        a.granted(0, 5)
+        a.granted(1, 9)
+        b = LRUPriority(2)
+        b.granted(0, 100)
+        b.granted(1, 200)
+        assert a.snapshot() == b.snapshot()
+
+    def test_restore_preserves_order(self):
+        rule = LRUPriority(3)
+        rule.granted(2, 0)
+        rule.granted(0, 1)
+        snap = rule.snapshot()
+        fresh = LRUPriority(3)
+        fresh.restore(snap)
+        # 1 never granted -> wins; then 2 (older) over 0.
+        assert fresh.choose([0, 1, 2], 5) == 1
+        assert fresh.choose([0, 2], 5) == 2
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_priority("fixed", 2), FixedPriority)
+        assert isinstance(make_priority("cyclic", 2), CyclicPriority)
+        assert isinstance(make_priority("lru", 2), LRUPriority)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_priority("coin-flip", 2)
+
+    def test_rule_name_property(self):
+        assert make_priority("cyclic", 2).name == "cyclic"
+        assert make_priority("lru", 2).name == "lru"
+
+
+class TestBlockCyclic:
+    def test_holds_priority_for_block_clocks(self):
+        from repro.sim.priority import BlockCyclicPriority
+
+        rule = BlockCyclicPriority(2, block=3)
+        winners = []
+        for t in range(12):
+            winners.append(rule.choose([0, 1], t))
+            rule.tick(t)
+        assert winners == [0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1]
+
+    def test_block_one_matches_cyclic(self):
+        from repro.sim.priority import BlockCyclicPriority, CyclicPriority
+
+        a = BlockCyclicPriority(3, block=1)
+        b = CyclicPriority(3)
+        for t in range(9):
+            assert a.choose([0, 1, 2], t) == b.choose([0, 1, 2], t)
+            a.tick(t)
+            b.tick(t)
+
+    def test_snapshot_roundtrip(self):
+        from repro.sim.priority import BlockCyclicPriority
+
+        rule = BlockCyclicPriority(2, block=3)
+        for t in range(4):
+            rule.tick(t)
+        snap = rule.snapshot()
+        fresh = BlockCyclicPriority(2, block=3)
+        fresh.restore(snap)
+        assert fresh.choose([0, 1], 9) == rule.choose([0, 1], 9)
+
+    def test_factory_spelling(self):
+        from repro.sim.priority import BlockCyclicPriority
+
+        rule = make_priority("block-cyclic:4", 2)
+        assert isinstance(rule, BlockCyclicPriority)
+        assert rule.block == 4
+        assert rule.name == "block-cyclic(4)"
+
+    def test_validation(self):
+        from repro.sim.priority import BlockCyclicPriority
+
+        with pytest.raises(ValueError):
+            BlockCyclicPriority(0, 3)
+        with pytest.raises(ValueError):
+            BlockCyclicPriority(2, 0)
+        with pytest.raises(ValueError):
+            BlockCyclicPriority(2, 3).choose([], 0)
+
+    def test_resolves_fig8_from_both_paper_starts(self):
+        """The paper's Fig. 8b header shows priority rotating every
+        n_c = 3 clocks; that exact rule frees the linked conflict at
+        both b2=0 and b2=1 — per-clock rotation only manages b2=1."""
+        from repro.memory.config import FIG8_CONFIG
+        from repro.sim.pairs import simulate_pair
+
+        for b2 in (0, 1):
+            pr = simulate_pair(
+                FIG8_CONFIG, 1, 1, b2=b2, same_cpu=True,
+                priority="block-cyclic:3",
+            )
+            assert pr.bandwidth == 2, b2

@@ -1,0 +1,70 @@
+"""Unit tests for repro.sim.statespace."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.sim.statespace import start_space_profile, trajectory
+
+
+class TestTrajectory:
+    def test_conflict_free_pair_short_transient(self, fig2):
+        t = trajectory(fig2, [(0, 1), (3, 7)])
+        assert t.bandwidth == 2
+        assert t.period >= 1
+        assert t.states_visited == t.transient + t.period
+
+    def test_single_self_conflicting_stream(self):
+        cfg = MemoryConfig(banks=8, bank_cycle=4)
+        t = trajectory(cfg, [(0, 4)])
+        assert t.bandwidth == Fraction(1, 2)
+        assert t.period == 4  # n_c-clock service cycle
+
+    def test_synchronization_has_nonzero_transient(self, fig2):
+        # b2=0 start collides once, then settles: transient > 0.
+        t = trajectory(fig2, [(0, 1), (0, 7)])
+        assert t.bandwidth == 2
+        assert t.transient > 0
+
+    def test_cycle_fraction(self, fig2):
+        t = trajectory(fig2, [(0, 1), (3, 7)])
+        assert 0 < t.cycle_fraction_of_states <= 1
+
+    def test_validation(self, fig2):
+        with pytest.raises(ValueError):
+            trajectory(fig2, [])
+        with pytest.raises(ValueError):
+            trajectory(fig2, [(0, 1)], cpus=[0, 1])
+
+
+class TestStartSpaceProfile:
+    def test_fig5_profile(self, fig5):
+        prof = start_space_profile(fig5, 1, 3)
+        # barrier 4/3 and inverted barrier 7/5 both appear
+        hist = prof.bandwidth_histogram()
+        assert Fraction(4, 3) in hist
+        assert Fraction(7, 5) in hist
+        assert sum(hist.values()) == 13
+        assert prof.worst == Fraction(4, 3)
+        assert prof.best == Fraction(7, 5)
+
+    def test_conflict_free_pair_flat_profile(self, fig2):
+        prof = start_space_profile(fig2, 1, 7)
+        assert prof.best == prof.worst == 2
+        assert prof.mean_bandwidth == 2
+
+    def test_mean_between_extremes(self, fig3):
+        prof = start_space_profile(fig3, 1, 6)
+        assert prof.worst <= prof.mean_bandwidth <= prof.best
+
+    def test_max_transient_finite(self, fig3):
+        prof = start_space_profile(fig3, 1, 6)
+        assert prof.max_transient >= 0
+
+    def test_same_cpu_profile(self, fig8):
+        prof = start_space_profile(fig8, 1, 1, same_cpu=True, priority="fixed")
+        # Fig. 8a's 3/2 lock shows up somewhere in the start space.
+        assert Fraction(3, 2) in prof.bandwidth_histogram()

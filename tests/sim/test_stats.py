@@ -1,0 +1,137 @@
+"""Unit tests for repro.sim.stats."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.sim.stats import ConflictKind, PortStats, SimStats
+
+
+class TestPortStats:
+    def test_grant_counting(self):
+        ps = PortStats()
+        ps.record_grant()
+        ps.record_grant()
+        assert ps.grants == 2
+        assert ps.total_stall_cycles == 0
+
+    def test_stall_cycles_accumulate(self):
+        ps = PortStats()
+        ps.record_denial(ConflictKind.BANK)
+        ps.record_denial(ConflictKind.BANK)
+        ps.record_denial(ConflictKind.SECTION)
+        assert ps.stall_cycles[ConflictKind.BANK] == 2
+        assert ps.stall_cycles[ConflictKind.SECTION] == 1
+        assert ps.total_stall_cycles == 3
+
+    def test_episode_counts_runs_not_cycles(self):
+        # A 3-cycle stall is one episode; a grant re-arms the counter.
+        ps = PortStats()
+        for _ in range(3):
+            ps.record_denial(ConflictKind.BANK)
+        ps.record_grant()
+        ps.record_denial(ConflictKind.BANK)
+        assert ps.episodes[ConflictKind.BANK] == 2
+        assert ps.stall_cycles[ConflictKind.BANK] == 4
+
+    def test_episode_attributed_to_first_cause(self):
+        # Cause changes mid-stall: still one episode, charged to the
+        # first denial's kind.
+        ps = PortStats()
+        ps.record_denial(ConflictKind.SECTION)
+        ps.record_denial(ConflictKind.BANK)
+        assert ps.total_episodes == 1
+        assert ps.episodes[ConflictKind.SECTION] == 1
+        assert ps.episodes[ConflictKind.BANK] == 0
+
+
+class TestSimStats:
+    def test_for_ports(self):
+        st = SimStats.for_ports(3)
+        assert len(st.ports) == 3
+
+    def test_effective_bandwidth(self):
+        st = SimStats.for_ports(2)
+        st.ports[0].record_grant()
+        st.ports[1].record_grant()
+        st.ports[0].record_grant()
+        st.cycles = 2
+        assert st.effective_bandwidth() == Fraction(3, 2)
+
+    def test_effective_bandwidth_requires_cycles(self):
+        with pytest.raises(ValueError):
+            SimStats.for_ports(1).effective_bandwidth()
+
+    def test_aggregations(self):
+        st = SimStats.for_ports(2)
+        st.ports[0].record_denial(ConflictKind.BANK)
+        st.ports[1].record_denial(ConflictKind.SIMULTANEOUS)
+        st.ports[1].record_denial(ConflictKind.SIMULTANEOUS)
+        assert st.stall_cycles() == 3
+        assert st.stall_cycles(ConflictKind.SIMULTANEOUS) == 2
+        assert st.episodes() == 2
+        assert st.episodes(ConflictKind.BANK) == 1
+
+    def test_summary_keys(self):
+        st = SimStats.for_ports(1)
+        st.ports[0].record_grant()
+        st.cycles = 4
+        s = st.summary()
+        assert s["cycles"] == 4
+        assert s["grants"] == 1
+        assert s["b_eff"] == 0.25
+        for key in (
+            "bank_conflicts",
+            "section_conflicts",
+            "simultaneous_conflicts",
+            "bank_stall_cycles",
+        ):
+            assert key in s
+
+    def test_per_port_grants(self):
+        st = SimStats.for_ports(2)
+        st.ports[1].record_grant()
+        assert st.per_port_grants() == [0, 1]
+
+
+class TestStallRuns:
+    def test_max_stall_run_tracks_longest(self):
+        ps = PortStats()
+        for _ in range(3):
+            ps.record_denial(ConflictKind.BANK)
+        ps.record_grant()
+        ps.record_denial(ConflictKind.BANK)
+        assert ps.max_stall_run == 3
+
+    def test_mean_stall_run(self):
+        ps = PortStats()
+        for _ in range(3):
+            ps.record_denial(ConflictKind.BANK)
+        ps.record_grant()
+        ps.record_denial(ConflictKind.SECTION)
+        assert ps.mean_stall_run == pytest.approx(2.0)  # (3+1)/2
+
+    def test_mean_zero_when_clean(self):
+        assert PortStats().mean_stall_run == 0.0
+
+    def test_barrier_victim_run_length(self):
+        """Fig. 3's victim stalls (d2-d1)/f = 5 clocks per service in
+        steady state; the opening clock adds one simultaneous-conflict
+        denial on top (max run 6), and the barrier stream never stalls."""
+        from repro.core.stream import AccessStream
+        from repro.memory.config import MemoryConfig
+        from repro.sim.engine import simulate_streams
+
+        cfg = MemoryConfig(banks=13, bank_cycle=6)
+        res = simulate_streams(
+            cfg,
+            [AccessStream(0, 1), AccessStream(0, 6)],
+            cpus=[0, 1],
+            cycles=200,
+        )
+        victim = res.stats.ports[1]
+        assert victim.max_stall_run == 6  # startup run
+        assert 4.5 < victim.mean_stall_run <= 5.1  # steady runs of 5
+        assert res.stats.ports[0].max_stall_run == 0

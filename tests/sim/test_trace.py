@@ -1,0 +1,46 @@
+"""Unit tests for repro.sim.trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import ConflictKind
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecording:
+    def test_events_grouped_by_cycle(self):
+        tr = TraceRecorder()
+        tr.begin_cycle(0)
+        tr.grant(0, 3, "1")
+        tr.denial(1, 3, ConflictKind.SIMULTANEOUS, "2", blocker=0)
+        tr.begin_cycle(1)
+        tr.grant(1, 3, "2")
+        assert len(tr) == 2
+        assert tr.cycles[0].grants[0].bank == 3
+        assert tr.cycles[0].denials[0].blocker == 0
+        assert tr.cycles[1].grants[0].port == 1
+
+    def test_window(self):
+        tr = TraceRecorder()
+        for t in range(5):
+            tr.begin_cycle(t)
+        got = tr.window(1, 3)
+        assert [c.cycle for c in got] == [1, 2]
+
+    def test_bound_stops_recording(self):
+        tr = TraceRecorder(max_cycles=2)
+        for t in range(5):
+            tr.begin_cycle(t)
+            tr.grant(0, 0, "1")
+        assert len(tr) == 2
+        assert tr.recording is False
+
+    def test_events_before_begin_are_dropped(self):
+        tr = TraceRecorder()
+        tr.grant(0, 0, "1")  # no begin_cycle: silently ignored
+        assert len(tr) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_cycles=0)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.skewing.evaluate."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.memory.mapping import InterleavedMapping, LinearSkewMapping
+from repro.skewing.evaluate import (
+    compare_mappings,
+    measure_bandwidth,
+    stride_sensitivity,
+)
+
+
+@pytest.fixture
+def cfg():
+    return MemoryConfig(banks=16, bank_cycle=4)
+
+
+class TestMeasureBandwidth:
+    def test_unit_stride_full_rate(self, cfg):
+        bw = measure_bandwidth(
+            cfg, InterleavedMapping(16), [1], horizon=512, warmup=64
+        )
+        assert bw == 1
+
+    def test_two_streams(self, cfg):
+        bw = measure_bandwidth(
+            cfg, InterleavedMapping(16), [1, 1],
+            bases=[0, 4], horizon=512, warmup=64,
+        )
+        assert bw == 2
+
+    def test_self_conflicting_stride(self, cfg):
+        bw = measure_bandwidth(
+            cfg, InterleavedMapping(16), [16], horizon=512, warmup=64
+        )
+        assert bw == Fraction(1, 4)
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError):
+            measure_bandwidth(
+                cfg, InterleavedMapping(16), [1], horizon=10, warmup=10
+            )
+
+
+class TestComparisons:
+    def test_skew_recovers_power_of_two_strides(self, cfg):
+        cmp = compare_mappings(cfg, [16], horizon=1024, warmup=128)
+        assert cmp.skewed > cmp.plain
+        assert cmp.improvement > 0
+
+    def test_skew_neutral_on_unit_stride(self, cfg):
+        cmp = compare_mappings(cfg, [1], horizon=512, warmup=64)
+        assert cmp.plain == cmp.skewed == 1
+        assert cmp.improvement == 0
+
+    def test_stride_sensitivity_rows(self, cfg):
+        rows = stride_sensitivity(
+            cfg, [1, 8], peers=1, horizon=512, warmup=64
+        )
+        assert [r.stride for r in rows] == [1, 8]
+        # stride 8 against a unit peer: skew must not hurt
+        assert rows[1].skewed >= rows[1].plain

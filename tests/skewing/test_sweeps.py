@@ -1,0 +1,117 @@
+"""Unit tests for repro.skewing.sweeps (Budnik-Kuck sweep analysis)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.memory.mapping import (
+    InterleavedMapping,
+    LinearSkewMapping,
+    XorSkewMapping,
+)
+from repro.skewing.sweeps import (
+    min_recurrence_gap,
+    sweep_report,
+    window_conflict_free,
+)
+
+
+class TestMinRecurrenceGap:
+    def test_all_distinct_gives_period(self):
+        assert min_recurrence_gap([0, 1, 2, 3]) == 4
+
+    def test_adjacent_repeat(self):
+        assert min_recurrence_gap([0, 0, 1, 2]) == 1
+
+    def test_wraparound_counts(self):
+        # last element equals first: wrap gap of 1.
+        assert min_recurrence_gap([0, 1, 2, 0]) == 1  # also internal gap 3
+        assert min_recurrence_gap([0, 1, 2, 3, 0, 9]) == 2  # wrap 9? no: 0 at 0 and 4 -> gap 4; wrap: 9@5 to ... 0@4 -> 0 first@0 +6-4=2
+
+    def test_single_element(self):
+        assert min_recurrence_gap([5]) == 1
+
+    def test_arithmetic_progression_matches_theorem1(self):
+        # d on m banks: the gap equals the return number r = m/gcd(m,d).
+        import math
+
+        for m in (8, 12, 16):
+            for d in range(1, m):
+                banks = [(k * d) % m for k in range(m)]
+                r = m // math.gcd(m, d)
+                assert min_recurrence_gap(banks) == r, (m, d)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            min_recurrence_gap([])
+
+
+class TestWindowConflictFree:
+    def test_matches_single_stream_formula(self):
+        # equivalent to r >= n_c for arithmetic progressions.
+        banks = [(k * 8) % 16 for k in range(2)]
+        assert not window_conflict_free(banks, 4)
+        banks = [(k * 1) % 16 for k in range(16)]
+        assert window_conflict_free(banks, 4)
+
+    def test_validates_nc(self):
+        with pytest.raises(ValueError):
+            window_conflict_free([0, 1], 0)
+
+    def test_matches_simulation(self):
+        """The predicate agrees with a real solo-stream simulation."""
+        from repro.memory.config import MemoryConfig
+        from repro.sim.engine import Engine
+        from repro.sim.port import Port
+        from repro.skewing.streams import MappedStream
+
+        mapping = LinearSkewMapping(8, skew=1)
+        cfg = MemoryConfig(banks=8, bank_cycle=3)
+        for stride in (1, 4, 8, 9):
+            banks = [mapping.bank_of(k * stride) for k in range(64)]
+            predicted = window_conflict_free(banks, 3)
+            port = Port(index=0)
+            engine = Engine(cfg, [port])
+            port.assign(MappedStream(mapping, base=0, stride=stride))
+            engine.run(256)
+            full_rate = engine.stats.ports[0].grants == 256
+            assert predicted == full_rate, stride
+
+
+class TestSweepReport:
+    def test_plain_interleave_fails_rows(self):
+        report = {
+            v.sweep: v
+            for v in sweep_report(InterleavedMapping(16), (16, 16), 4)
+        }
+        assert report["column"].conflict_free
+        assert not report["row"].conflict_free
+        assert report["row"].bandwidth_bound == Fraction(1, 4)
+        assert report["diagonal"].conflict_free  # stride 17 ≡ 1
+
+    def test_linear_skew_wins_all_three(self):
+        report = sweep_report(LinearSkewMapping(16, 1), (16, 16), 4)
+        assert all(v.conflict_free for v in report)
+
+    def test_xor_skew_fails_diagonal(self):
+        report = {
+            v.sweep: v for v in sweep_report(XorSkewMapping(16), (16, 16), 4)
+        }
+        assert report["row"].conflict_free
+        assert not report["diagonal"].conflict_free
+
+    def test_safe_dimension_fixes_plain_rows(self):
+        # J1 = 17 (coprime to 16): rows become unit-like.
+        report = {
+            v.sweep: v
+            for v in sweep_report(InterleavedMapping(16), (17, 16), 4)
+        }
+        assert report["row"].conflict_free
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep_report(InterleavedMapping(8), (8,), 2)  # not 2-D
+        with pytest.raises(ValueError):
+            sweep_report(InterleavedMapping(8), (8, 8), 0)

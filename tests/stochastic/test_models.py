@@ -1,0 +1,83 @@
+"""Unit tests for repro.stochastic.models."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.stochastic.models import (
+    binomial_bandwidth,
+    hellerman_approximation,
+    hellerman_bandwidth,
+    simulate_binomial,
+)
+
+
+class TestHellerman:
+    def test_m_one(self):
+        # one bank: exactly one access before the repeat.
+        assert hellerman_bandwidth(1) == 1.0
+
+    def test_m_two_exact(self):
+        # B(2) = 1 + 2!/0!/4 = 1 + 1/2 = 3/2.
+        assert hellerman_bandwidth(2) == pytest.approx(1.5)
+
+    def test_m_three_exact(self):
+        # terms: 1, 2/3*1? compute: k=1: 2/3? no — prod k=1: (3-0)/3 = 1,
+        # k=2: *2/3 = 2/3, k=3: *1/3 = 2/9 -> 1 + 2/3 + 2/9 = 17/9.
+        assert hellerman_bandwidth(3) == pytest.approx(17 / 9)
+
+    def test_monotone_in_m(self):
+        values = [hellerman_bandwidth(m) for m in range(1, 65)]
+        assert values == sorted(values)
+
+    def test_approximation_quality(self):
+        # sqrt(pi m / 2) is within ~10% for m >= 16.
+        for m in (16, 32, 64, 128):
+            exact = hellerman_bandwidth(m)
+            approx = hellerman_approximation(m)
+            assert abs(approx - exact) / exact < 0.12
+
+    def test_sublinear(self):
+        # the whole point: random access scales ~sqrt(m), not m.
+        assert hellerman_bandwidth(64) < 64 ** 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hellerman_bandwidth(0)
+        with pytest.raises(ValueError):
+            hellerman_approximation(-1)
+
+
+class TestBinomial:
+    def test_single_request(self):
+        assert binomial_bandwidth(16, 1) == 1
+
+    def test_known_value(self):
+        # m=2, p=2: 2(1 - 1/4) = 3/2.
+        assert binomial_bandwidth(2, 2) == Fraction(3, 2)
+
+    def test_bounded_by_m_and_p(self):
+        for m in (4, 16):
+            for p in (1, 4, 32):
+                e = binomial_bandwidth(m, p)
+                assert 0 < e <= min(m, p)
+
+    def test_saturates_towards_m(self):
+        assert binomial_bandwidth(8, 1000) > Fraction(799, 100)
+
+    def test_monte_carlo_agrees(self):
+        for m, p in [(16, 6), (8, 3), (32, 10)]:
+            exact = float(binomial_bandwidth(m, p))
+            mc = simulate_binomial(m, p, cycles=40000, seed=7)
+            assert abs(mc - exact) / exact < 0.02, (m, p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_bandwidth(0, 1)
+        with pytest.raises(ValueError):
+            binomial_bandwidth(8, 0)
+        with pytest.raises(ValueError):
+            simulate_binomial(8, 2, cycles=0)

@@ -1,0 +1,60 @@
+"""Public-API surface tests: imports, __all__ hygiene, version."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.memory",
+    "repro.sim",
+    "repro.machine",
+    "repro.viz",
+    "repro.analysis",
+    "repro.skewing",
+    "repro.stochastic",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quicktour():
+    """The README quickstart must keep working verbatim."""
+    from fractions import Fraction
+
+    from repro import FIG3_CONFIG, classify_pair, predict_single, simulate_pair
+
+    assert predict_single(16, 8, 4).bandwidth == Fraction(1, 2)
+    assert classify_pair(12, 3, 1, 7).regime.value == "conflict-free"
+    assert classify_pair(26, 4, 1, 3).predicted_bandwidth == Fraction(4, 3)
+    pr = simulate_pair(FIG3_CONFIG, 1, 6, b2=0)
+    assert pr.bandwidth == Fraction(7, 6)
+
+
+def test_docstring_examples_in_init():
+    """The module docstring's doctest-style lines stay true."""
+    from repro import FIG2_CONFIG, classify_pair, simulate_pair
+    from repro.core.classify import PairRegime
+
+    assert classify_pair(12, 3, 1, 7).regime is PairRegime.CONFLICT_FREE
+    assert simulate_pair(FIG2_CONFIG, 1, 7).bandwidth == 2

@@ -1,0 +1,34 @@
+"""docs/API.md must stay in sync with the public surface."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_api_doc_is_current():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_doc
+    finally:
+        sys.path.pop(0)
+    expected = gen_api_doc.render()
+    committed = (ROOT / "docs" / "API.md").read_text()
+    assert committed == expected, (
+        "docs/API.md is stale — run `python tools/gen_api_doc.py`"
+    )
+
+
+def test_api_doc_mentions_every_package():
+    text = (ROOT / "docs" / "API.md").read_text()
+    for pkg in (
+        "repro.core",
+        "repro.sim",
+        "repro.machine",
+        "repro.analysis",
+        "repro.skewing",
+        "repro.stochastic",
+    ):
+        assert f"## `{pkg}`" in text, pkg

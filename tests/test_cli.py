@@ -1,0 +1,216 @@
+"""Tests for the repro-mem command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_range, _parse_stream, build_parser, main
+
+
+class TestParsers:
+    def test_parse_range_forms(self):
+        assert _parse_range("3") == [3]
+        assert _parse_range("1-4") == [1, 2, 3, 4]
+        assert _parse_range("1,5,9") == [1, 5, 9]
+        assert _parse_range("1-3,8") == [1, 2, 3, 8]
+
+    def test_parse_range_empty(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_range(",")
+
+    def test_parse_stream(self):
+        assert _parse_stream("0:6") == (0, 6)
+        assert _parse_stream("12:1") == (12, 1)
+
+    def test_parse_stream_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_stream("7")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestClassify:
+    def test_conflict_free_pair(self, capsys):
+        rc = main(["classify", "-m", "12", "-c", "3", "1", "7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conflict-free" in out
+        assert "predicted b_eff: 2" in out
+        assert "relative start: 3" in out
+
+    def test_unique_barrier(self, capsys):
+        rc = main(["classify", "-m", "26", "-c", "4", "1", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "unique-barrier" in out
+        assert "4/3" in out
+        assert "delays stream: 2" in out
+
+    def test_sectioned(self, capsys):
+        rc = main(["classify", "-m", "12", "-c", "2", "-s", "2", "1", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "s=2 sections" in out
+
+    def test_invalid_memory_is_clean_error(self, capsys):
+        rc = main(["classify", "-m", "12", "-c", "3", "-s", "5", "1", "7"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSingle:
+    def test_self_conflicting(self, capsys):
+        rc = main(["single", "-m", "16", "-c", "4", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "r = 2" in out
+        assert "1/2" in out
+        assert "self-conflicting" in out
+
+    def test_clean(self, capsys):
+        rc = main(["single", "-m", "16", "-c", "4", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conflict free" in out
+
+
+class TestSimulate:
+    def test_steady_output(self, capsys):
+        rc = main([
+            "simulate", "-m", "13", "-c", "6",
+            "--stream", "0:1", "--stream", "0:6",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "7/6" in out
+
+    def test_trace_rendering(self, capsys):
+        rc = main([
+            "simulate", "-m", "12", "-c", "3",
+            "--stream", "0:1", "--stream", "3:7", "--trace", "24",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bank 0" in out
+        assert "steady b_eff = 2" in out
+
+    def test_cpus_and_priority(self, capsys):
+        rc = main([
+            "simulate", "-m", "12", "-c", "3", "-s", "3",
+            "--stream", "0:1", "--stream", "1:1",
+            "--cpus", "0,0", "--priority", "cyclic",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cyclic" in out
+
+
+class TestTriad:
+    def test_small_sweep(self, capsys):
+        rc = main(["triad", "--inc", "1,2", "--n", "128"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "INC" in out and "clocks" in out
+        assert "streaming d=1" in out
+
+    def test_dedicated(self, capsys):
+        rc = main(["triad", "--inc", "1", "--n", "128", "--dedicated"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "other CPU off" in out
+
+
+class TestAtlas:
+    def test_table(self, capsys):
+        rc = main(["atlas", "-m", "16", "-c", "4", "--strides", "1-4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Stride atlas" in out
+        assert "conflict-free" in out
+
+
+class TestProfile:
+    def test_histogram_output(self, capsys):
+        rc = main(["profile", "-m", "13", "-c", "4", "1", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4/3" in out and "7/5" in out
+        assert "start(s)" in out
+
+    def test_same_cpu_flag(self, capsys):
+        rc = main([
+            "profile", "-m", "12", "-c", "3", "-s", "3",
+            "1", "1", "--same-cpu", "--priority", "fixed",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "3/2" in out  # the linked-conflict lock shows up
+
+
+class TestCensus:
+    def test_table(self, capsys):
+        rc = main(["census", "-m", "16", "-c", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conflict-free" in out
+        assert "120 pairs" in out
+
+
+class TestDuel:
+    def test_output(self, capsys):
+        rc = main(["duel", "1", "3", "--n", "128"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CPU 0 (INC=1)" in out
+        assert "imbalance" in out
+
+
+class TestBlockCyclicCli:
+    def test_simulate_with_block_cyclic(self, capsys):
+        rc = main([
+            "simulate", "-m", "12", "-c", "3", "-s", "3",
+            "--stream", "0:1", "--stream", "1:1",
+            "--cpus", "0,0", "--priority", "block-cyclic:3",
+            "--trace", "24", "--show-priority",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "priority  111222" in out  # the Fig. 8b header row
+        assert "steady b_eff = 2" in out
+
+
+class TestInstalledEntryPoint:
+    def test_console_script_works(self):
+        """The repro-mem entry point must work as an installed command."""
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli"],
+            capture_output=True,
+            text=True,
+        )
+        # argparse exits 2 with usage when no command is given
+        assert proc.returncode == 2
+        assert "repro-mem" in proc.stderr or "usage" in proc.stderr.lower()
+
+    def test_module_invocation_classify(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli",
+                "classify", "-m", "12", "-c", "3", "1", "7",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "conflict-free" in proc.stdout

@@ -1,0 +1,41 @@
+"""Smoke tests for the report generator (tools/gen_report.py)."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_report
+    finally:
+        sys.path.pop(0)
+    return gen_report.build_report()
+
+
+class TestReport:
+    def test_all_figures_present(self, report_text):
+        for fig in range(2, 10):
+            assert f"Fig. {fig}" in report_text, fig
+        assert "Fig. 10" in report_text
+
+    def test_headline_bandwidths_present(self, report_text):
+        assert "steady b_eff = 2 (paper: 2)" in report_text
+        assert "steady b_eff = 7/6 (paper eq. 29: 7/6)" in report_text
+        assert "steady b_eff = 4/3 (paper eq. 29: 4/3)" in report_text
+        assert "steady b_eff = 3/2 (paper: 3/2)" in report_text
+
+    def test_barrier_motif_rendered(self, report_text):
+        assert "1<<<<<222222" in report_text
+
+    def test_triad_panels_present(self, report_text):
+        assert "(a) other CPU streaming d=1" in report_text
+        assert "(b) other CPU off:" in report_text
+        assert "simultaneous" in report_text

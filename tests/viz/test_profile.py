@@ -1,0 +1,50 @@
+"""Unit tests for repro.viz.profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.statespace import start_space_profile
+from repro.viz.profile import render_histogram, render_profile
+
+
+@pytest.fixture(scope="module")
+def fig5_profile():
+    from repro.memory.config import MemoryConfig
+
+    return start_space_profile(MemoryConfig(banks=13, bank_cycle=4), 1, 3)
+
+
+class TestRenderProfile:
+    def test_one_row_per_offset(self, fig5_profile):
+        text = render_profile(fig5_profile)
+        rows = [l for l in text.splitlines() if "b2-b1=" in l]
+        assert len(rows) == 13
+
+    def test_fractions_shown(self, fig5_profile):
+        text = render_profile(fig5_profile)
+        assert "4/3" in text
+        assert "7/5" in text
+
+    def test_summary_line(self, fig5_profile):
+        text = render_profile(fig5_profile)
+        assert "best 7/5" in text
+        assert "worst 4/3" in text
+
+    def test_title(self, fig5_profile):
+        assert render_profile(fig5_profile, title="T").startswith("T\n")
+
+    def test_validation(self, fig5_profile):
+        with pytest.raises(ValueError):
+            render_profile(fig5_profile, width=0)
+
+
+class TestRenderHistogram:
+    def test_counts(self, fig5_profile):
+        text = render_histogram(fig5_profile)
+        assert "11 start(s)" in text
+        assert "2 start(s)" in text
+
+    def test_validation(self, fig5_profile):
+        with pytest.raises(ValueError):
+            render_histogram(fig5_profile, width=-1)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.viz.series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.series import bar_chart, multi_series_table
+
+
+class TestBarChart:
+    def test_scaling_to_width(self):
+        text = bar_chart([1, 2], [5.0, 10.0], width=10)
+        lines = text.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_title_and_labels(self):
+        text = bar_chart(
+            ["a"], [1.0], title="T", x_label="inc", y_label="clocks"
+        )
+        assert text.splitlines()[0] == "T"
+        assert "inc" in text and "clocks" in text
+
+    def test_values_echoed(self):
+        text = bar_chart([1], [42.0])
+        assert "42" in text
+
+    def test_all_zero_series(self):
+        text = bar_chart([1, 2], [0.0, 0.0])
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart([1], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart([1], [1.0], width=0)
+
+
+class TestMultiSeriesTable:
+    def test_alignment_and_content(self):
+        text = multi_series_table(
+            [1, 2, 16],
+            {"cycles": [100, 200, 300], "bank": [1, 2, 3]},
+            x_label="INC",
+        )
+        lines = text.splitlines()
+        assert "INC" in lines[0]
+        assert "cycles" in lines[0] and "bank" in lines[0]
+        assert len(lines) == 2 + 3  # header + rule + rows
+
+    def test_floats_formatted(self):
+        text = multi_series_table([1], {"b_eff": [1.5]})
+        assert "1.500" in text
+
+    def test_ints_stay_int(self):
+        text = multi_series_table([1], {"n": [42]})
+        assert "42" in text and "42.0" not in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multi_series_table([1, 2], {"x": [1.0]})

@@ -1,0 +1,47 @@
+"""Unit tests for repro.viz.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [(1, 2), (30, 40)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) == {"-"}
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_column_width_follows_content(self):
+        text = format_table(["x"], [("longvalue",)])
+        header, rule, row = text.splitlines()
+        assert len(header) == len("longvalue")
+        assert row == "longvalue"
+
+    def test_right_justified(self):
+        text = format_table(["value"], [(1,)])
+        row = text.splitlines()[2]
+        assert row.endswith("1") and row.startswith(" ")
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [(1, 2)])
+
+    def test_fractions_survive(self):
+        from fractions import Fraction
+
+        text = format_table(["b_eff"], [(Fraction(7, 6),)])
+        assert "7/6" in text
