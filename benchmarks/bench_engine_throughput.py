@@ -1,10 +1,13 @@
 """Performance — raw simulator throughput (clocks simulated per second).
 
 Not a paper experiment: this tracks the speed of the reproduction's own
-engine so regressions in the arbitration loop are caught.  Three
+engines so regressions in the arbitration loop are caught.  Three
 workload shapes spanning the arbitration paths: one port (bank checks
 only), two CPUs (simultaneous conflicts), six ports on a sectioned
-memory (full three-phase arbitration).
+memory (full three-phase arbitration) — each run on both backends, so
+the benchmark table shows the reference/fast gap directly (the standing
+claim is fast >= 3x reference; ``tools/bench_compare.py`` checks the
+same workloads headlessly).
 """
 
 from __future__ import annotations
@@ -13,35 +16,65 @@ import pytest
 
 from repro.core.stream import AccessStream
 from repro.memory.config import MemoryConfig
+from repro.runner import SimJob, run
 from repro.sim.engine import Engine
 from repro.sim.port import Port
 
 CLOCKS = 2000
 
+WORKLOADS = [(1, False), (2, False), (6, True)]
+WORKLOAD_IDS = ["1port", "2ports", "6ports-sectioned"]
+
+
+def _config(sectioned: bool) -> MemoryConfig:
+    return MemoryConfig(banks=16, bank_cycle=4, sections=4 if sectioned else None)
+
+
+def _specs(n_ports: int) -> list[tuple[int, int]]:
+    return [((3 * i) % 16, 1 + (i % 3)) for i in range(n_ports)]
+
 
 def _build(n_ports: int, sectioned: bool):
-    cfg = MemoryConfig(
-        banks=16, bank_cycle=4, sections=4 if sectioned else None
-    )
+    cfg = _config(sectioned)
     ports = [Port(index=i, cpu=i % 2) for i in range(n_ports)]
     engine = Engine(cfg, ports, priority="cyclic")
-    for i, p in enumerate(ports):
-        p.assign(AccessStream(start_bank=(3 * i) % 16, stride=1 + (i % 3)))
+    for p, (b, d) in zip(ports, _specs(n_ports)):
+        p.assign(AccessStream(start_bank=b, stride=d))
     return engine
 
 
-@pytest.mark.parametrize(
-    "n_ports,sectioned",
-    [(1, False), (2, False), (6, True)],
-    ids=["1port", "2ports", "6ports-sectioned"],
-)
+@pytest.mark.parametrize("n_ports,sectioned", WORKLOADS, ids=WORKLOAD_IDS)
 def test_engine_throughput(benchmark, n_ports, sectioned):
-    def run():
+    def run_engine():
         engine = _build(n_ports, sectioned)
         engine.run(CLOCKS)
         return engine.stats.total_grants
 
-    grants = benchmark(run)
+    grants = benchmark(run_engine)
     assert grants > 0
     benchmark.extra_info["clocks"] = CLOCKS
     benchmark.extra_info["grants"] = grants
+    benchmark.extra_info["backend"] = "reference"
+
+
+@pytest.mark.parametrize("n_ports,sectioned", WORKLOADS, ids=WORKLOAD_IDS)
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_runner_throughput(benchmark, backend, n_ports, sectioned):
+    """Same workloads through the runner layer, on each backend."""
+    job = SimJob.from_specs(
+        _config(sectioned),
+        _specs(n_ports),
+        cpus=[i % 2 for i in range(n_ports)],
+        priority="cyclic",
+        steady=False,
+        cycles=CLOCKS,
+    )
+
+    def run_job():
+        return run(job, backend=backend)
+
+    out = benchmark(run_job)
+    assert sum(out.grants) > 0
+    benchmark.extra_info["clocks"] = CLOCKS
+    benchmark.extra_info["grants"] = sum(out.grants)
+    benchmark.extra_info["backend"] = backend

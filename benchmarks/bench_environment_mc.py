@@ -28,15 +28,19 @@ MIXES = [
 SAMPLES = 60
 
 
-def _run():
+def _run(executor):
     return {
-        name: sample_environments(CFG, strides, samples=SAMPLES, seed=7)
+        name: sample_environments(
+            CFG, strides, samples=SAMPLES, seed=7, executor=executor
+        )
         for name, strides in MIXES
     }
 
 
-def test_environment_mc(benchmark):
-    stats = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_environment_mc(benchmark, executor):
+    stats = benchmark.pedantic(
+        _run, args=(executor,), rounds=1, iterations=1
+    )
 
     print_header(
         f"Random environments on m=16, n_c=4 "

@@ -23,15 +23,17 @@ PAIRS = [
 ]
 
 
-def _run():
+def _run(executor):
     return {
-        name: start_space_profile(cfg, d1, d2)
+        name: start_space_profile(cfg, d1, d2, executor=executor)
         for name, cfg, d1, d2 in PAIRS
     }
 
 
-def test_start_space(benchmark):
-    profiles = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_start_space(benchmark, executor):
+    profiles = benchmark.pedantic(
+        _run, args=(executor,), rounds=1, iterations=1
+    )
 
     print_header("Start-space distributions of the paper's stream pairs")
     for name, *_ in PAIRS:

@@ -21,12 +21,12 @@ from conftest import print_header
 SHAPES = [(13, 4), (16, 2), (24, 3), (26, 4)]
 
 
-def _collect():
+def _collect(executor):
     issues = []
     rows = []
     for m, n_c in SHAPES:
         pairs = [(d1, d2) for d1, d2 in canonical_pairs(m) if d1 < d2]
-        issues += validate_unique_barrier(m, n_c, pairs)
+        issues += validate_unique_barrier(m, n_c, pairs, executor=executor)
         for d1, d2 in pairs:
             r1 = predict_single(m, d1, n_c)
             r2 = predict_single(m, d2, n_c)
@@ -44,8 +44,10 @@ def _collect():
     return issues, rows
 
 
-def test_table_barrier_bandwidth(benchmark):
-    issues, rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+def test_table_barrier_bandwidth(benchmark, executor):
+    issues, rows = benchmark.pedantic(
+        _collect, args=(executor,), rounds=1, iterations=1
+    )
 
     print_header("T-C: unique-barrier bandwidth (eq. 29) vs simulation")
     print(format_table(

@@ -15,16 +15,18 @@ from repro.analysis.validate import validate_conflict_free, validate_disjoint
 from conftest import print_header
 
 
-def _run():
-    rows = pair_sweep(12, 3)
+def _run(executor):
+    rows = pair_sweep(12, 3, executor=executor)
     all_pairs = [(a, b) for a in range(1, 12) for b in range(a, 12)]
-    issues = validate_conflict_free(12, 3, all_pairs)
-    issues += validate_disjoint(12, 3, all_pairs)
+    issues = validate_conflict_free(12, 3, all_pairs, executor=executor)
+    issues += validate_disjoint(12, 3, all_pairs, executor=executor)
     return rows, issues
 
 
-def test_table_pair_classification(benchmark):
-    rows, issues = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_table_pair_classification(benchmark, executor):
+    rows, issues = benchmark.pedantic(
+        _run, args=(executor,), rounds=1, iterations=1
+    )
 
     print_header("T-B: stride-pair classification vs simulation (m=12, n_c=3)")
     print(pair_sweep_report(rows))

@@ -16,16 +16,16 @@ from conftest import print_header
 SHAPES = [(8, 2), (12, 3), (13, 6), (16, 4), (32, 4)]
 
 
-def _run():
+def _run(executor):
     issues = []
     for m, n_c in SHAPES:
-        issues += validate_single_stream(m, n_c)
-    rows = single_stream_sweep(16, 4)
+        issues += validate_single_stream(m, n_c, executor=executor)
+    rows = single_stream_sweep(16, 4, executor=executor)
     return issues, rows
 
 
-def test_table_single_stream(benchmark):
-    issues, rows = benchmark(_run)
+def test_table_single_stream(benchmark, executor):
+    issues, rows = benchmark(_run, executor)
 
     print_header("T-A: single-stream b_eff, theory vs simulation (m=16, n_c=4)")
     print(single_sweep_report(rows))

@@ -17,6 +17,11 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.sim` — a cycle-accurate simulator with dynamic conflict
   resolution, three conflict types, pluggable priority rules and exact
   steady-state (cyclic state) bandwidth detection.
+* :mod:`repro.runner` — the unified execution layer: hashable
+  :class:`~repro.runner.SimJob` descriptions canonicalized via the
+  Appendix isomorphism, pluggable backends (object-graph reference
+  engine vs. flat-array fast engine) and the memoizing, deduplicating
+  :class:`~repro.runner.SweepExecutor` every sweep fans out through.
 * :mod:`repro.machine` — a Cray X-MP model (2 CPUs x 3 ports, 16 banks,
   ``n_c = 4``) running strip-mined, chained vector loops: the Section IV
   triad experiment.
@@ -63,6 +68,13 @@ from .memory import (
     MemoryConfig,
     triad_common_block,
 )
+from .runner import (
+    SimJob,
+    SimOutcome,
+    SweepExecutor,
+    default_executor,
+    run,
+)
 from .sim import (
     ConflictKind,
     Engine,
@@ -89,17 +101,22 @@ __all__ = [
     "ObservedRegime",
     "PairClassification",
     "PairRegime",
+    "SimJob",
+    "SimOutcome",
     "SimulationResult",
     "SingleStreamPrediction",
+    "SweepExecutor",
     "barrier_bandwidth",
     "barrier_possible",
     "canonical_pair",
     "classify_pair",
     "conflict_free_possible",
+    "default_executor",
     "disjoint_sets_possible",
     "loop_distance",
     "predict_single",
     "return_number",
+    "run",
     "simulate_pair",
     "simulate_streams",
     "single_stream_bandwidth",

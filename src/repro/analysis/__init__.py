@@ -11,7 +11,7 @@
 """
 
 from .atlas import StrideAdvice, loop_advice, pair_atlas_row, stride_atlas
-from .census import RegimeCensus, regime_census
+from .census import RegimeCensus, observed_regime_census, regime_census
 from .loopnest import ArrayRef, KernelReport, RefAnalysis, analyze_kernel
 from .montecarlo import EnvironmentSample, expected_bandwidth, sample_environments
 from .padding import PaddingResult, evaluate_padding, optimize_padding
@@ -58,6 +58,7 @@ __all__ = [
     "pair_atlas_row",
     "pair_sweep",
     "pair_sweep_report",
+    "observed_regime_census",
     "regime_census",
     "sample_environments",
     "single_stream_sweep",

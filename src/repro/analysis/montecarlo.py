@@ -7,6 +7,12 @@ start space is small enough to enumerate exactly
 (:mod:`repro.sim.statespace`); for three or more streams it grows as
 ``m^(k-1)`` and sampling takes over.  This module samples k-stream
 environments with a seeded RNG and reports distribution summaries.
+
+Samples run as one batch through a :class:`repro.runner.SweepExecutor`:
+repeated and isomorphic placements collapse onto single simulations (the
+executor's canonical-job memoization subsumes the explicit de-dup this
+module used to carry), and a multi-worker executor fans the batch out
+over processes.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from fractions import Fraction
 import numpy as np
 
 from ..memory.config import MemoryConfig
-from ..sim.multi import simulate_multi
+from ..runner import SimJob, SweepExecutor, default_executor
 
 __all__ = ["EnvironmentSample", "sample_environments", "expected_bandwidth"]
 
@@ -50,6 +56,7 @@ def sample_environments(
     seed: int = 0,
     same_cpu: bool = False,
     priority: str = "fixed",
+    executor: SweepExecutor | None = None,
 ) -> EnvironmentSample:
     """Sample random start banks for ``strides`` and summarise b_eff.
 
@@ -65,19 +72,18 @@ def sample_environments(
     m = config.banks
     rng = np.random.default_rng(seed)
     cpus = [0] * len(strides) if same_cpu else list(range(len(strides)))
-    seen: dict[tuple[int, ...], Fraction] = {}
-    values: list[Fraction] = []
+    ex = executor if executor is not None else default_executor()
+    jobs = []
     for _ in range(samples):
         starts = (0, *(int(x) for x in rng.integers(0, m, len(strides) - 1)))
-        if starts in seen:
-            values.append(seen[starts])
-            continue
         specs = [(b, d % m) for b, d in zip(starts, strides)]
-        bw = simulate_multi(
-            config, specs, cpus=cpus, priority=priority
-        ).bandwidth
-        seen[starts] = bw
-        values.append(bw)
+        jobs.append(
+            SimJob.from_specs(
+                config, specs, cpus=cpus, priority=priority,
+                max_cycles=2_000_000,
+            )
+        )
+    values = [out.bandwidth for out in ex.run_many(jobs)]
     best = max(values)
     return EnvironmentSample(
         m=m,

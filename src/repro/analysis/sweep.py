@@ -4,6 +4,10 @@ Produces plain records (lists of dataclasses) that reports, tests and
 benchmarks consume.  Sweeps respect the Appendix isomorphism: the first
 stride only ranges over divisors of ``m`` because every other pair is
 equivalent to one of those.
+
+All simulation fans out through a :class:`repro.runner.SweepExecutor`
+(the process-wide default when none is passed), so isomorphic jobs
+deduplicate and repeated sweeps are memoized.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from ..core.arithmetic import divisors
 from ..core.classify import PairClassification, classify_pair
 from ..core.single import predict_single
 from ..memory.config import MemoryConfig
+from ..runner import SimJob, SweepExecutor, default_executor
 from ..sim.pairs import bandwidth_by_offset
 
 __all__ = [
@@ -84,24 +89,26 @@ def canonical_pairs(m: int, *, include_equal: bool = True) -> list[tuple[int, in
 
 
 def single_stream_sweep(
-    m: int, n_c: int, *, simulate: bool = True
+    m: int,
+    n_c: int,
+    *,
+    simulate: bool = True,
+    executor: SweepExecutor | None = None,
 ) -> list[SingleSweepRow]:
     """Theory/simulation rows for every stride against one memory."""
-    from ..core.stream import AccessStream
-    from ..sim.engine import simulate_streams
-
     config = MemoryConfig(banks=m, bank_cycle=n_c)
     rows: list[SingleSweepRow] = []
-    for d in range(m):
+    if simulate:
+        ex = executor if executor is not None else default_executor()
+        jobs = [
+            SimJob.from_specs(config, [(0, d)], cpus=[0]) for d in range(m)
+        ]
+        outcomes = ex.run_many(jobs)
+    else:
+        outcomes = [None] * m
+    for d, out in zip(range(m), outcomes):
         p = predict_single(m, d, n_c)
-        if simulate:
-            res = simulate_streams(
-                config, [AccessStream(0, d)], cpus=[0], steady=True
-            )
-            sim = res.steady_bandwidth
-            assert sim is not None
-        else:
-            sim = p.bandwidth
+        sim = out.bandwidth if out is not None else p.bandwidth
         rows.append(
             SingleSweepRow(
                 m=m, n_c=n_c, d=d,
@@ -119,6 +126,7 @@ def pair_sweep(
     pairs: list[tuple[int, int]] | None = None,
     *,
     priority: str = "fixed",
+    executor: SweepExecutor | None = None,
 ) -> list[PairSweepRow]:
     """Classify and simulate a set of stride pairs.
 
@@ -129,10 +137,11 @@ def pair_sweep(
     config = MemoryConfig(banks=m, bank_cycle=n_c)
     if pairs is None:
         pairs = canonical_pairs(m)
+    ex = executor if executor is not None else default_executor()
     rows: list[PairSweepRow] = []
     for d1, d2 in pairs:
         cls = classify_pair(m, n_c, d1, d2, stream1_priority=(priority == "fixed"))
-        table = bandwidth_by_offset(config, d1, d2, priority=priority)
+        table = bandwidth_by_offset(config, d1, d2, priority=priority, executor=ex)
         values = list(table.values())
         rows.append(
             PairSweepRow(

@@ -5,6 +5,12 @@ paper must agree with the cycle-accurate simulator on its domain.  The
 functions here sweep that domain and return discrepancy reports (empty
 reports == validated); the test-suite and the T-A/T-B/T-C benchmark
 tables are thin wrappers around them.
+
+Every sweep batches its jobs through a
+:class:`repro.runner.SweepExecutor` (``executor`` argument, defaulting
+to the process-wide memoizing executor), so overlapping validation
+domains — and reruns from tests, benchmarks and reports — only ever pay
+for each canonical job once.
 """
 
 from __future__ import annotations
@@ -15,10 +21,10 @@ from fractions import Fraction
 from ..core import theorems
 from ..core.arithmetic import access_set
 from ..core.single import predict_single
-from ..core.stream import AccessStream
 from ..memory.config import MemoryConfig
-from ..sim.engine import simulate_streams
-from ..sim.pairs import ObservedRegime, bandwidth_by_offset, simulate_pair
+from ..runner import SimJob, SweepExecutor, default_executor, jobs_for_offsets
+from ..runner.regime import ObservedRegime, observe_pair_regime
+from ..sim.pairs import bandwidth_by_offset
 
 __all__ = [
     "Discrepancy",
@@ -42,8 +48,16 @@ class Discrepancy:
         return f"{self.where}: predicted {self.predicted}, simulated {self.simulated}"
 
 
+def _executor(executor: SweepExecutor | None) -> SweepExecutor:
+    return executor if executor is not None else default_executor()
+
+
 def validate_single_stream(
-    m: int, n_c: int, strides: list[int] | None = None
+    m: int,
+    n_c: int,
+    strides: list[int] | None = None,
+    *,
+    executor: SweepExecutor | None = None,
 ) -> list[Discrepancy]:
     """Check ``b_eff = min(1, r/n_c)`` against the simulator.
 
@@ -52,25 +66,30 @@ def validate_single_stream(
     config = MemoryConfig(banks=m, bank_cycle=n_c)
     if strides is None:
         strides = list(range(m))
+    ex = _executor(executor)
+    jobs = [
+        SimJob.from_specs(config, [(0, d)], cpus=[0]) for d in strides
+    ]
     issues: list[Discrepancy] = []
-    for d in strides:
+    for d, out in zip(strides, ex.run_many(jobs)):
         predicted = predict_single(m, d, n_c).bandwidth
-        res = simulate_streams(
-            config, [AccessStream(0, d % m)], cpus=[0], steady=True
-        )
-        if res.steady_bandwidth != predicted:
+        if out.bandwidth != predicted:
             issues.append(
                 Discrepancy(
                     where=f"single m={m} n_c={n_c} d={d}",
                     predicted=predicted,
-                    simulated=res.steady_bandwidth,
+                    simulated=out.bandwidth,
                 )
             )
     return issues
 
 
 def validate_conflict_free(
-    m: int, n_c: int, pairs: list[tuple[int, int]]
+    m: int,
+    n_c: int,
+    pairs: list[tuple[int, int]],
+    *,
+    executor: SweepExecutor | None = None,
 ) -> list[Discrepancy]:
     """Check Theorem 3 both ways.
 
@@ -81,6 +100,7 @@ def validate_conflict_free(
       no start may reach 2.
     """
     config = MemoryConfig(banks=m, bank_cycle=n_c)
+    ex = _executor(executor)
     issues: list[Discrepancy] = []
     for d1, d2 in pairs:
         one = predict_single(m, d1, n_c)
@@ -88,7 +108,7 @@ def validate_conflict_free(
         if not (one.conflict_free and two.conflict_free):
             continue  # outside the theorem's hypotheses
         predicted_cf = theorems.conflict_free_possible(m, n_c, d1, d2)
-        table = bandwidth_by_offset(config, d1, d2)
+        table = bandwidth_by_offset(config, d1, d2, executor=ex)
         if predicted_cf:
             bad = {o: bw for o, bw in table.items() if bw != 2}
             if bad:
@@ -116,7 +136,11 @@ def validate_conflict_free(
 
 
 def validate_unique_barrier(
-    m: int, n_c: int, pairs: list[tuple[int, int]]
+    m: int,
+    n_c: int,
+    pairs: list[tuple[int, int]],
+    *,
+    executor: SweepExecutor | None = None,
 ) -> list[Discrepancy]:
     """Check Theorems 4+6/7 with eq. (29).
 
@@ -125,6 +149,7 @@ def validate_unique_barrier(
     ``b_eff = 1 + d1/d2`` with stream 2 the delayed one.
     """
     config = MemoryConfig(banks=m, bank_cycle=n_c)
+    ex = _executor(executor)
     issues: list[Discrepancy] = []
     for d1, d2 in pairs:
         if not (0 < d1 < d2 and m % d1 == 0):
@@ -140,18 +165,23 @@ def validate_unique_barrier(
         # start-independent barriers whose bandwidth sits in [floor, 2).
         exact = theorems.unique_barrier_by_modulus(m, n_c, d1, d2)
         z1 = access_set(m, d1, 0)
-        for b2 in range(m):
-            # Theorems 6/7 assume overlapping access sets; starts with
-            # disjoint sets legitimately reach b_eff = 2 (Theorem 2).
-            if not (z1 & access_set(m, d2, b2)):
-                continue
-            pr = simulate_pair(config, d1, d2, b2=b2, priority="fixed")
+        # Theorems 6/7 assume overlapping access sets; starts with
+        # disjoint sets legitimately reach b_eff = 2 (Theorem 2).
+        starts = [
+            b2 for b2 in range(m) if z1 & access_set(m, d2, b2)
+        ]
+        outcomes = ex.run_many(
+            jobs_for_offsets(config, d1, d2, starts, priority="fixed")
+        )
+        for b2, out in zip(starts, outcomes):
+            assert out.period is not None
+            regime = observe_pair_regime(out.period, out.grants)
             ok_value = (
-                pr.bandwidth == floor
+                out.bandwidth == floor
                 if exact
-                else floor <= pr.bandwidth < 2
+                else floor <= out.bandwidth < 2
             )
-            if not ok_value or pr.regime is not ObservedRegime.BARRIER_ON_2:
+            if not ok_value or regime is not ObservedRegime.BARRIER_ON_2:
                 expect = (
                     f"barrier-on-2 at {floor}"
                     if exact
@@ -161,17 +191,22 @@ def validate_unique_barrier(
                     Discrepancy(
                         where=f"T6/7 m={m} n_c={n_c} d=({d1},{d2}) b2={b2}",
                         predicted=expect,
-                        simulated=f"{pr.regime.value} at {pr.bandwidth}",
+                        simulated=f"{regime.value} at {out.bandwidth}",
                     )
                 )
     return issues
 
 
 def validate_disjoint(
-    m: int, n_c: int, pairs: list[tuple[int, int]]
+    m: int,
+    n_c: int,
+    pairs: list[tuple[int, int]],
+    *,
+    executor: SweepExecutor | None = None,
 ) -> list[Discrepancy]:
     """Check Theorem 2: the offsets it produces give ``b_eff = 2``."""
     config = MemoryConfig(banks=m, bank_cycle=n_c)
+    ex = _executor(executor)
     issues: list[Discrepancy] = []
     for d1, d2 in pairs:
         one = predict_single(m, d1, n_c)
@@ -180,21 +215,27 @@ def validate_disjoint(
             continue
         if not theorems.disjoint_sets_possible(m, d1, d2):
             continue
-        for off in theorems.disjoint_start_offsets(m, d1, d2):
-            pr = simulate_pair(config, d1, d2, b2=off)
-            if pr.bandwidth != 2:
+        offsets = list(theorems.disjoint_start_offsets(m, d1, d2))
+        outcomes = ex.run_many(jobs_for_offsets(config, d1, d2, offsets))
+        for off, out in zip(offsets, outcomes):
+            if out.bandwidth != 2:
                 issues.append(
                     Discrepancy(
                         where=f"T2 m={m} n_c={n_c} d=({d1},{d2}) off={off}",
                         predicted=Fraction(2),
-                        simulated=pr.bandwidth,
+                        simulated=out.bandwidth,
                     )
                 )
     return issues
 
 
 def validate_sections(
-    m: int, n_c: int, s: int, pairs: list[tuple[int, int]]
+    m: int,
+    n_c: int,
+    s: int,
+    pairs: list[tuple[int, int]],
+    *,
+    executor: SweepExecutor | None = None,
 ) -> list[Discrepancy]:
     """Check Theorem 9 / eq. (32) sufficiency on a sectioned memory.
 
@@ -206,7 +247,8 @@ def validate_sections(
     from ..core.sections import sections_conflict_free_start_offset
 
     config = MemoryConfig(banks=m, bank_cycle=n_c, sections=s)
-    issues: list[Discrepancy] = []
+    ex = _executor(executor)
+    checks: list[tuple[int, int, int]] = []
     for d1, d2 in pairs:
         one = predict_single(m, d1, n_c)
         two = predict_single(m, d2, n_c)
@@ -215,8 +257,16 @@ def validate_sections(
         offset = sections_conflict_free_start_offset(m, n_c, s, d1, d2)
         if offset is None:
             continue
-        pr = simulate_pair(config, d1, d2, b2=offset, same_cpu=True)
-        if pr.bandwidth != 2:
+        checks.append((d1, d2, offset))
+    jobs = [
+        SimJob.from_specs(
+            config, [(0, d1), (offset, d2)], cpus=(0, 0), priority="fixed"
+        )
+        for d1, d2, offset in checks
+    ]
+    issues: list[Discrepancy] = []
+    for (d1, d2, offset), out in zip(checks, ex.run_many(jobs)):
+        if out.bandwidth != 2:
             issues.append(
                 Discrepancy(
                     where=(
@@ -224,7 +274,7 @@ def validate_sections(
                         f"d=({d1},{d2}) offset={offset}"
                     ),
                     predicted=Fraction(2),
-                    simulated=pr.bandwidth,
+                    simulated=out.bandwidth,
                 )
             )
     return issues

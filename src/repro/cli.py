@@ -76,6 +76,17 @@ def _add_memory_args(p: argparse.ArgumentParser) -> None:
                    help="use Cheung & Smith's consecutive bank grouping")
 
 
+def _add_runner_args(
+    p: argparse.ArgumentParser, *, jobs: bool = True
+) -> None:
+    p.add_argument("--backend", choices=["reference", "fast"], default=None,
+                   help="simulation backend (default: $REPRO_SIM_BACKEND "
+                        "or reference)")
+    if jobs:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (default 1)")
+
+
 def _memory(args: argparse.Namespace) -> MemoryConfig:
     return MemoryConfig(
         banks=args.banks,
@@ -117,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="CLOCKS", help="render a trace of CLOCKS clocks")
     p.add_argument("--show-priority", action="store_true",
                    help="add the favoured-stream header row (Figs. 8-9)")
+    _add_runner_args(p, jobs=False)
 
     p = sub.add_parser("triad", help="the Fig. 10 X-MP experiment")
     p.add_argument("--inc", type=_parse_range, default=list(range(1, 17)),
@@ -139,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--same-cpu", action="store_true")
     p.add_argument("--priority", default="fixed",
                    help="fixed | cyclic | block-cyclic:N | lru")
+    _add_runner_args(p)
 
     p = sub.add_parser(
         "census", help="regime counts over all stride pairs"
@@ -206,13 +219,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                             show_sections=cfg.sectioned,
                             show_priority=args.show_priority))
         print()
-    res = simulate_streams(
-        cfg, streams, cpus=cpus, priority=args.priority, steady=True
+    from .runner import SimJob, run
+
+    job = SimJob.from_specs(
+        cfg,
+        [(b % cfg.banks, d % cfg.banks) for b, d in args.stream],
+        cpus=cpus,
+        priority=args.priority,
     )
-    assert res.steady_bandwidth is not None
+    out = run(job, backend=args.backend)
     print(f"memory: {cfg.describe()}; priority: {args.priority}")
-    print(f"steady b_eff = {fraction_str(res.steady_bandwidth)} "
-          f"(period {res.steady_period} clocks, grants {res.steady_grants})")
+    print(f"steady b_eff = {fraction_str(out.bandwidth)} "
+          f"(period {out.period} clocks, grants {out.grants})")
     return 0
 
 
@@ -245,14 +263,17 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from .runner import SweepExecutor
     from .sim.statespace import start_space_profile
     from .viz.profile import render_histogram, render_profile
 
     cfg = _memory(args)
-    prof = start_space_profile(
-        cfg, args.d1, args.d2,
-        same_cpu=args.same_cpu, priority=args.priority,
-    )
+    with SweepExecutor(backend=args.backend, workers=args.jobs) as ex:
+        prof = start_space_profile(
+            cfg, args.d1, args.d2,
+            same_cpu=args.same_cpu, priority=args.priority,
+            executor=ex,
+        )
     print(render_profile(prof, title=f"start space on {cfg.describe()}"))
     print()
     print(render_histogram(prof))

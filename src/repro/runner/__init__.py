@@ -1,0 +1,63 @@
+"""Unified simulation runner: jobs, backends, and sweep execution.
+
+Every simulation in the repository flows through three layers:
+
+``job``
+    :class:`SimJob` — a frozen, hashable run description that
+    canonicalizes equivalent jobs via the Appendix isomorphism — and
+    :class:`SimOutcome`, the exact :class:`~fractions.Fraction` result.
+``backends``
+    :class:`SimBackend` protocol with two implementations: the
+    ``reference`` object-per-port engine (ground truth, stats, traces)
+    and the ``fast`` flat-array engine (bit-identical steady results,
+    several times the throughput).  Select per call or via the
+    ``REPRO_SIM_BACKEND`` environment variable.
+``executor``
+    :class:`SweepExecutor` — deduplicates isomorphic jobs, memoizes
+    outcomes in-process and in an on-disk JSON cache, and fans out over
+    ``concurrent.futures`` workers.
+
+The historical front ends (:func:`repro.sim.pairs.simulate_pair`,
+:func:`repro.sim.multi.simulate_multi`, the statespace detector) are
+thin adapters over :func:`run`.
+"""
+
+from .api import run
+from .backends import (
+    BACKEND_ENV_VAR,
+    FastBackend,
+    ReferenceBackend,
+    SimBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from .executor import ExecutorStats, SweepExecutor, default_executor
+from .job import SimJob, SimOutcome, jobs_for_offsets
+from .regime import (
+    ObservedRegime,
+    full_rate_streams,
+    is_conflict_free,
+    observe_pair_regime,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "ExecutorStats",
+    "FastBackend",
+    "ObservedRegime",
+    "ReferenceBackend",
+    "SimBackend",
+    "SimJob",
+    "SimOutcome",
+    "SweepExecutor",
+    "available_backends",
+    "default_executor",
+    "full_rate_streams",
+    "get_backend",
+    "is_conflict_free",
+    "jobs_for_offsets",
+    "observe_pair_regime",
+    "resolve_backend",
+    "run",
+]

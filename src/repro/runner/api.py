@@ -1,0 +1,23 @@
+"""``run(job)`` — the one simulation entry point.
+
+Every front end (``simulate_pair``, ``simulate_multi``, the statespace
+detector, the sweeps, the CLI) is a thin adapter over this function.
+"""
+
+from __future__ import annotations
+
+from .backends import SimBackend, resolve_backend
+from .job import SimJob, SimOutcome
+
+__all__ = ["run"]
+
+
+def run(job: SimJob, *, backend: SimBackend | str | None = None) -> SimOutcome:
+    """Execute one job and return its exact outcome.
+
+    ``backend`` may be a name (``"reference"`` / ``"fast"``), a
+    :class:`~repro.runner.backends.SimBackend` instance, or ``None`` to
+    consult the ``REPRO_SIM_BACKEND`` environment variable (default:
+    reference).  Trace jobs always run on the reference backend.
+    """
+    return resolve_backend(backend, job).run(job)

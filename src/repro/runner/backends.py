@@ -1,0 +1,300 @@
+"""Simulation backends: one protocol, two engines.
+
+``reference``
+    The object-per-port engine of :mod:`repro.sim.engine` — full
+    fidelity: conflict statistics, trace recording, the works.  This is
+    the semantic ground truth.
+``fast``
+    A flat-array re-implementation of the same two-stage arbitration:
+    bank-busy countdowns and port positions live in plain integer lists,
+    the bank→section table is precomputed, and no per-clock statistics
+    are kept.  It produces bit-identical steady-state results (exact
+    ``Fraction`` bandwidth, period, per-port grants, transient length) at
+    a multiple of the reference throughput, and is cross-checked against
+    the reference by ``tests/property/test_backend_equivalence.py`` on
+    every CI run.
+
+Backend selection: pass ``backend=`` to :func:`repro.runner.api.run`, or
+set the ``REPRO_SIM_BACKEND`` environment variable (``reference`` /
+``fast``).  Jobs that request a trace always run on the reference
+backend — the fast path keeps no event log.
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+from typing import Protocol, runtime_checkable
+
+from .job import SimJob, SimOutcome
+
+__all__ = [
+    "SimBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
+
+
+@runtime_checkable
+class SimBackend(Protocol):
+    """Anything that can turn a :class:`SimJob` into a :class:`SimOutcome`."""
+
+    name: str
+
+    def run(self, job: SimJob) -> SimOutcome:  # pragma: no cover - protocol
+        ...
+
+
+class ReferenceBackend:
+    """The original object-per-port engine (semantic ground truth)."""
+
+    name = "reference"
+
+    def run(self, job: SimJob) -> SimOutcome:
+        # Imported lazily: the runner is a lower layer than repro.sim's
+        # front ends, which import the runner in turn.
+        from ..core.stream import AccessStream
+        from ..sim.engine import simulate_streams
+
+        streams = [
+            AccessStream(start_bank=b, stride=d, label=str(i + 1))
+            for i, (b, d) in enumerate(job.streams)
+        ]
+        res = simulate_streams(
+            job.config,
+            streams,
+            cpus=list(job.cpus),
+            priority=job.priority,
+            intra_priority=job.intra_priority,
+            steady=job.steady,
+            cycles=None if job.steady else job.cycles,
+            trace=job.trace,
+            max_cycles=job.max_cycles,
+        )
+        if job.steady:
+            assert res.steady_bandwidth is not None
+            assert res.steady_period is not None
+            assert res.steady_grants is not None and res.steady_start is not None
+            return SimOutcome(
+                job=job,
+                backend=self.name,
+                bandwidth=res.steady_bandwidth,
+                period=res.steady_period,
+                grants=res.steady_grants,
+                steady_start=res.steady_start,
+                cycles=res.cycles,
+                result=res,
+            )
+        return SimOutcome(
+            job=job,
+            backend=self.name,
+            bandwidth=res.stats.effective_bandwidth() if res.cycles else Fraction(0),
+            period=None,
+            grants=tuple(res.stats.per_port_grants()),
+            steady_start=None,
+            cycles=res.cycles,
+            result=res,
+        )
+
+
+class FastBackend:
+    """Flat-array engine: same arbitration, no per-request objects.
+
+    Per clock the reference engine pays for ``Port`` method calls, stats
+    recording, trace hooks and a full-width bank tick; the fast path
+    keeps four integer lists (bank busy countdowns, pending bank / stride
+    per port, active-bank list) plus the precomputed bank→section table,
+    and arbitrates straight on them.  The priority rules are the *same*
+    tiny state machines as the reference (they are part of the simulated
+    state), so winners — and therefore trajectories — match exactly.
+    """
+
+    name = "fast"
+
+    def run(self, job: SimJob) -> SimOutcome:
+        if job.trace:
+            raise ValueError(
+                "the fast backend keeps no trace; run trace jobs on the "
+                "reference backend"
+            )
+        from ..memory.sections import section_map_for
+        from ..sim.priority import make_priority
+
+        cfg = job.config
+        m = cfg.banks
+        n_c = cfg.bank_cycle
+        n = len(job.streams)
+        smap = section_map_for(cfg)
+        sect = [smap.section_of(j) for j in range(m)]
+        cpu = list(job.cpus)
+        pos = [b for b, _ in job.streams]
+        stride = [d for _, d in job.streams]
+        prio = make_priority(job.priority, n)
+        intra = (
+            prio
+            if job.intra_priority is None
+            else make_priority(job.intra_priority, n)
+        )
+        same_rule = intra is prio
+
+        busy = [0] * m
+        active: list[int] = []
+        grants = [0] * n
+        cycle = 0
+        ports = list(range(n))
+
+        def step() -> None:
+            nonlocal cycle, active
+            # Phase 1 — bank conflicts: active banks reject everyone.
+            free = [p for p in ports if not busy[pos[p]]]
+            # Phase 2 — section conflicts: per (cpu, path) at most one.
+            if len(free) > 1:
+                groups: dict[tuple[int, int], list[int]] = {}
+                for p in free:
+                    key = (cpu[p], sect[pos[p]])
+                    g = groups.get(key)
+                    if g is None:
+                        groups[key] = [p]
+                    else:
+                        g.append(p)
+                if len(groups) != len(free):
+                    free = [
+                        members[0]
+                        if len(members) == 1
+                        else intra.choose(members, cycle)
+                        for members in groups.values()
+                    ]
+                # Phase 3 — simultaneous bank conflicts: per bank at most
+                # one grant (cross-CPU by construction after phase 2).
+                if len(free) > 1:
+                    banks: dict[int, list[int]] = {}
+                    for p in free:
+                        b = pos[p]
+                        g = banks.get(b)
+                        if g is None:
+                            banks[b] = [p]
+                        else:
+                            g.append(p)
+                    if len(banks) != len(free):
+                        free = [
+                            members[0]
+                            if len(members) == 1
+                            else prio.choose(sorted(members), cycle)
+                            for members in banks.values()
+                        ]
+            # Commit grants.
+            for p in free:
+                b = pos[p]
+                busy[b] = n_c
+                active.append(b)
+                grants[p] += 1
+                b += stride[p]
+                pos[p] = b - m if b >= m else b
+                prio.granted(p, cycle)
+            # Clock edge.
+            if active:
+                nxt = []
+                for b in active:
+                    c = busy[b] - 1
+                    busy[b] = c
+                    if c:
+                        nxt.append(b)
+                active = nxt
+            prio.tick(cycle)
+            if not same_rule:
+                intra.tick(cycle)
+            cycle += 1
+
+        if not job.steady:
+            assert job.cycles is not None
+            for _ in range(job.cycles):
+                step()
+            total = sum(grants)
+            return SimOutcome(
+                job=job,
+                backend=self.name,
+                bandwidth=Fraction(total, cycle) if cycle else Fraction(0),
+                period=None,
+                grants=tuple(grants),
+                steady_start=None,
+                cycles=cycle,
+            )
+
+        # Steady-state detection — the exact loop of
+        # Engine.run_to_steady_state over the same state key.
+        seen: dict[tuple, tuple[int, tuple[int, ...]]] = {}
+        while cycle <= job.max_cycles:
+            key = (tuple(busy), tuple(pos), prio.snapshot(), intra.snapshot())
+            grants_now = tuple(grants)
+            hit = seen.get(key)
+            if hit is not None:
+                cycle0, grants0 = hit
+                period = cycle - cycle0
+                per_port = tuple(
+                    g1 - g0 for g0, g1 in zip(grants0, grants_now)
+                )
+                return SimOutcome(
+                    job=job,
+                    backend=self.name,
+                    bandwidth=Fraction(sum(per_port), period),
+                    period=period,
+                    grants=per_port,
+                    steady_start=cycle0,
+                    cycles=cycle,
+                )
+            seen[key] = (cycle, grants_now)
+            step()
+        raise RuntimeError(
+            f"no cyclic state within {job.max_cycles} cycles "
+            "(state space exhausted the bound)"
+        )
+
+
+_INSTANCES: dict[str, SimBackend] = {}
+_CLASSES: dict[str, type] = {
+    ReferenceBackend.name: ReferenceBackend,
+    FastBackend.name: FastBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` / ``--backend``."""
+    return tuple(sorted(_CLASSES))
+
+
+def get_backend(name: str) -> SimBackend:
+    """Shared backend instance for ``name`` (``reference`` / ``fast``)."""
+    try:
+        inst = _INSTANCES.get(name)
+        if inst is None:
+            inst = _INSTANCES[name] = _CLASSES[name]()
+        return inst
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        ) from None
+
+
+def resolve_backend(
+    backend: "SimBackend | str | None", job: SimJob | None = None
+) -> SimBackend:
+    """Resolve the backend for a run.
+
+    Precedence: explicit argument > ``REPRO_SIM_BACKEND`` env var >
+    ``reference``.  Trace jobs always resolve to the reference backend
+    (the fast path keeps no event log).
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or ReferenceBackend.name
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    if job is not None and job.trace and backend.name != ReferenceBackend.name:
+        backend = get_backend(ReferenceBackend.name)
+    return backend

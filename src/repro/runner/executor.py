@@ -1,0 +1,225 @@
+"""The execution layer: deduplicated, memoized, parallel job sweeps.
+
+Every analysis in this repository fans out hundreds-to-thousands of
+near-identical steady-state runs (start-offset sweeps, pair sweeps,
+Monte-Carlo environments, theorem validation).  :class:`SweepExecutor`
+gives them one shared engine room:
+
+* **dedup** — jobs canonicalize through the Appendix isomorphism
+  (:meth:`repro.runner.job.SimJob.cache_key`), so isomorphic jobs run
+  once;
+* **memoization** — outcomes cache in-process and, optionally, in an
+  on-disk JSON file keyed by the canonical job hash (exact ``Fraction``
+  values survive the round trip);
+* **fan-out** — with ``workers > 1`` unique jobs spread over a
+  ``concurrent.futures`` process pool.
+
+Outcomes returned by the executor never carry the engine-level
+``result`` object (stats/trace); use :func:`repro.runner.api.run`
+directly when you need those.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .api import run
+from .job import SimJob, SimOutcome
+
+__all__ = ["ExecutorStats", "SweepExecutor", "default_executor"]
+
+_CACHE_VERSION = 1
+
+
+@dataclass
+class ExecutorStats:
+    """Work accounting for one executor (monotonic counters)."""
+
+    submitted: int = 0
+    #: served from the in-process or on-disk cache
+    hits: int = 0
+    #: duplicates folded onto another job in the same batch
+    deduped: int = 0
+    #: jobs actually simulated
+    executed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "hits": self.hits,
+            "deduped": self.deduped,
+            "executed": self.executed,
+        }
+
+
+def _execute_payload(args: tuple[SimJob, str | None]) -> dict:
+    """Process-pool worker: run one job, return its JSON-safe payload."""
+    job, backend = args
+    return run(job, backend=backend).to_payload()
+
+
+class SweepExecutor:
+    """Run batches of :class:`SimJob` with dedup, caching and workers.
+
+    Parameters
+    ----------
+    backend:
+        Backend name forwarded to :func:`repro.runner.api.run` (``None``
+        keeps the env-var/default resolution).
+    workers:
+        Process count for fan-out; ``1`` (default) runs inline.
+    cache_path:
+        Optional JSON file for the on-disk outcome cache.  Loaded lazily
+        at construction, written by :meth:`flush` (or on context exit).
+    max_memo:
+        Bound on the in-process cache; oldest entries are evicted first.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str | None = None,
+        workers: int = 1,
+        cache_path: str | os.PathLike | None = None,
+        max_memo: int = 200_000,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker count must be positive")
+        if max_memo < 1:
+            raise ValueError("max_memo must be positive")
+        self.backend = backend
+        self.workers = workers
+        self.max_memo = max_memo
+        self.stats = ExecutorStats()
+        self._memo: dict[str, dict] = {}
+        self._cache_path = Path(cache_path) if cache_path is not None else None
+        self._dirty = False
+        if self._cache_path is not None and self._cache_path.exists():
+            data = json.loads(self._cache_path.read_text())
+            if data.get("version") == _CACHE_VERSION:
+                self._memo.update(data.get("entries", {}))
+
+    # ------------------------------------------------------------------
+    def run_one(self, job: SimJob, *, backend: str | None = None) -> SimOutcome:
+        """Run (or recall) a single job."""
+        return self.run_many([job], backend=backend)[0]
+
+    def run_many(
+        self,
+        jobs: Sequence[SimJob] | Iterable[SimJob],
+        *,
+        backend: str | None = None,
+    ) -> list[SimOutcome]:
+        """Run a batch, returning outcomes in input order.
+
+        Trace jobs bypass the cache entirely (their value is the event
+        log, which the cache does not carry).
+        """
+        jobs = list(jobs)
+        backend = backend if backend is not None else self.backend
+        self.stats.submitted += len(jobs)
+
+        keys: list[str | None] = []
+        fresh: dict[str, SimJob] = {}
+        for job in jobs:
+            if job.trace:
+                keys.append(None)  # uncacheable
+                continue
+            key = job.cache_key()
+            keys.append(key)
+            if key in self._memo:
+                self.stats.hits += 1
+            elif key in fresh:
+                self.stats.deduped += 1
+            else:
+                fresh[key] = job
+
+        ran = self._execute(fresh, backend) if fresh else {}
+
+        out: list[SimOutcome] = []
+        for job, key in zip(jobs, keys):
+            if key is None:
+                self.stats.executed += 1
+                out.append(run(job, backend=backend))
+            else:
+                payload = ran.get(key) or self._memo[key]
+                out.append(SimOutcome.from_payload(job, payload))
+        return out
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, fresh: dict[str, SimJob], backend: str | None
+    ) -> dict[str, dict]:
+        items = list(fresh.items())
+        self.stats.executed += len(items)
+        if self.workers == 1 or len(items) == 1:
+            payloads = [
+                run(job, backend=backend).to_payload() for _, job in items
+            ]
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                payloads = list(
+                    pool.map(
+                        _execute_payload,
+                        [(job, backend) for _, job in items],
+                        chunksize=max(1, len(items) // (4 * self.workers)),
+                    )
+                )
+        ran = {key: payload for (key, _), payload in zip(items, payloads)}
+        self._memo.update(ran)
+        self._dirty = True
+        while len(self._memo) > self.max_memo:
+            self._memo.pop(next(iter(self._memo)))
+        return ran
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write the on-disk cache (no-op without ``cache_path``)."""
+        if self._cache_path is None or not self._dirty:
+            return
+        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._cache_path.with_suffix(self._cache_path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(
+                {"version": _CACHE_VERSION, "entries": self._memo},
+                separators=(",", ":"),
+            )
+        )
+        tmp.replace(self._cache_path)
+        self._dirty = False
+
+    def clear(self) -> None:
+        """Drop the in-process cache (the disk file is untouched)."""
+        self._memo.clear()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.flush()
+
+
+_DEFAULT: SweepExecutor | None = None
+
+
+def default_executor() -> SweepExecutor:
+    """The process-wide executor library internals share.
+
+    In-memory cache only, inline execution — pure memoization.  Front
+    ends use it when no explicit executor is passed, so repeated sweeps
+    (validation + benchmarks + reports over the same pairs) each pay for
+    a simulation at most once per process.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SweepExecutor()
+    return _DEFAULT

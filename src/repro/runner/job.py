@@ -1,0 +1,344 @@
+"""The job layer: one hashable description per simulation run.
+
+Every analysis in the repository ultimately asks the same question —
+"what does this set of infinite constant-stride streams do to this
+memory?" — and :class:`SimJob` is the one canonical way to ask it.  A job
+freezes the memory shape, the stream specs, the CPU placement and the
+priority rules; :class:`SimOutcome` carries the exact :class:`~fractions.
+Fraction` steady-state answer.
+
+Jobs canonicalize through the paper's Appendix isomorphism: a bank
+renumbering ``j -> k·j (mod m)`` with ``gcd(k, m) = 1`` (plus a start-bank
+translation) maps a job onto an equivalent one without changing any
+conflict behaviour, so equivalent jobs share one cache entry in the
+:class:`~repro.runner.executor.SweepExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..core.arithmetic import units
+from ..memory.config import MemoryConfig
+from .regime import ObservedRegime, full_rate_streams, is_conflict_free, observe_pair_regime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import SimulationResult
+
+__all__ = ["SimJob", "SimOutcome", "jobs_for_offsets"]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """A frozen, hashable description of one simulation run.
+
+    Parameters
+    ----------
+    banks, bank_cycle, sections, section_mapping:
+        The memory shape (see :class:`repro.memory.config.MemoryConfig`).
+    streams:
+        One ``(start_bank, stride)`` spec per port, already reduced
+        modulo ``banks`` (use :meth:`from_specs` to normalise raw specs).
+        All job streams are the analytical *infinite* streams.
+    cpus:
+        Owning CPU per port; section conflicts arise within a CPU,
+        simultaneous bank conflicts across CPUs.
+    priority, intra_priority:
+        Rule names as accepted by :func:`repro.sim.priority.make_priority`.
+        ``intra_priority=None`` means "the same rule *instance* arbitrates
+        both conflict kinds" (the paper's presentation), which for
+        stateful rules is *not* equivalent to naming the rule twice.
+    steady:
+        Detect the cyclic state and report its exact bandwidth (default).
+        ``steady=False`` requires ``cycles`` — a fixed-horizon run.
+    cycles:
+        Fixed clock horizon for ``steady=False`` jobs.
+    max_cycles:
+        Safety bound for steady-state detection.
+    trace:
+        Record a cycle-by-cycle trace (reference backend only).
+    """
+
+    banks: int
+    bank_cycle: int
+    streams: tuple[tuple[int, int], ...]
+    cpus: tuple[int, ...]
+    sections: int | None = None
+    section_mapping: str = "cyclic"
+    priority: str = "fixed"
+    intra_priority: str | None = None
+    steady: bool = True
+    cycles: int | None = None
+    max_cycles: int = 1_000_000
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        # MemoryConfig performs the full shape validation.
+        cfg = MemoryConfig(
+            banks=self.banks,
+            bank_cycle=self.bank_cycle,
+            sections=self.sections,
+            section_mapping=self.section_mapping,
+        )
+        if not self.streams:
+            raise ValueError("a job needs at least one stream")
+        if len(self.cpus) != len(self.streams):
+            raise ValueError(
+                f"cpus ({len(self.cpus)}) and streams "
+                f"({len(self.streams)}) must align"
+            )
+        for b, d in self.streams:
+            if not (0 <= b < cfg.banks and 0 <= d < cfg.banks):
+                raise ValueError(
+                    f"stream spec ({b}, {d}) not reduced modulo m={cfg.banks}; "
+                    "build jobs via SimJob.from_specs()"
+                )
+        for c in self.cpus:
+            if c < 0:
+                raise ValueError("cpu ids must be non-negative")
+        if self.steady and self.cycles is not None:
+            raise ValueError("pass either steady=True or cycles=, not both")
+        if not self.steady and self.cycles is None:
+            raise ValueError("fixed-horizon jobs need cycles=")
+        if self.cycles is not None and self.cycles < 0:
+            raise ValueError("cycle count must be non-negative")
+        if self.max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_specs(
+        cls,
+        config: MemoryConfig,
+        specs: Sequence[tuple[int, int]],
+        *,
+        cpus: Sequence[int] | None = None,
+        priority: str = "fixed",
+        intra_priority: str | None = None,
+        steady: bool = True,
+        cycles: int | None = None,
+        max_cycles: int = 1_000_000,
+        trace: bool = False,
+    ) -> "SimJob":
+        """Build a job from raw ``(start_bank, stride)`` specs.
+
+        Starts and strides are reduced modulo ``config.banks``; ``cpus``
+        defaults to one CPU per stream (no section bottlenecks).
+        """
+        m = config.banks
+        if cpus is None:
+            cpus = range(len(specs))
+        return cls(
+            banks=config.banks,
+            bank_cycle=config.bank_cycle,
+            sections=config.sections,
+            section_mapping=config.section_mapping,
+            streams=tuple((b % m, d % m) for b, d in specs),
+            cpus=tuple(cpus),
+            priority=priority,
+            intra_priority=intra_priority,
+            steady=steady,
+            cycles=cycles,
+            max_cycles=max_cycles,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> MemoryConfig:
+        """The memory shape as a :class:`MemoryConfig`."""
+        return MemoryConfig(
+            banks=self.banks,
+            bank_cycle=self.bank_cycle,
+            sections=self.sections,
+            section_mapping=self.section_mapping,
+        )
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.streams)
+
+    @property
+    def effective_sections(self) -> int:
+        return self.banks if self.sections is None else self.sections
+
+    # ------------------------------------------------------------------
+    # Canonicalization (Appendix isomorphism)
+    # ------------------------------------------------------------------
+    def _renumbering_safe(self) -> bool:
+        """Whether bank renumberings preserve this job's conflicts.
+
+        A unit renumbering ``j -> k·j`` (and a translation ``j -> j + c``)
+        preserves bank-busy structure always, and the same-section
+        relation exactly when the mapping is the paper's cyclic
+        ``k = j mod s`` (``j1 ≡ j2 (mod s)`` is invariant because
+        ``gcd(k, s) = 1`` follows from ``s | m``) or when ``s = m``
+        (sections degenerate to banks).  Cheung & Smith's consecutive
+        grouping is *not* renumbering-invariant.
+        """
+        return self.section_mapping == "cyclic" or self.effective_sections == self.banks
+
+    def canonical(self) -> "SimJob":
+        """The canonical representative of this job's isomorphism class.
+
+        Applies every admissible renumbering ``j -> k·(j - b0)`` (unit
+        ``k``, translation to put stream 1 at bank 0) and keeps the
+        lexicographically smallest stream tuple.  Port order, CPU
+        placement and priority rules are untouched — they are not part of
+        the bank-address symmetry.  Jobs whose section mapping breaks the
+        symmetry canonicalize to themselves (modulo field normalisation).
+
+        The returned job always has ``trace=False`` and the default
+        ``max_cycles`` — neither affects the steady outcome — and
+        ``sections`` resolved to its effective value, so it is a pure
+        cache identity.
+        """
+        m = self.banks
+        base = replace(
+            self,
+            sections=self.effective_sections,
+            trace=False,
+            max_cycles=1_000_000,
+        )
+        if not self._renumbering_safe():
+            return base
+        b0 = self.streams[0][0]
+        best: tuple[tuple[int, int], ...] | None = None
+        for k in units(m):
+            cand = tuple(
+                (((b - b0) * k) % m, (d * k) % m) for b, d in self.streams
+            )
+            if best is None or cand < best:
+                best = cand
+        assert best is not None
+        return replace(base, streams=best)
+
+    def cache_key(self) -> str:
+        """Stable string identity of the canonical job (cache key)."""
+        c = self.canonical()
+        mode = "steady" if c.steady else f"cycles={c.cycles}"
+        streams = ",".join(f"{b}:{d}" for b, d in c.streams)
+        cpus = ",".join(str(x) for x in c.cpus)
+        intra = c.intra_priority if c.intra_priority is not None else "~"
+        return (
+            f"m{c.banks}c{c.bank_cycle}s{c.effective_sections}"
+            f"@{c.section_mapping}|{streams}|cpu{cpus}"
+            f"|{c.priority}/{intra}|{mode}"
+        )
+
+    def describe(self) -> str:
+        """One-line human summary for logs and benchmark headers."""
+        streams = " ".join(f"{b}:{d}" for b, d in self.streams)
+        return f"{self.config.describe()}; streams {streams}; cpus {self.cpus}"
+
+
+@dataclass(frozen=True, eq=False)
+class SimOutcome:
+    """Exact result of running a :class:`SimJob`.
+
+    For steady jobs ``bandwidth`` is the exact steady-state ``b_eff``
+    (a :class:`~fractions.Fraction`), ``grants`` the per-port grant
+    counts over one ``period``, and ``steady_start`` the first clock of
+    the periodic regime.  For fixed-horizon jobs ``bandwidth`` is the
+    whole-run average, ``grants`` the whole-run per-port counts, and
+    ``period``/``steady_start`` are ``None``.
+    """
+
+    job: SimJob
+    backend: str
+    bandwidth: Fraction
+    period: int | None
+    grants: tuple[int, ...]
+    steady_start: int | None
+    cycles: int
+    #: Full engine result (stats, optional trace).  Populated only by the
+    #: reference backend; ``None`` for fast-backend and cached outcomes.
+    result: "SimulationResult | None" = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_float(self) -> float:
+        return float(self.bandwidth)
+
+    @property
+    def full_rate_streams(self) -> int:
+        """How many streams run at one grant per clock (steady jobs)."""
+        if self.period is None:
+            raise ValueError("full-rate accounting needs a steady outcome")
+        return full_rate_streams(self.period, self.grants)
+
+    @property
+    def conflict_free(self) -> bool:
+        if self.period is None:
+            raise ValueError("conflict-freeness needs a steady outcome")
+        return is_conflict_free(self.period, self.grants)
+
+    @property
+    def pair_regime(self) -> ObservedRegime:
+        """Observed regime for two-stream steady jobs."""
+        if self.period is None:
+            raise ValueError("regime observation needs a steady outcome")
+        return observe_pair_regime(self.period, self.grants)
+
+    # ------------------------------------------------------------------
+    # Cache (JSON) serialisation — numbers only, exact
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-safe dict capturing the exact numeric outcome."""
+        return {
+            "backend": self.backend,
+            "bandwidth": f"{self.bandwidth.numerator}/{self.bandwidth.denominator}",
+            "period": self.period,
+            "grants": list(self.grants),
+            "steady_start": self.steady_start,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_payload(cls, job: SimJob, payload: dict) -> "SimOutcome":
+        """Rebuild an outcome for ``job`` from a cached payload.
+
+        Valid for any job in the payload's isomorphism class: the
+        Appendix renumbering preserves per-port grants, period and
+        transient length exactly.
+        """
+        num, den = payload["bandwidth"].split("/")
+        return cls(
+            job=job,
+            backend=f"cache:{payload['backend']}",
+            bandwidth=Fraction(int(num), int(den)),
+            period=payload["period"],
+            grants=tuple(payload["grants"]),
+            steady_start=payload["steady_start"],
+            cycles=payload["cycles"],
+        )
+
+
+def jobs_for_offsets(
+    config: MemoryConfig,
+    d1: int,
+    d2: int,
+    offsets: Iterable[int],
+    *,
+    same_cpu: bool = False,
+    priority: str = "fixed",
+    max_cycles: int = 1_000_000,
+) -> list[SimJob]:
+    """One steady pair job per relative start offset (a common sweep)."""
+    cpus = (0, 0) if same_cpu else (0, 1)
+    return [
+        SimJob.from_specs(
+            config,
+            [(0, d1), (off, d2)],
+            cpus=cpus,
+            priority=priority,
+            max_cycles=max_cycles,
+        )
+        for off in offsets
+    ]

@@ -1,9 +1,12 @@
 """k-stream simulation front end (extension of :mod:`repro.sim.pairs`).
 
-Drives the engine with an arbitrary number of infinite streams spread
+Drives the runner with an arbitrary number of infinite streams spread
 over CPUs and reports the exact steady state — used to validate the
 k-stream bounds of :mod:`repro.core.multistream` and to quantify the
 Section IV remark about six active ports on sixteen banks.
+
+Kept as a stable shim over :func:`repro.runner.run`; new code should
+build :class:`repro.runner.SimJob` descriptions directly.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from fractions import Fraction
 
 from ..core.stream import AccessStream
 from ..memory.config import MemoryConfig
+from ..runner import regime as _regime
 from .engine import SimulationResult, simulate_streams
 from .priority import PriorityRule
 
@@ -26,16 +30,16 @@ class MultiResult:
     bandwidth: Fraction
     period: int
     grants: tuple[int, ...]
-    result: SimulationResult
+    result: SimulationResult | None
 
     @property
     def full_rate_streams(self) -> int:
         """How many streams run at one grant per clock."""
-        return sum(1 for g in self.grants if g == self.period)
+        return _regime.full_rate_streams(self.period, self.grants)
 
     @property
     def conflict_free(self) -> bool:
-        return all(g == self.period for g in self.grants)
+        return _regime.is_conflict_free(self.period, self.grants)
 
 
 def simulate_multi(
@@ -53,27 +57,44 @@ def simulate_multi(
     """
     if not specs:
         raise ValueError("need at least one stream")
-    streams = [
-        AccessStream(start_bank=b, stride=d, label=str(i + 1))
-        for i, (b, d) in enumerate(specs)
-    ]
-    if cpus is None:
-        cpus = list(range(len(specs)))
-    res = simulate_streams(
-        config,
-        streams,
-        cpus=cpus,
-        priority=priority,
-        steady=True,
-        max_cycles=max_cycles,
+    if not isinstance(priority, str):
+        # Priority rule instances cannot ride in a hashable job; keep
+        # the legacy direct-engine path for them.
+        streams = [
+            AccessStream(start_bank=b, stride=d, label=str(i + 1))
+            for i, (b, d) in enumerate(specs)
+        ]
+        if cpus is None:
+            cpus = list(range(len(specs)))
+        res = simulate_streams(
+            config,
+            streams,
+            cpus=cpus,
+            priority=priority,
+            steady=True,
+            max_cycles=max_cycles,
+        )
+        assert res.steady_bandwidth is not None
+        assert res.steady_period is not None and res.steady_grants is not None
+        return MultiResult(
+            bandwidth=res.steady_bandwidth,
+            period=res.steady_period,
+            grants=res.steady_grants,
+            result=res,
+        )
+
+    from ..runner import SimJob, run
+
+    job = SimJob.from_specs(
+        config, specs, cpus=cpus, priority=priority, max_cycles=max_cycles
     )
-    assert res.steady_bandwidth is not None
-    assert res.steady_period is not None and res.steady_grants is not None
+    out = run(job)
+    assert out.period is not None
     return MultiResult(
-        bandwidth=res.steady_bandwidth,
-        period=res.steady_period,
-        grants=res.steady_grants,
-        result=res,
+        bandwidth=out.bandwidth,
+        period=out.period,
+        grants=out.grants,
+        result=out.result,
     )
 
 

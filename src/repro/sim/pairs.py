@@ -1,20 +1,25 @@
 """Two-stream experiment helpers.
 
-Wraps the engine for the configuration every theorem talks about: two
-infinite streams, either on different CPUs (``s = m`` effectively — paths
-are no bottleneck) or on one CPU of a sectioned memory.  Adds the
-start-offset sweeps used to verify existence claims ("there exist start
-banks such that ...") and to observe start dependence (Figs. 4-6).
+Thin adapters over the :mod:`repro.runner` layer for the configuration
+every theorem talks about: two infinite streams, either on different
+CPUs (``s = m`` effectively — paths are no bottleneck) or on one CPU of
+a sectioned memory.  Adds the start-offset sweeps used to verify
+existence claims ("there exist start banks such that ...") and to
+observe start dependence (Figs. 4-6).
+
+These signatures predate the runner and are kept as stable shims;
+new code should build :class:`repro.runner.SimJob` descriptions and use
+:func:`repro.runner.run` / :class:`repro.runner.SweepExecutor` directly.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 from fractions import Fraction
 
 from ..core.stream import AccessStream
 from ..memory.config import MemoryConfig
+from ..runner.regime import ObservedRegime, observe_pair_regime
 from .engine import SimulationResult, simulate_streams
 from .priority import PriorityRule
 
@@ -29,15 +34,6 @@ __all__ = [
 ]
 
 
-class ObservedRegime(enum.Enum):
-    """Steady-state behaviour read off a simulated pair."""
-
-    CONFLICT_FREE = "conflict-free"        # both streams full rate
-    BARRIER_ON_2 = "barrier-on-2"          # stream 1 full rate, 2 delayed
-    BARRIER_ON_1 = "barrier-on-1"          # inverted barrier (Fig. 6)
-    MUTUAL = "mutual"                      # both delayed (double conflict)
-
-
 @dataclass(frozen=True)
 class PairResult:
     """Steady-state verdict for one concrete pair of streams."""
@@ -46,7 +42,7 @@ class PairResult:
     period: int
     grants: tuple[int, int]
     regime: ObservedRegime
-    result: SimulationResult
+    result: SimulationResult | None
 
     @property
     def bandwidth_float(self) -> float:
@@ -54,16 +50,8 @@ class PairResult:
 
 
 def _observe_regime(period: int, grants: tuple[int, ...]) -> ObservedRegime:
-    g1, g2 = grants
-    full1 = g1 == period
-    full2 = g2 == period
-    if full1 and full2:
-        return ObservedRegime.CONFLICT_FREE
-    if full1:
-        return ObservedRegime.BARRIER_ON_2
-    if full2:
-        return ObservedRegime.BARRIER_ON_1
-    return ObservedRegime.MUTUAL
+    """Deprecated alias — the shared helper lives in the runner layer."""
+    return observe_pair_regime(period, grants)
 
 
 def simulate_pair(
@@ -84,29 +72,53 @@ def simulate_pair(
     arbitration (the Theorem 8/9 topology); the default places them on
     different CPUs (Theorems 2-7: only bank and simultaneous conflicts).
     """
-    streams = [
-        AccessStream(start_bank=b1, stride=d1, label="1"),
-        AccessStream(start_bank=b2, stride=d2, label="2"),
-    ]
     cpus = [0, 0] if same_cpu else [0, 1]
-    res = simulate_streams(
+    if not isinstance(priority, str):
+        # Priority rule *instances* cannot ride in a hashable job; keep
+        # the legacy direct-engine path for them.
+        streams = [
+            AccessStream(start_bank=b1, stride=d1, label="1"),
+            AccessStream(start_bank=b2, stride=d2, label="2"),
+        ]
+        res = simulate_streams(
+            config,
+            streams,
+            cpus=cpus,
+            priority=priority,
+            steady=True,
+            trace=trace,
+            max_cycles=max_cycles,
+        )
+        assert res.steady_bandwidth is not None
+        assert res.steady_period is not None and res.steady_grants is not None
+        grants = (res.steady_grants[0], res.steady_grants[1])
+        return PairResult(
+            bandwidth=res.steady_bandwidth,
+            period=res.steady_period,
+            grants=grants,
+            regime=observe_pair_regime(res.steady_period, grants),
+            result=res,
+        )
+
+    from ..runner import SimJob, run
+
+    job = SimJob.from_specs(
         config,
-        streams,
+        [(b1, d1), (b2, d2)],
         cpus=cpus,
         priority=priority,
-        steady=True,
-        trace=trace,
         max_cycles=max_cycles,
+        trace=trace,
     )
-    assert res.steady_bandwidth is not None  # steady=True guarantees it
-    assert res.steady_period is not None and res.steady_grants is not None
-    grants = (res.steady_grants[0], res.steady_grants[1])
+    out = run(job)
+    assert out.period is not None
+    grants = (out.grants[0], out.grants[1])
     return PairResult(
-        bandwidth=res.steady_bandwidth,
-        period=res.steady_period,
+        bandwidth=out.bandwidth,
+        period=out.period,
         grants=grants,
-        regime=_observe_regime(res.steady_period, grants),
-        result=res,
+        regime=observe_pair_regime(out.period, grants),
+        result=out.result,
     )
 
 
@@ -118,6 +130,7 @@ def bandwidth_by_offset(
     same_cpu: bool = False,
     priority: PriorityRule | str = "fixed",
     offsets: list[int] | None = None,
+    executor: "object | None" = None,
 ) -> dict[int, Fraction]:
     """Steady bandwidth for every relative start offset ``b2 - b1``.
 
@@ -125,17 +138,37 @@ def bandwidth_by_offset(
     simultaneously") is harmless because "a relative position in time can
     be transformed to a relative position in space" — this sweep explores
     exactly that space.
+
+    The sweep runs through a :class:`repro.runner.SweepExecutor`
+    (``executor`` or the process-wide default), so isomorphic offsets are
+    deduplicated and repeated sweeps are memoized.
     """
     if offsets is None:
         offsets = list(range(config.banks))
-    out: dict[int, Fraction] = {}
-    for off in offsets:
-        pr = simulate_pair(
-            config, d1, d2, b1=0, b2=off % config.banks,
-            same_cpu=same_cpu, priority=priority,
-        )
-        out[off] = pr.bandwidth
-    return out
+    if not isinstance(priority, str):
+        out: dict[int, Fraction] = {}
+        for off in offsets:
+            pr = simulate_pair(
+                config, d1, d2, b1=0, b2=off % config.banks,
+                same_cpu=same_cpu, priority=priority,
+            )
+            out[off] = pr.bandwidth
+        return out
+
+    from ..runner import SweepExecutor, default_executor, jobs_for_offsets
+
+    ex = executor if executor is not None else default_executor()
+    assert isinstance(ex, SweepExecutor)
+    jobs = jobs_for_offsets(
+        config,
+        d1,
+        d2,
+        [off % config.banks for off in offsets],
+        same_cpu=same_cpu,
+        priority=priority,
+    )
+    outcomes = ex.run_many(jobs)
+    return {off: o.bandwidth for off, o in zip(offsets, outcomes)}
 
 
 def best_offset(

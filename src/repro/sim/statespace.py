@@ -7,6 +7,10 @@ the trajectory of a workload, measure its transient length and period,
 and aggregate over all relative starts — giving exact distributions
 where the paper could only exhibit examples (Figs. 3-6 are single
 trajectories of such state spaces).
+
+The detector itself lives in the runner layer now
+(:func:`repro.runner.run` with a steady :class:`repro.runner.SimJob`);
+these helpers are adapters that shape its outcomes.
 """
 
 from __future__ import annotations
@@ -46,6 +50,17 @@ class Trajectory:
         return self.period / self.states_visited
 
 
+def _trajectory_from_outcome(out) -> Trajectory:
+    assert out.period is not None and out.steady_start is not None
+    return Trajectory(
+        transient=out.steady_start,
+        period=out.period,
+        bandwidth=out.bandwidth,
+        grants=out.grants,
+        states_visited=out.steady_start + out.period,
+    )
+
+
 def trajectory(
     config: MemoryConfig,
     specs: list[tuple[int, int]],
@@ -57,22 +72,31 @@ def trajectory(
     """Run ``(start_bank, stride)`` streams to their cyclic state."""
     if not specs:
         raise ValueError("need at least one stream")
-    if cpus is None:
-        cpus = list(range(len(specs)))
-    if len(cpus) != len(specs):
-        raise ValueError("cpus and specs must align")
-    ports = [Port(index=i, cpu=c) for i, c in enumerate(cpus)]
-    engine = Engine(config, ports, priority=priority)
-    for port, (b, d) in zip(ports, specs):
-        port.assign(AccessStream(b % config.banks, d % config.banks))
-    bw, period, grants, start = engine.run_to_steady_state(max_cycles)
-    return Trajectory(
-        transient=start,
-        period=period,
-        bandwidth=bw,
-        grants=grants,
-        states_visited=start + period,
+    if not isinstance(priority, str):
+        # Legacy direct-engine path for priority rule instances.
+        if cpus is None:
+            cpus = list(range(len(specs)))
+        if len(cpus) != len(specs):
+            raise ValueError("cpus and specs must align")
+        ports = [Port(index=i, cpu=c) for i, c in enumerate(cpus)]
+        engine = Engine(config, ports, priority=priority)
+        for port, (b, d) in zip(ports, specs):
+            port.assign(AccessStream(b % config.banks, d % config.banks))
+        bw, period, grants, start = engine.run_to_steady_state(max_cycles)
+        return Trajectory(
+            transient=start,
+            period=period,
+            bandwidth=bw,
+            grants=grants,
+            states_visited=start + period,
+        )
+
+    from ..runner import SimJob, run
+
+    job = SimJob.from_specs(
+        config, specs, cpus=cpus, priority=priority, max_cycles=max_cycles
     )
+    return _trajectory_from_outcome(run(job))
 
 
 @dataclass(frozen=True)
@@ -119,6 +143,7 @@ def start_space_profile(
     *,
     same_cpu: bool = False,
     priority: str = "fixed",
+    executor: "object | None" = None,
 ) -> StartSpaceProfile:
     """Exact profile of a pair over every relative start offset.
 
@@ -126,22 +151,29 @@ def start_space_profile(
     predicted" motivates looking at the whole distribution: a pair whose
     *worst* start is fine is robust, one like Fig. 5/6's needs either
     placement control or architectural help.
+
+    The ``m`` per-offset jobs run as one batch through a
+    :class:`repro.runner.SweepExecutor` (``executor`` or the process-wide
+    default), so they deduplicate, memoize and — given a multi-worker
+    executor — fan out in parallel.
     """
+    from ..runner import SweepExecutor, default_executor, jobs_for_offsets
+
     m = config.banks
-    cpus = [0, 0] if same_cpu else [0, 1]
+    ex = executor if executor is not None else default_executor()
+    assert isinstance(ex, SweepExecutor)
+    jobs = jobs_for_offsets(
+        config, d1, d2, range(m), same_cpu=same_cpu, priority=priority
+    )
+    outcomes = ex.run_many(jobs)
     bandwidths: dict[int, Fraction] = {}
     transients: dict[int, int] = {}
     periods: dict[int, int] = {}
-    for off in range(m):
-        t = trajectory(
-            config,
-            [(0, d1), (off, d2)],
-            cpus=cpus,
-            priority=priority,
-        )
-        bandwidths[off] = t.bandwidth
-        transients[off] = t.transient
-        periods[off] = t.period
+    for off, out in zip(range(m), outcomes):
+        assert out.period is not None and out.steady_start is not None
+        bandwidths[off] = out.bandwidth
+        transients[off] = out.steady_start
+        periods[off] = out.period
     return StartSpaceProfile(
         m=m,
         n_c=config.bank_cycle,

@@ -1,0 +1,124 @@
+"""Backend registry, selection rules and reference/fast agreement."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.memory.config import FIG2_CONFIG, FIG3_CONFIG, MemoryConfig
+from repro.runner import SimJob, run
+from repro.runner.backends import (
+    BACKEND_ENV_VAR,
+    FastBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_backends() == ("fast", "reference")
+
+    def test_instances_are_shared(self):
+        assert get_backend("fast") is get_backend("fast")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("warp")
+
+
+class TestResolution:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "reference"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+        assert resolve_backend(None).name == "fast"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+        assert resolve_backend("reference").name == "reference"
+
+    def test_trace_jobs_force_reference(self):
+        job = SimJob.from_specs(
+            FIG3_CONFIG, [(0, 1), (0, 6)], steady=False, cycles=30, trace=True
+        )
+        assert resolve_backend("fast", job).name == "reference"
+        out = run(job, backend="fast")
+        assert out.backend == "reference"
+        assert out.result is not None and out.result.trace is not None
+
+    def test_fast_backend_rejects_trace(self):
+        job = SimJob.from_specs(
+            FIG3_CONFIG, [(0, 1)], steady=False, cycles=10, trace=True
+        )
+        with pytest.raises(ValueError, match="no trace"):
+            FastBackend().run(job)
+
+
+AGREEMENT_JOBS = [
+    SimJob.from_specs(FIG2_CONFIG, [(0, 1), (3, 7)]),
+    SimJob.from_specs(FIG3_CONFIG, [(0, 1), (0, 6)]),
+    SimJob.from_specs(
+        MemoryConfig(banks=16, bank_cycle=4, sections=4),
+        [(0, 1), (2, 2), (5, 3)],
+        cpus=[0, 0, 1],
+        priority="cyclic",
+    ),
+    SimJob.from_specs(
+        MemoryConfig(banks=13, bank_cycle=4),
+        [(0, 1), (7, 3)],
+        priority="lru",
+    ),
+    SimJob.from_specs(
+        MemoryConfig(banks=16, bank_cycle=4, sections=4),
+        [(0, 1), (1, 1), (2, 5)],
+        cpus=[0, 0, 1],
+        priority="block-cyclic:3",
+        intra_priority="fixed",
+    ),
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("job", AGREEMENT_JOBS, ids=lambda j: j.describe())
+    def test_steady_outcomes_identical(self, job):
+        ref = run(job, backend="reference")
+        fast = run(job, backend="fast")
+        assert fast.bandwidth == ref.bandwidth
+        assert fast.period == ref.period
+        assert fast.grants == ref.grants
+        assert fast.steady_start == ref.steady_start
+
+    def test_fixed_horizon_outcomes_identical(self):
+        job = SimJob.from_specs(
+            FIG2_CONFIG, [(0, 1), (3, 7)], steady=False, cycles=100
+        )
+        ref = run(job, backend="reference")
+        fast = run(job, backend="fast")
+        assert fast.bandwidth == ref.bandwidth == Fraction(sum(ref.grants), 100)
+        assert fast.grants == ref.grants
+        assert fast.period is None and fast.steady_start is None
+
+    def test_fast_carries_no_engine_result(self):
+        out = run(AGREEMENT_JOBS[0], backend="fast")
+        assert out.result is None
+        assert run(AGREEMENT_JOBS[0], backend="reference").result is not None
+
+
+class TestOutcomeViews:
+    def test_conflict_free_pair(self):
+        out = run(SimJob.from_specs(FIG2_CONFIG, [(0, 1), (3, 7)]))
+        assert out.bandwidth == 2
+        assert out.conflict_free
+        assert out.full_rate_streams == 2
+        assert out.pair_regime.value == "conflict-free"
+
+    def test_barrier_pair(self):
+        out = run(SimJob.from_specs(FIG3_CONFIG, [(0, 1), (0, 6)]))
+        assert out.bandwidth == Fraction(7, 6)
+        assert not out.conflict_free
+        assert out.pair_regime.value == "barrier-on-2"

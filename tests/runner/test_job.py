@@ -1,0 +1,113 @@
+"""SimJob construction, validation, canonicalization and cache identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.runner import SimJob, jobs_for_offsets
+
+CFG = MemoryConfig(banks=12, bank_cycle=3)
+
+
+class TestConstruction:
+    def test_from_specs_reduces_modulo_m(self):
+        job = SimJob.from_specs(CFG, [(12, 13), (-1, 25)])
+        assert job.streams == ((0, 1), (11, 1))
+
+    def test_from_specs_default_cpus(self):
+        job = SimJob.from_specs(CFG, [(0, 1), (0, 2), (0, 3)])
+        assert job.cpus == (0, 1, 2)
+
+    def test_carries_memory_shape(self):
+        cfg = MemoryConfig(banks=16, bank_cycle=4, sections=4)
+        job = SimJob.from_specs(cfg, [(0, 1)])
+        assert job.config == cfg
+        assert job.effective_sections == 4
+        assert job.n_ports == 1
+
+    def test_hashable_and_frozen(self):
+        a = SimJob.from_specs(CFG, [(0, 1)])
+        b = SimJob.from_specs(CFG, [(0, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert {a: "x"}[b] == "x"
+        with pytest.raises(AttributeError):
+            a.banks = 13
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(streams=(), cpus=()),
+            dict(streams=((0, 1),), cpus=(0, 1)),
+            dict(streams=((12, 1),), cpus=(0,)),  # unreduced start
+            dict(streams=((0, -1),), cpus=(0,)),  # unreduced stride
+            dict(streams=((0, 1),), cpus=(-1,)),
+            dict(streams=((0, 1),), cpus=(0,), steady=True, cycles=10),
+            dict(streams=((0, 1),), cpus=(0,), steady=False),
+            dict(streams=((0, 1),), cpus=(0,), max_cycles=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SimJob(banks=12, bank_cycle=3, **kwargs)
+
+
+class TestCanonicalization:
+    def test_translation_collapses(self):
+        a = SimJob.from_specs(CFG, [(0, 1), (5, 7)])
+        b = SimJob.from_specs(CFG, [(3, 1), (8, 7)])  # both starts +3
+        assert a.canonical() == b.canonical()
+        assert a.cache_key() == b.cache_key()
+
+    def test_unit_renumbering_collapses(self):
+        # j -> 5j (gcd(5, 12) = 1) maps strides 1,7 to 5,11 and the
+        # relative start 5 to 25 % 12 = 1.
+        a = SimJob.from_specs(CFG, [(0, 1), (5, 7)])
+        b = SimJob.from_specs(CFG, [(0, 5), (25, 35)])
+        assert a.cache_key() == b.cache_key()
+
+    def test_distinct_orbits_stay_distinct(self):
+        a = SimJob.from_specs(CFG, [(0, 1), (0, 7)])
+        b = SimJob.from_specs(CFG, [(0, 1), (1, 7)])
+        assert a.cache_key() != b.cache_key()
+
+    def test_consecutive_sections_block_renumbering(self):
+        cfg = MemoryConfig(
+            banks=12, bank_cycle=3, sections=4, section_mapping="consecutive"
+        )
+        job = SimJob.from_specs(cfg, [(3, 5)])
+        # canonical() must not renumber: only field normalisation happens.
+        assert job.canonical().streams == job.streams
+
+    def test_canonical_normalises_cache_irrelevant_fields(self):
+        job = SimJob.from_specs(CFG, [(0, 1)], max_cycles=77)
+        c = job.canonical()
+        assert c.max_cycles == 1_000_000
+        assert c.sections == CFG.effective_sections
+        assert not c.trace
+
+    def test_intra_priority_none_is_not_named_rule(self):
+        # None shares one rule instance between conflict kinds; naming
+        # the rule twice makes two instances — different simulated state.
+        shared = SimJob.from_specs(CFG, [(0, 1), (0, 2)], priority="lru")
+        named = SimJob.from_specs(
+            CFG, [(0, 1), (0, 2)], priority="lru", intra_priority="lru"
+        )
+        assert shared.cache_key() != named.cache_key()
+
+    def test_mode_in_cache_key(self):
+        steady = SimJob.from_specs(CFG, [(0, 1)])
+        fixed = SimJob.from_specs(CFG, [(0, 1)], steady=False, cycles=100)
+        assert steady.cache_key() != fixed.cache_key()
+
+
+class TestJobsForOffsets:
+    def test_shapes(self):
+        jobs = jobs_for_offsets(CFG, 1, 7, range(12))
+        assert len(jobs) == 12
+        assert all(j.cpus == (0, 1) for j in jobs)
+        assert [j.streams[1][0] for j in jobs] == list(range(12))
+
+    def test_same_cpu(self):
+        (job,) = jobs_for_offsets(CFG, 1, 7, [3], same_cpu=True)
+        assert job.cpus == (0, 0)

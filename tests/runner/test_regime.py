@@ -1,0 +1,50 @@
+"""Shared regime-observation helpers (deduped from sim.pairs/sim.multi)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.regime import (
+    ObservedRegime,
+    full_rate_streams,
+    is_conflict_free,
+    observe_pair_regime,
+)
+
+
+class TestFullRate:
+    def test_counts_streams_at_one_grant_per_clock(self):
+        assert full_rate_streams(12, (12, 12, 7)) == 2
+        assert full_rate_streams(6, (6,)) == 1
+        assert full_rate_streams(6, (5, 3)) == 0
+
+    def test_conflict_free_means_all_full_rate(self):
+        assert is_conflict_free(12, (12, 12))
+        assert not is_conflict_free(12, (12, 7))
+
+
+class TestPairRegime:
+    def test_conflict_free(self):
+        assert observe_pair_regime(6, (6, 6)) is ObservedRegime.CONFLICT_FREE
+
+    def test_barrier_on_2(self):
+        assert observe_pair_regime(6, (6, 1)) is ObservedRegime.BARRIER_ON_2
+
+    def test_barrier_on_1(self):
+        assert observe_pair_regime(5, (2, 5)) is ObservedRegime.BARRIER_ON_1
+
+    def test_mutual(self):
+        assert observe_pair_regime(5, (3, 4)) is ObservedRegime.MUTUAL
+
+    def test_requires_two_streams(self):
+        with pytest.raises(ValueError):
+            observe_pair_regime(5, (5,))
+
+
+def test_sim_reexports_are_the_same_objects():
+    # The sim front ends re-export the shared enum and delegate their
+    # legacy helpers here; observers from either module must agree.
+    from repro.sim import pairs
+
+    assert pairs.ObservedRegime is ObservedRegime
+    assert pairs._observe_regime(6, (6, 1)) is ObservedRegime.BARRIER_ON_2

@@ -26,6 +26,7 @@ def test_api_doc_mentions_every_package():
     for pkg in (
         "repro.core",
         "repro.sim",
+        "repro.runner",
         "repro.machine",
         "repro.analysis",
         "repro.skewing",

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare reference vs fast backend throughput, as JSON.
+
+Runs the three ``benchmarks/bench_engine_throughput.py`` workload shapes
+(one port, two CPUs, six ports on a sectioned memory) on both backends
+and prints simulated clocks per second plus the speedup factor::
+
+    PYTHONPATH=src python tools/bench_compare.py [--clocks N] [--repeat K]
+
+Exit status is non-zero if any workload's fast-backend speedup falls
+below the floor (default 1.0, i.e. "not slower"); CI calls this with
+``--min-speedup 3`` to enforce the fast path's reason to exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.memory.config import MemoryConfig  # noqa: E402
+from repro.runner import SimJob, get_backend  # noqa: E402
+
+WORKLOADS = [
+    ("1port", 1, False),
+    ("2ports", 2, False),
+    ("6ports-sectioned", 6, True),
+]
+
+
+def _job(n_ports: int, sectioned: bool, clocks: int) -> SimJob:
+    cfg = MemoryConfig(
+        banks=16, bank_cycle=4, sections=4 if sectioned else None
+    )
+    return SimJob.from_specs(
+        cfg,
+        [((3 * i) % 16, 1 + (i % 3)) for i in range(n_ports)],
+        cpus=[i % 2 for i in range(n_ports)],
+        priority="cyclic",
+        steady=False,
+        cycles=clocks,
+    )
+
+
+def _clocks_per_second(backend_name: str, job: SimJob, repeat: int) -> float:
+    backend = get_backend(backend_name)
+    backend.run(job)  # warm-up
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        out = backend.run(job)
+        best = min(best, time.perf_counter() - start)
+        assert out.cycles == job.cycles
+    return job.cycles / best
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clocks", type=int, default=20_000,
+                    help="simulated clocks per run (default 20000)")
+    ap.add_argument("--repeat", type=int, default=5,
+                    help="timing repetitions, best-of (default 5)")
+    ap.add_argument("--min-speedup", type=float, default=1.0,
+                    help="fail if any workload's speedup is below this")
+    args = ap.parse_args(argv)
+
+    report = {
+        "clocks": args.clocks,
+        "repeat": args.repeat,
+        "workloads": {},
+    }
+    ok = True
+    for name, n_ports, sectioned in WORKLOADS:
+        job = _job(n_ports, sectioned, args.clocks)
+        ref = _clocks_per_second("reference", job, args.repeat)
+        fast = _clocks_per_second("fast", job, args.repeat)
+        speedup = fast / ref
+        ok = ok and speedup >= args.min_speedup
+        report["workloads"][name] = {
+            "reference_clk_per_s": round(ref),
+            "fast_clk_per_s": round(fast),
+            "speedup": round(speedup, 2),
+        }
+    report["min_speedup_required"] = args.min_speedup
+    report["pass"] = ok
+    print(json.dumps(report, indent=2))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
