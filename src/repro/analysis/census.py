@@ -57,7 +57,8 @@ class RegimeCensus:
             if n == 0:
                 continue
             out.append(
-                (regime.value, n, f"{100 * n / self.total:.1f}%")
+                # Table-only percentage; share() carries the exact value.
+                (regime.value, n, f"{100 * n / self.total:.1f}%")  # reprolint: disable=EXACT001
             )
         return out
 

@@ -45,7 +45,8 @@ class EnvironmentSample:
     @property
     def spread(self) -> float:
         """best - worst, as floats (0 for placement-insensitive pairs)."""
-        return float(self.best) - float(self.worst)
+        # Presentation boundary: worst/best stay exact Fractions above.
+        return float(self.best) - float(self.worst)  # reprolint: disable=EXACT001
 
 
 def sample_environments(
@@ -90,10 +91,12 @@ def sample_environments(
         n_c=config.bank_cycle,
         strides=tuple(d % m for d in strides),
         samples=samples,
-        mean=float(sum(values, Fraction(0)) / len(values)),
+        # mean/best_share are declared float summaries of an exact sample
+        # set; worst/best keep the attained Fractions.
+        mean=float(sum(values, Fraction(0)) / len(values)),  # reprolint: disable=EXACT001
         worst=min(values),
         best=best,
-        best_share=sum(1 for v in values if v == best) / len(values),
+        best_share=sum(1 for v in values if v == best) / len(values),  # reprolint: disable=EXACT001
     )
 
 

@@ -28,7 +28,8 @@ def fraction_str(x: Fraction | None) -> str:
         return "-"
     if x.denominator == 1:
         return str(x.numerator)
-    return f"{x.numerator}/{x.denominator} ({float(x):.3f})"
+    # The float here is a display echo beside the exact fraction.
+    return f"{x.numerator}/{x.denominator} ({float(x):.3f})"  # reprolint: disable=EXACT001
 
 
 def single_sweep_report(rows: Sequence[SingleSweepRow], *, title: str = "") -> str:

@@ -10,7 +10,8 @@ Puts the library's main entry points on the shell for quick exploration:
 * ``repro-mem atlas``     — Section V stride guidance for a machine;
 * ``repro-mem profile``   — start-space distribution of a stride pair;
 * ``repro-mem census``    — regime counts over the whole stride space;
-* ``repro-mem duel``      — both CPUs running triads against each other.
+* ``repro-mem duel``      — both CPUs running triads against each other;
+* ``repro-mem lint``      — reprolint static invariant analysis.
 
 Examples::
 
@@ -162,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("inc0", type=int)
     p.add_argument("inc1", type=int)
     p.add_argument("--n", type=int, default=512)
+
+    p = sub.add_parser(
+        "lint", help="static invariant analysis (reprolint)"
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
     return parser
 
 
@@ -211,6 +219,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else list(range(len(streams)))
     )
     if args.trace is not None:
+        # Trace rendering needs the reference engine's event log, which
+        # SimOutcome does not carry; the steady numbers below still ride
+        # the runner.  # reprolint: disable-next=LAYER001
         res = simulate_streams(
             cfg, streams, cpus=cpus, priority=args.priority,
             cycles=args.trace + 8, trace=True,
@@ -299,6 +310,12 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_from_namespace
+
+    return run_from_namespace(args)
+
+
 def _cmd_duel(args: argparse.Namespace) -> int:
     from .machine.experiments import dueling_triads
 
@@ -325,6 +342,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "census": _cmd_census,
     "duel": _cmd_duel,
+    "lint": _cmd_lint,
 }
 
 

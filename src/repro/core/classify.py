@@ -198,7 +198,9 @@ def classify_pair(
         )
 
     # --- barrier analysis, both orientations ------------------------
-    def _orientation(a: int, b: int, tie_break: bool):
+    def _orientation(
+        a: int, b: int, tie_break: bool
+    ) -> tuple[CanonicalForm, int, int, bool, bool, bool]:
         """Barrier facts for the orientation where the ``a``-stride
         stream is the (potential) barrier and ``b``-stride the victim."""
         c = canonicalize(m, a, b)

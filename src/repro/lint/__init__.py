@@ -1,0 +1,54 @@
+"""reprolint: AST-based invariant analysis for the reproduction.
+
+The reproduction's value rests on invariants that runtime tests only
+spot-check: theorem verdicts are exact ``Fraction`` arithmetic, sweeps
+are deterministic across process-pool fan-out, and every simulation
+rides the runner layer so backends stay bit-identical and cacheable.
+This package enforces those invariants *statically*, at CI time:
+
+* ``EXACT001`` — no float contamination in the exactness layers;
+* ``DET001`` — no unseeded RNGs, wall-clock reads, or set-order leaks;
+* ``LAYER001`` — engine primitives only behind ``run(job, backend=...)``;
+* ``API001`` — ``__all__`` ↔ ``docs/API.md`` drift;
+* ``FROZEN001`` — no ``object.__setattr__`` mutation of frozen results.
+
+Run it with ``repro-mem lint`` or ``python tools/run_reprolint.py``;
+suppress intentional exceptions with ``# reprolint: disable=RULE``.
+Pure stdlib — importing this package never imports the simulator.
+"""
+
+from .framework import (
+    Finding,
+    LintContext,
+    LintReport,
+    ProjectRule,
+    Rule,
+    Suppressions,
+    all_rules,
+    get_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for_path,
+    register_rule,
+)
+from .report import render_json, render_text, to_json_dict
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "ProjectRule",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for_path",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "to_json_dict",
+]

@@ -1,0 +1,377 @@
+"""The reprolint core: contexts, rules, suppressions, and the lint driver.
+
+reprolint is a *project-specific* static analyzer: each rule encodes one
+invariant the reproduction's correctness argument rests on (exact
+``Fraction`` arithmetic, deterministic ordering, runner-layer
+discipline, documented public surfaces, frozen result objects).  The
+framework is deliberately small — pure stdlib ``ast`` walking, no
+third-party dependencies — so it can gate CI anywhere the test suite
+runs.
+
+Two rule shapes exist:
+
+* **file rules** (:class:`Rule`) see one parsed module at a time via a
+  :class:`LintContext`;
+* **project rules** (:class:`ProjectRule`) run once per invocation
+  against the repository root (cross-file invariants such as the
+  ``__all__`` ↔ ``docs/API.md`` drift check).
+
+Suppression: append ``# reprolint: disable=RULE`` (comma-separate for
+several rules, or ``all``) to the offending line, put
+``# reprolint: disable-next=RULE`` on the line above it, or
+``# reprolint: disable-file=RULE`` anywhere in the file to waive the
+whole module.  Suppressions are the documented escape hatch for
+*intentional* exceptions — each one in this repository carries a
+justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "ProjectRule",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for_path",
+    "register_rule",
+]
+
+#: Pseudo-rule reported when a file cannot be parsed at all.
+PARSE_ERROR_CODE = "PARSE001"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-next|disable-file)\s*="
+    r"\s*([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+class Suppressions:
+    """Per-line and per-file rule waivers parsed from comments."""
+
+    def __init__(
+        self, file_rules: frozenset[str], line_rules: dict[int, frozenset[str]]
+    ) -> None:
+        self._file = file_rules
+        self._lines = line_rules
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        file_rules: set[str] = set()
+        line_rules: dict[int, set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _DIRECTIVE.search(text)
+            if m is None:
+                continue
+            kind = m.group(1)
+            rules = {r.strip() for r in m.group(2).split(",") if r.strip()}
+            if kind == "disable-file":
+                file_rules |= rules
+            elif kind == "disable-next":
+                line_rules.setdefault(lineno + 1, set()).update(rules)
+            else:
+                line_rules.setdefault(lineno, set()).update(rules)
+        return cls(
+            frozenset(file_rules),
+            {k: frozenset(v) for k, v in line_rules.items()},
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self._file or rule in self._file:
+            return True
+        here = self._lines.get(line)
+        return here is not None and ("all" in here or rule in here)
+
+
+def module_name_for_path(path: str | Path) -> str:
+    """Best-effort dotted module name for a file path.
+
+    Looks for the last ``repro`` component in the path (the package this
+    analyzer is written for) and joins everything from there; returns
+    ``""`` when the file is not under a ``repro`` tree.  ``__init__.py``
+    maps to its package name.
+    """
+    parts = list(Path(path).parts)
+    if "repro" not in parts:
+        return ""
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    mod_parts = parts[idx:]
+    last = mod_parts[-1]
+    if last.endswith(".py"):
+        last = last[: -len(".py")]
+    if last == "__init__":
+        mod_parts = mod_parts[:-1]
+    else:
+        mod_parts[-1] = last
+    return ".".join(mod_parts)
+
+
+@dataclass
+class LintContext:
+    """Everything a file rule may consult about one module."""
+
+    path: str
+    module: str
+    is_package: bool
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module lives under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+class Rule:
+    """Base class for single-file AST rules."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
+class ProjectRule:
+    """Base class for once-per-invocation, cross-file rules."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_project(self, root: Path) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule | ProjectRule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    inst = cls()
+    if not inst.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if inst.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {inst.code}")
+    _REGISTRY[inst.code] = inst
+    return cls
+
+
+def all_rules() -> tuple[Rule | ProjectRule, ...]:
+    """Every registered rule, sorted by code."""
+    _ensure_builtin_rules()
+    return tuple(_REGISTRY[c] for c in sorted(_REGISTRY))
+
+
+def get_rules(codes: Sequence[str] | None = None) -> tuple[Rule | ProjectRule, ...]:
+    """Resolve rule codes to instances (``None`` means every rule)."""
+    if codes is None:
+        return all_rules()
+    _ensure_builtin_rules()
+    out = []
+    for code in codes:
+        try:
+            out.append(_REGISTRY[code])
+        except KeyError:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(f"unknown rule {code!r}; known rules: {known}") from None
+    return tuple(out)
+
+
+def _ensure_builtin_rules() -> None:
+    # The rule modules register themselves on import; import them lazily
+    # so framework <-> rules stays acyclic.
+    from . import apidoc, rules  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Outcome of one lint invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    root: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    is_package: bool = False,
+    rules: Sequence[Rule | ProjectRule] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text with the file rules."""
+    if module is None:
+        module = module_name_for_path(path)
+        is_package = str(path).endswith("__init__.py")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(
+        path=path,
+        module=module,
+        is_package=is_package,
+        source=source,
+        tree=tree,
+        suppressions=Suppressions.parse(source),
+    )
+    active = rules if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        if not isinstance(rule, Rule) or not rule.applies_to(ctx):
+            continue
+        for f in rule.check(ctx):
+            if not ctx.suppressions.is_suppressed(f.rule, f.line):
+                findings.append(f)
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    module: str | None = None,
+    rules: Sequence[Rule | ProjectRule] | None = None,
+) -> list[Finding]:
+    """Lint one file on disk with the file rules."""
+    p = Path(path)
+    return lint_source(
+        p.read_text(encoding="utf-8"),
+        path=str(p),
+        module=module,
+        is_package=p.name == "__init__.py",
+        rules=rules,
+    )
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    yield sub
+        elif p.suffix == ".py":
+            yield p
+
+
+def find_project_root(start: str | Path) -> Path | None:
+    """Walk upward from ``start`` to the nearest ``pyproject.toml``."""
+    p = Path(start).resolve()
+    if p.is_file():
+        p = p.parent
+    for candidate in (p, *p.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return None
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule | ProjectRule] | None = None,
+    root: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> LintReport:
+    """Lint files/directories plus the project-level rules.
+
+    ``root`` anchors project rules (``docs/API.md`` drift etc.); when not
+    given it is auto-detected as the nearest ancestor of the first path
+    holding a ``pyproject.toml``.  Project rules are skipped when no
+    root can be determined.
+    """
+    active = rules if rules is not None else all_rules()
+    report = LintReport()
+    for file in _iter_python_files(paths):
+        if progress is not None:
+            progress(str(file))
+        report.findings.extend(lint_file(file, rules=active))
+        report.files_checked += 1
+    resolved_root: Path | None
+    if root is not None:
+        resolved_root = Path(root)
+    elif paths:
+        resolved_root = find_project_root(paths[0])
+    else:
+        resolved_root = None
+    if resolved_root is not None:
+        report.root = str(resolved_root)
+        for rule in active:
+            if isinstance(rule, ProjectRule):
+                report.findings.extend(rule.check_project(resolved_root))
+    report.findings.sort()
+    return report

@@ -1,0 +1,464 @@
+"""The file-scoped reprolint rules.
+
+Each rule guards one invariant of the reproduction (see DESIGN.md §7):
+
+``EXACT001``
+    Theorem checks are *exact*: bandwidths are ``Fraction`` values end to
+    end, so the exactness layers (``repro.core``, ``repro.runner``,
+    ``repro.analysis``) must not introduce floats — no float literals, no
+    ``float()``/``complex()`` conversions, no true division (``/``
+    silently produces a float on integers; write ``Fraction(a, b)`` or
+    ``a // b``).  Presentation helpers whose *name* ends in ``_float``
+    are the blessed boundary where exact values become floats for
+    display, and are exempt.
+``DET001``
+    Results must be reproducible run-to-run and identical across the
+    in-process and process-pool execution paths: no module-level
+    ``random.*`` calls, no legacy ``numpy.random`` global-state API, no
+    unseeded ``default_rng()``, no wall-clock reads, and no iteration
+    over sets where the order can leak into results (Python set order is
+    arbitrary across processes — exactly the hazard of the
+    ``SweepExecutor`` fan-out).
+``LAYER001``
+    Every simulation rides ``run(job, backend=...)`` so backends stay
+    interchangeable and sweeps stay cacheable: the engine primitives
+    (``Engine``, ``Port``, ``simulate_streams``) may only be invoked
+    from ``repro.runner.backends`` and the blessed legacy shims.
+``FROZEN001``
+    ``SimJob``/``SimOutcome`` are frozen: cache keys and memoized
+    outcomes assume value semantics, so ``object.__setattr__`` mutation
+    of frozen instances is forbidden outside ``__init__``-family
+    methods (the frozen-dataclass self-initialization idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, LintContext, Rule, register_rule
+
+__all__ = [
+    "DeterminismRule",
+    "ExactnessRule",
+    "FrozenMutationRule",
+    "RunnerLayerRule",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def build_import_map(ctx: LintContext) -> dict[str, str]:
+    """Map local names to their dotted import origins.
+
+    ``import numpy as np``               → ``{"np": "numpy"}``
+    ``from numpy import random``         → ``{"random": "numpy.random"}``
+    ``from ..sim.engine import Engine``  → ``{"Engine": "repro.sim.engine.Engine"}``
+
+    Relative imports resolve against ``ctx.module`` when known; when the
+    package is unknown the unresolved leading levels are dropped, so
+    origin matching should compare by dotted *suffix*.
+    """
+    out: dict[str, str] = {}
+    pkg_parts: list[str] = []
+    if ctx.module:
+        parts = ctx.module.split(".")
+        pkg_parts = parts if ctx.is_package else parts[:-1]
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                out[bound] = origin
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                anchor = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(anchor + ([base] if base else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                out[bound] = f"{base}.{alias.name}" if base else alias.name
+    return out
+
+
+def dotted_name(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` attribute chain as a list, or ``None`` for other shapes."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def resolve_call_origin(
+    node: ast.Call, imports: dict[str, str]
+) -> str | None:
+    """Dotted origin of a call target, alias-resolved (best effort)."""
+    chain = dotted_name(node.func)
+    if not chain:
+        return None
+    head = imports.get(chain[0], chain[0])
+    return ".".join([head, *chain[1:]])
+
+
+class _ScopedVisitor(ast.NodeVisitor):
+    """Visitor that tracks the enclosing function-name stack."""
+
+    def __init__(self) -> None:
+        self.func_stack: list[str] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node)
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.func_stack.pop()
+
+
+# ----------------------------------------------------------------------
+# EXACT001
+# ----------------------------------------------------------------------
+@register_rule
+class ExactnessRule(Rule):
+    code = "EXACT001"
+    name = "exact-fraction-arithmetic"
+    description = (
+        "No float literals, float()/complex() conversions, or true "
+        "division in the exactness layers (repro.core, repro.runner, "
+        "repro.analysis); *_float helpers are the blessed presentation "
+        "boundary."
+    )
+
+    SCOPES = ("repro.core", "repro.runner", "repro.analysis")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not ctx.module or ctx.in_package(*self.SCOPES)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        rule = self
+
+        class V(_ScopedVisitor):
+            def __init__(self) -> None:
+                super().__init__()
+                self.found: list[Finding] = []
+
+            def _visit_func(self, node):  # type: ignore[override]
+                if node.name.endswith("_float"):
+                    return  # blessed presentation helper: skip subtree
+                super()._visit_func(node)
+
+            def visit_Constant(self, node: ast.Constant) -> None:
+                if type(node.value) is float:
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        f"float literal {node.value!r} on an exact path; "
+                        "use Fraction or move it behind a *_float helper",
+                    ))
+                elif type(node.value) is complex:
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        f"complex literal {node.value!r} on an exact path",
+                    ))
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if isinstance(node.func, ast.Name) and node.func.id in (
+                    "float", "complex",
+                ):
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        f"{node.func.id}() conversion on an exact path; "
+                        "keep Fraction, or rename the enclosing helper "
+                        "to *_float",
+                    ))
+                self.generic_visit(node)
+
+            def visit_BinOp(self, node: ast.BinOp) -> None:
+                if isinstance(node.op, ast.Div):
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        "true division on an exact path silently "
+                        "produces a float on integers; use "
+                        "Fraction(a, b) or a // b",
+                    ))
+                self.generic_visit(node)
+
+            def visit_AugAssign(self, node: ast.AugAssign) -> None:
+                if isinstance(node.op, ast.Div):
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        "in-place true division on an exact path; use "
+                        "Fraction or //=",
+                    ))
+                self.generic_visit(node)
+
+        v = V()
+        v.visit(ctx.tree)
+        yield from v.found
+
+
+# ----------------------------------------------------------------------
+# DET001
+# ----------------------------------------------------------------------
+#: Order-sensitive consumers: feeding them a set leaks arbitrary order
+#: into results (sorted()/len()/min()/max()/sum() are order-free).
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "zip"}
+)
+#: numpy.random legacy API — global-state, seed-order-dependent.
+_NUMPY_LEGACY = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "normal", "uniform", "bytes",
+})
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def _is_set_valued(node: ast.expr, imports: dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        name = imports.get(node.func.id, node.func.id)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register_rule
+class DeterminismRule(Rule):
+    code = "DET001"
+    name = "deterministic-results"
+    description = (
+        "No unseeded/global RNG state, no wall-clock reads, and no "
+        "set-iteration-order leaking into ordered results."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx)
+        rule = self
+
+        class V(_ScopedVisitor):
+            def __init__(self) -> None:
+                super().__init__()
+                self.found: list[Finding] = []
+
+            def visit_Call(self, node: ast.Call) -> None:
+                origin = resolve_call_origin(node, imports)
+                if origin is not None:
+                    self._check_origin(node, origin)
+                if (
+                    isinstance(node.func, ast.Name)
+                    and imports.get(node.func.id, node.func.id)
+                    in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                    and any(_is_set_valued(a, imports) for a in node.args)
+                ):
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        f"{node.func.id}() over a set leaks arbitrary "
+                        "iteration order into results; sort first "
+                        "(sorted(...)) or keep a list",
+                    ))
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and _is_set_valued(node.args[0], imports)
+                ):
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        "str.join over a set produces order-dependent "
+                        "output; sort first",
+                    ))
+                self.generic_visit(node)
+
+            def _check_origin(self, node: ast.Call, origin: str) -> None:
+                parts = origin.split(".")
+                if origin in _WALLCLOCK:
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        f"wall-clock read {origin}() in a result path "
+                        "makes runs irreproducible; thread timestamps "
+                        "in explicitly (time.perf_counter is fine for "
+                        "benchmark timing)",
+                    ))
+                elif parts[0] == "random" and len(parts) == 2:
+                    if parts[1] not in ("Random", "SystemRandom"):
+                        self.found.append(rule.finding(
+                            ctx, node,
+                            f"module-level random.{parts[1]}() uses the "
+                            "shared unseeded RNG; construct "
+                            "random.Random(seed) instead",
+                        ))
+                elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+                    if parts[2] in _NUMPY_LEGACY:
+                        self.found.append(rule.finding(
+                            ctx, node,
+                            f"legacy numpy.random.{parts[2]}() mutates "
+                            "global RNG state; use "
+                            "numpy.random.default_rng(seed)",
+                        ))
+                    elif parts[2] == "default_rng" and not (
+                        node.args or node.keywords
+                    ):
+                        self.found.append(rule.finding(
+                            ctx, node,
+                            "default_rng() without a seed is "
+                            "irreproducible; pass an explicit seed",
+                        ))
+
+            def visit_For(self, node: ast.For) -> None:
+                self._check_iter(node.iter)
+                self.generic_visit(node)
+
+            def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+                self._check_iter(node.iter)
+                self.generic_visit(node)
+
+            def visit_comprehension_iters(self, node: ast.expr) -> None:
+                pass
+
+            def _check_iter(self, iter_node: ast.expr) -> None:
+                if _is_set_valued(iter_node, imports):
+                    self.found.append(rule.finding(
+                        ctx, iter_node,
+                        "iterating a set in arbitrary order; wrap in "
+                        "sorted(...) if the loop feeds ordered results",
+                    ))
+
+            def _visit_comp(self, node) -> None:
+                for gen in node.generators:
+                    self._check_iter(gen.iter)
+                self.generic_visit(node)
+
+            visit_ListComp = _visit_comp
+            visit_SetComp = _visit_comp
+            visit_DictComp = _visit_comp
+            visit_GeneratorExp = _visit_comp
+
+        v = V()
+        v.visit(ctx.tree)
+        yield from v.found
+
+
+# ----------------------------------------------------------------------
+# LAYER001
+# ----------------------------------------------------------------------
+@register_rule
+class RunnerLayerRule(Rule):
+    code = "LAYER001"
+    name = "runner-layer-discipline"
+    description = (
+        "Engine primitives (Engine, Port, simulate_streams) may only be "
+        "invoked from repro.runner.backends and the blessed legacy "
+        "shims; everything else rides run(job, backend=...) and the "
+        "SweepExecutor."
+    )
+
+    #: Modules allowed to touch the engine directly: the backend layer
+    #: itself, the engine internals, and the byte-compatible legacy
+    #: shims (kept for PriorityRule *instances*, which cannot ride in a
+    #: hashable SimJob).
+    BLESSED = frozenset({
+        "repro.runner.backends",
+        "repro.sim.engine",
+        "repro.sim.port",
+        "repro.sim.pairs",
+        "repro.sim.multi",
+        "repro.sim.statespace",
+    })
+
+    #: Call origins that bypass the runner layer (matched by suffix so
+    #: relative imports resolve identically).
+    TARGET_SUFFIXES = (
+        "sim.engine.Engine",
+        "sim.engine.simulate_streams",
+        "sim.port.Port",
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.module not in self.BLESSED
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_call_origin(node, imports)
+            if origin is None:
+                continue
+            for suffix in self.TARGET_SUFFIXES:
+                if origin == suffix or origin.endswith("." + suffix):
+                    short = suffix.rsplit(".", 1)[-1]
+                    yield self.finding(
+                        ctx, node,
+                        f"direct {short}() call bypasses the runner "
+                        "layer; build a SimJob and call "
+                        "run(job, backend=...) so the result is "
+                        "backend-checked and cacheable",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# FROZEN001
+# ----------------------------------------------------------------------
+@register_rule
+class FrozenMutationRule(Rule):
+    code = "FROZEN001"
+    name = "no-frozen-mutation"
+    description = (
+        "No object.__setattr__/__delattr__ mutation of frozen instances "
+        "outside __init__-family methods: SimJob/SimOutcome identity "
+        "backs cache keys and memoized outcomes."
+    )
+
+    #: The frozen-dataclass self-initialization idiom is legitimate.
+    ALLOWED_SCOPES = frozenset({
+        "__init__", "__post_init__", "__new__", "__setstate__",
+    })
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        rule = self
+
+        class V(_ScopedVisitor):
+            def __init__(self) -> None:
+                super().__init__()
+                self.found: list[Finding] = []
+
+            def visit_Call(self, node: ast.Call) -> None:
+                chain = dotted_name(node.func)
+                if (
+                    chain is not None
+                    and len(chain) == 2
+                    and chain[0] == "object"
+                    and chain[1] in ("__setattr__", "__delattr__")
+                    and not (
+                        self.func_stack
+                        and self.func_stack[-1] in rule.ALLOWED_SCOPES
+                    )
+                ):
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        f"object.{chain[1]}() mutates a frozen instance; "
+                        "frozen jobs/outcomes back cache identities — "
+                        "build a new instance with dataclasses.replace()",
+                    ))
+                self.generic_visit(node)
+
+        v = V()
+        v.visit(ctx.tree)
+        yield from v.found

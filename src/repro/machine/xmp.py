@@ -85,7 +85,8 @@ def build_xmp(
     for cpu_id in range(2):
         slots = []
         for kind in CPU_PORT_KINDS:
-            slots.append(CpuPort(port=Port(index=index, cpu=cpu_id), kind=kind))
+            # X-MP assembly: finite instruction workloads, not SimJobs.
+            slots.append(CpuPort(port=Port(index=index, cpu=cpu_id), kind=kind))  # reprolint: disable=LAYER001
             index += 1
         cpus.append(CpuModel(cpu_id, slots, chain_latency=chain_latency))
     return MachineSimulation(config, cpus, priority=priority, trace=trace)

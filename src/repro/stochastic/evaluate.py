@@ -57,8 +57,10 @@ def random_stream_bandwidth(
         raise ValueError("horizon must exceed warmup")
     if cpus is None:
         cpus = list(range(ports))
-    port_objs = [Port(index=i, cpu=c) for i, c in enumerate(cpus)]
-    engine = Engine(config, port_objs)
+    # Random gather streams have no steady state for the runner's cycle
+    # detector; measure a finite horizon on the engine directly.
+    port_objs = [Port(index=i, cpu=c) for i, c in enumerate(cpus)]  # reprolint: disable=LAYER001
+    engine = Engine(config, port_objs)  # reprolint: disable=LAYER001
     for i, port in enumerate(port_objs):
         port.assign(RandomStream(seed=seed + i))
     engine.run(warmup)
@@ -82,8 +84,10 @@ def structured_vs_random(
     if ports <= 0:
         raise ValueError("port count must be positive")
     m, n_c = config.banks, config.bank_cycle
-    port_objs = [Port(index=i, cpu=i) for i in range(ports)]
-    engine = Engine(config, port_objs)
+    # Same finite-horizon measurement as above, for the structured side
+    # of the comparison (identical accounting on both sides).
+    port_objs = [Port(index=i, cpu=i) for i in range(ports)]  # reprolint: disable=LAYER001
+    engine = Engine(config, port_objs)  # reprolint: disable=LAYER001
     for i, port in enumerate(port_objs):
         port.assign(AccessStream(start_bank=(i * n_c) % m, stride=1))
     engine.run(warmup)

@@ -1,0 +1,30 @@
+"""DET001 fixture: one of every nondeterminism hazard."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample():
+    return random.random()  # shared unseeded module RNG
+
+
+def legacy_numpy():
+    np.random.seed(0)  # global numpy RNG state
+    return np.random.rand(3)  # legacy global-state API
+
+
+def unseeded():
+    return np.random.default_rng()  # no seed -> irreproducible
+
+
+def stamped(result):
+    return (result, time.time())  # wall clock in a result
+
+
+def ordered(items):
+    out = list(set(items))  # set order leaks into a list
+    for x in {3, 1, 2}:  # iterating a set literal
+        out.append(x)
+    return out

@@ -1,0 +1,26 @@
+"""DET001 fixture: the deterministic counterparts of every hazard."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample(seed: int):
+    return random.Random(seed).random()  # owned, seeded RNG
+
+
+def modern_numpy(seed: int):
+    return np.random.default_rng(seed).integers(0, 10)
+
+
+def bench_timing():
+    return time.perf_counter()  # timing a benchmark, not a result value
+
+
+def ordered(items):
+    return sorted(set(items))  # sorted() fixes the order
+
+
+def distinct(items) -> int:
+    return len(set(items))  # order-free consumers are fine

@@ -1,0 +1,18 @@
+"""EXACT001 fixture: every numeric operation here contaminates an exact path."""
+
+from fractions import Fraction
+
+HALF = 0.5  # float literal
+
+
+def bandwidth(grants: int, period: int):
+    return grants / period  # true division of ints -> float
+
+
+def echo(x: Fraction):
+    return float(x)  # float() conversion outside a *_float helper
+
+
+def scale(x):
+    x /= 3  # in-place true division
+    return x

@@ -1,0 +1,21 @@
+"""EXACT001 fixture: exact arithmetic plus the blessed *_float boundary."""
+
+from fractions import Fraction
+
+
+def bandwidth(grants: int, period: int) -> Fraction:
+    return Fraction(grants, period)
+
+
+def halve(n: int) -> int:
+    return n // 2
+
+
+class Outcome:
+    def __init__(self, bandwidth: Fraction) -> None:
+        self.bandwidth = bandwidth
+
+    @property
+    def bandwidth_float(self) -> float:
+        # Presentation helpers named *_float are the blessed boundary.
+        return float(self.bandwidth)

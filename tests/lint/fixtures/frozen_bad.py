@@ -1,0 +1,18 @@
+"""FROZEN001 fixture: mutating a frozen outcome after construction."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Outcome:
+    bandwidth: int
+
+
+def tweak(o: Outcome) -> Outcome:
+    object.__setattr__(o, "bandwidth", 0)  # breaks cache identity
+    return o
+
+
+def strip(o: Outcome) -> Outcome:
+    object.__delattr__(o, "bandwidth")  # likewise
+    return o

@@ -1,0 +1,18 @@
+"""FROZEN001 fixture: the frozen-dataclass idioms that are allowed."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Outcome:
+    bandwidth: int
+    doubled: int = 0
+
+    def __post_init__(self) -> None:
+        # Self-initialization inside __init__-family methods is the
+        # standard frozen-dataclass idiom.
+        object.__setattr__(self, "doubled", 2 * self.bandwidth)
+
+
+def tweak(o: Outcome) -> Outcome:
+    return replace(o, bandwidth=0)

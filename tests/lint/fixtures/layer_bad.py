@@ -1,0 +1,11 @@
+"""LAYER001 fixture: engine primitives invoked outside the blessed layer."""
+
+from repro.sim.engine import Engine, simulate_streams
+from repro.sim.port import Port
+
+
+def direct(config, streams):
+    ports = [Port(index=0, cpu=0)]  # direct port construction
+    engine = Engine(config, ports)  # direct engine construction
+    res = simulate_streams(config, streams)  # bypasses run(job)
+    return engine, res

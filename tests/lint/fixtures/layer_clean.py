@@ -1,0 +1,18 @@
+"""LAYER001 fixture: everything rides the runner layer."""
+
+from repro.runner import SimJob, SweepExecutor, run
+from repro.sim.engine import SimulationResult  # importing types is fine
+
+
+def steady(config, specs):
+    job = SimJob.from_specs(config, specs)
+    return run(job, backend="fast")
+
+
+def sweep(jobs) -> list:
+    with SweepExecutor() as ex:
+        return ex.run_many(jobs)
+
+
+def annotate(res: SimulationResult) -> int:
+    return res.cycles

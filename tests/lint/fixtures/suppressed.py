@@ -1,0 +1,16 @@
+"""Suppression fixture: every violation below carries a waiver."""
+
+from fractions import Fraction
+
+
+def ratio(a: int, b: int) -> float:
+    return a / b  # reprolint: disable=EXACT001
+
+
+def ratio_next(a: int, b: int) -> float:
+    # reprolint: disable-next=EXACT001
+    return a / b
+
+
+def several(x: Fraction) -> float:
+    return float(x) / 2.0  # reprolint: disable=all

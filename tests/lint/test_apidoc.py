@@ -1,0 +1,93 @@
+"""API001: static `__all__` <-> docs/API.md drift detection."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import get_rules, lint_paths
+
+WIDGET = textwrap.dedent(
+    '''
+    """A widget package."""
+
+    __all__ = ["alpha", "beta"]
+
+
+    def alpha() -> int:
+        return 1
+
+
+    def beta() -> int:
+        return 2
+    '''
+)
+
+
+def make_tree(tmp_path, documented: list[str]):
+    (tmp_path / "src" / "repro" / "widget").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (tmp_path / "src" / "repro" / "widget" / "__init__.py").write_text(WIDGET)
+    (tmp_path / "tools").mkdir()
+    (tmp_path / "tools" / "gen_api_doc.py").write_text(
+        'PACKAGES = ["repro.widget"]\n'
+    )
+    rows = "\n".join(f"| `{s}` | func | does things |" for s in documented)
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "API.md").write_text(
+        "# API index\n\n## `repro.widget`\n\n"
+        "| symbol | kind | summary |\n|---|---|---|\n" + rows + "\n"
+    )
+    return tmp_path
+
+
+def run_api001(root):
+    return [
+        f
+        for f in lint_paths(
+            [root / "src"], rules=get_rules(["API001"]), root=root
+        ).findings
+    ]
+
+
+def test_missing_symbol_is_drift(tmp_path):
+    root = make_tree(tmp_path, documented=["alpha"])
+    findings = run_api001(root)
+    assert len(findings) == 1
+    assert "repro.widget.beta" in findings[0].message
+    assert "missing" in findings[0].message
+
+
+def test_stale_symbol_is_drift(tmp_path):
+    root = make_tree(tmp_path, documented=["alpha", "beta", "gamma"])
+    findings = run_api001(root)
+    assert len(findings) == 1
+    assert "repro.widget.gamma" in findings[0].message
+    assert "no longer" in findings[0].message
+
+
+def test_in_sync_doc_is_clean(tmp_path):
+    root = make_tree(tmp_path, documented=["alpha", "beta"])
+    assert run_api001(root) == []
+
+
+def test_missing_section_reported(tmp_path):
+    root = make_tree(tmp_path, documented=["alpha", "beta"])
+    (root / "docs" / "API.md").write_text("# API index\n")
+    findings = run_api001(root)
+    assert len(findings) == 1
+    assert "no section" in findings[0].message
+
+
+def test_missing_doc_file_reported(tmp_path):
+    root = make_tree(tmp_path, documented=["alpha", "beta"])
+    (root / "docs" / "API.md").unlink()
+    findings = run_api001(root)
+    assert len(findings) == 1
+    assert "missing" in findings[0].message
+
+
+def test_real_repo_doc_is_in_sync():
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    assert run_api001(root) == [], "docs/API.md drifted; regenerate"

@@ -1,0 +1,107 @@
+"""reprolint framework: registry, suppressions, module mapping, driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import (
+    all_rules,
+    get_rules,
+    lint_paths,
+    lint_source,
+    module_name_for_path,
+)
+from repro.lint.framework import PARSE_ERROR_CODE, Suppressions
+
+EXPECTED_CODES = {"API001", "DET001", "EXACT001", "FROZEN001", "LAYER001"}
+
+
+class TestRegistry:
+    def test_all_builtin_rules_registered(self):
+        assert {r.code for r in all_rules()} == EXPECTED_CODES
+
+    def test_rules_carry_name_and_description(self):
+        for rule in all_rules():
+            assert rule.name and rule.description, rule.code
+
+    def test_get_rules_by_code(self):
+        (rule,) = get_rules(["EXACT001"])
+        assert rule.code == "EXACT001"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rules(["NOPE999"])
+
+
+class TestModuleMapping:
+    def test_package_module(self):
+        assert (
+            module_name_for_path("src/repro/core/single.py")
+            == "repro.core.single"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/runner/__init__.py") == "repro.runner"
+
+    def test_outside_repro_tree(self):
+        assert module_name_for_path("tests/lint/fixtures/exact_bad.py") == ""
+
+
+class TestSuppressions:
+    def test_same_line(self):
+        s = Suppressions.parse("x = a / b  # reprolint: disable=EXACT001\n")
+        assert s.is_suppressed("EXACT001", 1)
+        assert not s.is_suppressed("DET001", 1)
+
+    def test_disable_next(self):
+        src = "# reprolint: disable-next=DET001\nimport random\n"
+        s = Suppressions.parse(src)
+        assert s.is_suppressed("DET001", 2)
+        assert not s.is_suppressed("DET001", 1)
+
+    def test_disable_file(self):
+        s = Suppressions.parse("# reprolint: disable-file=LAYER001\n\nx = 1\n")
+        assert s.is_suppressed("LAYER001", 3)
+
+    def test_disable_all(self):
+        s = Suppressions.parse("x = 1.0  # reprolint: disable=all\n")
+        assert s.is_suppressed("EXACT001", 1)
+        assert s.is_suppressed("FROZEN001", 1)
+
+    def test_comma_separated(self):
+        s = Suppressions.parse("x = y  # reprolint: disable=EXACT001, DET001\n")
+        assert s.is_suppressed("EXACT001", 1)
+        assert s.is_suppressed("DET001", 1)
+        assert not s.is_suppressed("LAYER001", 1)
+
+    def test_suppressed_finding_dropped_by_driver(self):
+        findings = lint_source(
+            "x = 1 / 3  # reprolint: disable=EXACT001\n",
+            module="repro.core.fixture",
+        )
+        assert findings == []
+
+
+class TestDriver:
+    def test_module_override_controls_scope(self):
+        src = "x = 1 / 3\n"
+        assert lint_source(src, module="repro.core.fixture")
+        # Out of EXACT001 scope: the same source is clean.
+        assert not lint_source(src, module="repro.viz.fixture")
+
+    def test_syntax_error_reported_as_finding(self):
+        (finding,) = lint_source("def broken(:\n", path="bad.py")
+        assert finding.rule == PARSE_ERROR_CODE
+        assert "does not parse" in finding.message
+
+    def test_findings_sorted_by_location(self):
+        src = "y = 2.0\nx = 1 / 3\n"
+        findings = lint_source(src, module="repro.core.fixture")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_lint_paths_counts_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\n")
+        report = lint_paths([tmp_path], root=tmp_path)
+        assert report.files_checked == 2
+        assert report.clean

@@ -1,0 +1,103 @@
+"""Per-rule fixture tests: each rule catches its bad fixture and passes
+the clean one (the acceptance shape: a catch AND a clean pass per rule)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import get_rules, lint_file
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: (fixture file, rule, expected finding count)
+BAD = [
+    ("exact_bad.py", "EXACT001", 4),
+    ("det_bad.py", "DET001", 7),
+    ("layer_bad.py", "LAYER001", 3),
+    ("frozen_bad.py", "FROZEN001", 2),
+]
+CLEAN = [
+    ("exact_clean.py", "EXACT001"),
+    ("det_clean.py", "DET001"),
+    ("layer_clean.py", "LAYER001"),
+    ("frozen_clean.py", "FROZEN001"),
+]
+
+
+@pytest.mark.parametrize("fixture,code,count", BAD)
+def test_rule_catches_bad_fixture(fixture, code, count):
+    findings = lint_file(FIXTURES / fixture, rules=get_rules([code]))
+    assert len(findings) == count, [f.render() for f in findings]
+    assert {f.rule for f in findings} == {code}
+
+
+@pytest.mark.parametrize("fixture,code", CLEAN)
+def test_rule_passes_clean_fixture(fixture, code):
+    findings = lint_file(FIXTURES / fixture, rules=get_rules([code]))
+    assert findings == [], [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("fixture,_code", CLEAN)
+def test_clean_fixtures_clean_under_every_rule(fixture, _code):
+    findings = lint_file(FIXTURES / fixture)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_suppressed_fixture_is_clean():
+    findings = lint_file(FIXTURES / "suppressed.py")
+    assert findings == [], [f.render() for f in findings]
+
+
+class TestExactDetails:
+    def test_flags_point_at_the_right_lines(self):
+        findings = lint_file(
+            FIXTURES / "exact_bad.py", rules=get_rules(["EXACT001"])
+        )
+        messages = {f.line: f.message for f in findings}
+        assert "float literal" in messages[5]
+        assert "true division" in messages[9]
+        assert "float() conversion" in messages[13]
+        assert "in-place true division" in messages[17]
+
+
+class TestLayerDetails:
+    def test_blessed_modules_exempt(self):
+        # The same engine-touching source is legal inside the backend
+        # module but flagged elsewhere.
+        from repro.lint import lint_source
+
+        src = (
+            "from repro.sim.engine import Engine\n"
+            "def f(cfg):\n"
+            "    return Engine(cfg, [])\n"
+        )
+        assert not lint_source(src, module="repro.runner.backends")
+        assert lint_source(src, module="repro.analysis.new_tool")
+
+    def test_relative_imports_resolve(self):
+        from repro.lint import lint_source
+
+        src = (
+            "from ..sim.engine import simulate_streams\n"
+            "def f(cfg, streams):\n"
+            "    return simulate_streams(cfg, streams)\n"
+        )
+        findings = lint_source(src, module="repro.analysis.new_tool")
+        assert [f.rule for f in findings] == ["LAYER001"]
+
+
+class TestDetDetails:
+    def test_seeded_default_rng_via_keyword_ok(self):
+        from repro.lint import lint_source
+
+        src = "import numpy as np\nrng = np.random.default_rng(seed=1)\n"
+        assert not lint_source(src, module="repro.analysis.x")
+
+    def test_join_over_set_flagged(self):
+        from repro.lint import lint_source
+
+        src = "labels = ','.join({'b', 'a'})\n"
+        findings = lint_source(src, module="repro.viz.x")
+        assert [f.rule for f in findings] == ["DET001"]

@@ -31,5 +31,6 @@ def test_api_doc_mentions_every_package():
         "repro.analysis",
         "repro.skewing",
         "repro.stochastic",
+        "repro.lint",
     ):
         assert f"## `{pkg}`" in text, pkg

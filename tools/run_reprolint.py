@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Standalone reprolint runner (CI entry point).
+
+Equivalent to ``repro-mem lint``; exists so CI and pre-commit hooks can
+lint without installing the package — it puts ``src/`` on the path
+itself.  Exit codes: 0 clean, 1 findings, 2 usage error.
+
+Examples::
+
+    python tools/run_reprolint.py src/
+    python tools/run_reprolint.py src/ --format json --output report.json
+    python tools/run_reprolint.py --list-rules
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+# Always prefer this repository's own package over anything an ambient
+# (possibly relative) PYTHONPATH resolves to from a foreign cwd.
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
