@@ -40,10 +40,15 @@ def print_header(title: str) -> None:
 
 @pytest.fixture(scope="session")
 def executor():
-    """One memoizing SweepExecutor shared across the benchmark session."""
+    """One memoizing SweepExecutor shared across the benchmark session.
+
+    Runs the tiered ``auto`` backend — closed form where a theorem
+    decides the job, fast simulation otherwise — i.e. the production
+    sweep configuration.
+    """
     from repro.runner import SweepExecutor
 
-    with SweepExecutor() as ex:
+    with SweepExecutor(backend="auto") as ex:
         yield ex
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+from ..core.arithmetic import units_tuple
 from ..core.classify import PairRegime, classify_pair
 from ..memory.config import MemoryConfig
 from ..runner import SweepExecutor, default_executor, jobs_for_offsets
@@ -79,6 +80,17 @@ def regime_census(
     """
     counts: dict[PairRegime, int] = {}
     total = 0
+    if not stream1_priority and (s is None or s == m):
+        regimes = _orbit_regimes(m, n_c, s)
+        for regime in regimes.values():
+            if (
+                not include_self_conflicting
+                and regime is PairRegime.SELF_CONFLICT
+            ):
+                continue
+            counts[regime] = counts.get(regime, 0) + 1
+            total += 1
+        return RegimeCensus(m=m, n_c=n_c, s=s, counts=counts, total=total)
     for d1 in range(1, m):
         for d2 in range(d1, m):
             c = classify_pair(
@@ -92,6 +104,36 @@ def regime_census(
             counts[c.regime] = counts.get(c.regime, 0) + 1
             total += 1
     return RegimeCensus(m=m, n_c=n_c, s=s, counts=counts, total=total)
+
+
+def _orbit_regimes(
+    m: int, n_c: int, s: int | None
+) -> dict[tuple[int, int], PairRegime]:
+    """Regime of every unordered stride pair, one classification per orbit.
+
+    The Appendix isomorphism ``(d1, d2) -> (k·d1, k·d2)`` (unit ``k``)
+    preserves every quantity the classifier consults — return numbers,
+    ``f = gcd(m, d1, d2)``, the Theorem-3 drift, and the canonical
+    barrier form — so one :func:`classify_pair` call per orbit paints the
+    whole class.  Swapping the streams is likewise regime-neutral when no
+    stream holds a priority edge (the classifier probes both
+    orientations), which is why the caller gates this fast path on
+    ``stream1_priority=False``.
+    """
+    regimes: dict[tuple[int, int], PairRegime] = {}
+    ks = units_tuple(m)
+    for d1 in range(1, m):
+        for d2 in range(d1, m):
+            if (d1, d2) in regimes:
+                continue
+            regime = classify_pair(m, n_c, d1, d2, s=s).regime
+            for k in ks:
+                a = (k * d1) % m
+                b = (k * d2) % m
+                if a > b:
+                    a, b = b, a
+                regimes[(a, b)] = regime
+    return regimes
 
 
 def observed_regime_census(

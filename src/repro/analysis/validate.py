@@ -22,7 +22,7 @@ from ..core import theorems
 from ..core.arithmetic import access_set
 from ..core.single import predict_single
 from ..memory.config import MemoryConfig
-from ..runner import SimJob, SweepExecutor, default_executor, jobs_for_offsets
+from ..runner import SimJob, SweepExecutor, jobs_for_offsets
 from ..runner.regime import ObservedRegime, observe_pair_regime
 from ..sim.pairs import bandwidth_by_offset
 
@@ -48,8 +48,20 @@ class Discrepancy:
         return f"{self.where}: predicted {self.predicted}, simulated {self.simulated}"
 
 
+_VALIDATION_EXECUTOR: SweepExecutor | None = None
+
+
 def _executor(executor: SweepExecutor | None) -> SweepExecutor:
-    return executor if executor is not None else default_executor()
+    # Validation pits theory against *simulation*, and the process-wide
+    # default executor now routes through the theory-backed ``auto``
+    # backend — using it here would be circular.  Keep a dedicated
+    # executor pinned to the pure fast simulator instead.
+    global _VALIDATION_EXECUTOR
+    if executor is not None:
+        return executor
+    if _VALIDATION_EXECUTOR is None:
+        _VALIDATION_EXECUTOR = SweepExecutor(backend="fast")
+    return _VALIDATION_EXECUTOR
 
 
 def validate_single_stream(

@@ -33,6 +33,7 @@ from .core.single import predict_single
 from .core.stream import AccessStream
 from .machine.xmp import triad_sweep
 from .memory.config import MemoryConfig
+from .runner import available_backends
 from .sim.engine import simulate_streams
 from .viz.ascii_trace import render_result
 from .viz.tables import format_table
@@ -80,7 +81,8 @@ def _add_memory_args(p: argparse.ArgumentParser) -> None:
 def _add_runner_args(
     p: argparse.ArgumentParser, *, jobs: bool = True
 ) -> None:
-    p.add_argument("--backend", choices=["reference", "fast"], default=None,
+    p.add_argument("--backend", choices=list(available_backends()),
+                   default=None,
                    help="simulation backend (default: $REPRO_SIM_BACKEND "
                         "or reference)")
     if jobs:

@@ -17,6 +17,7 @@ throughput.  Hot loops in the simulator use their own vectorized paths.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 __all__ = [
     "gcd",
@@ -26,6 +27,7 @@ __all__ = [
     "lcm",
     "divisors",
     "units",
+    "units_tuple",
     "is_unit",
     "return_number",
     "access_set",
@@ -109,15 +111,26 @@ def divisors(n: int) -> list[int]:
     return small + large[::-1]
 
 
+@lru_cache(maxsize=4096)
+def units_tuple(m: int) -> tuple[int, ...]:
+    """Cached immutable :func:`units`, for hot canonicalization paths.
+
+    Canonicalizing a job or a distance pair scans the unit group of
+    ``Z_m``; sweeps do this for thousands of jobs over a handful of
+    moduli, so the group is computed once per ``m`` and shared.
+    """
+    if m <= 0:
+        raise ValueError("units() requires a positive modulus")
+    return tuple(k for k in range(1, m + 1) if math.gcd(k, m) == 1)
+
+
 def units(m: int) -> list[int]:
     """The multiplicative units modulo ``m`` (``k`` with ``gcd(k,m)=1``).
 
     These are exactly the admissible renumberings of bank addresses in the
     Appendix isomorphism ``d1 (+) d2 = k*d1 (+) k*d2 (mod m)``.
     """
-    if m <= 0:
-        raise ValueError("units() requires a positive modulus")
-    return [k for k in range(1, m + 1) if math.gcd(k, m) == 1]
+    return list(units_tuple(m))
 
 
 def is_unit(k: int, m: int) -> bool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from . import arithmetic
 
@@ -23,6 +24,7 @@ __all__ = [
     "are_isomorphic",
     "canonicalize",
     "canonical_pair",
+    "stabilizer_units",
     "CanonicalForm",
 ]
 
@@ -35,7 +37,7 @@ def orbit(m: int, d1: int, d2: int) -> frozenset[tuple[int, int]]:
     d1 %= m
     d2 %= m
     return frozenset(
-        ((k * d1) % m, (k * d2) % m) for k in arithmetic.units(m)
+        ((k * d1) % m, (k * d2) % m) for k in arithmetic.units_tuple(m)
     )
 
 
@@ -75,6 +77,39 @@ class CanonicalForm:
     swapped: bool = False
 
 
+@lru_cache(maxsize=4096)
+def stabilizer_units(m: int, d1: int) -> tuple[int, ...]:
+    """Units ``k`` with ``k·d1 ≡ gcd(m, d1) (mod m)``, ascending.
+
+    These are exactly the renumberings that place a stream of distance
+    ``d1`` into its canonical ``gcd(m, d1) | m`` form; canonicalizing a
+    pair (or a multi-stream job whose first stride is ``d1``) only needs
+    to scan this coset, not the whole unit group.  Cached per
+    ``(m, d1)`` — a sweep reuses one coset for every partner stride.
+    """
+    if m <= 0:
+        raise ValueError("bank count m must be positive")
+    d1 %= m
+    target = math.gcd(m, d1) % m  # d1 == 0 maps to 0 (gcd = m ≡ 0)
+    return tuple(
+        k for k in arithmetic.units_tuple(m) if (k * d1) % m == target
+    )
+
+
+@lru_cache(maxsize=65536)
+def _canonicalize(m: int, d1: int, d2: int) -> CanonicalForm:
+    """Cached core of :func:`canonicalize` (inputs already reduced)."""
+    target = math.gcd(m, d1) % m
+    best: tuple[int, int] | None = None  # (d2', k)
+    for k in stabilizer_units(m, d1):
+        cand = (k * d2) % m
+        if best is None or cand < best[0]:
+            best = (cand, k)
+    if best is None:  # unreachable: k exists with k*d1 ≡ gcd(m, d1)
+        raise RuntimeError("no unit maps d1 to gcd(m, d1)")
+    return CanonicalForm(d1=target if target else m, d2=best[0], k=best[1])
+
+
 def canonicalize(m: int, d1: int, d2: int) -> CanonicalForm:
     """Normalise ``(d1, d2)`` so the first distance divides ``m``.
 
@@ -85,19 +120,7 @@ def canonicalize(m: int, d1: int, d2: int) -> CanonicalForm:
     """
     if m <= 0:
         raise ValueError("bank count m must be positive")
-    d1 %= m
-    d2 %= m
-    target = math.gcd(m, d1) % m  # d1 == 0 maps to 0 (gcd = m ≡ 0)
-    best: tuple[int, int] | None = None  # (d2', k)
-    for k in arithmetic.units(m):
-        if (k * d1) % m != target:
-            continue
-        cand = (k * d2) % m
-        if best is None or cand < best[0]:
-            best = (cand, k)
-    if best is None:  # unreachable: k exists with k*d1 ≡ gcd(m, d1)
-        raise RuntimeError("no unit maps d1 to gcd(m, d1)")
-    return CanonicalForm(d1=target if target else m, d2=best[0], k=best[1])
+    return _canonicalize(m, d1 % m, d2 % m)
 
 
 def canonical_pair(m: int, d1: int, d2: int) -> CanonicalForm:

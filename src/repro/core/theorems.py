@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 
 from . import arithmetic
 from .arithmetic import ceil_div, gcd3
@@ -72,23 +73,7 @@ class PairGeometry:
             raise ValueError("bank count m must be positive")
         if n_c <= 0:
             raise ValueError("bank cycle time n_c must be positive")
-        d1 %= m
-        d2 %= m
-        f = gcd3(m, d1, d2)
-        if f == 0:  # both strides ≡ 0
-            f = m
-        return cls(
-            m=m,
-            n_c=n_c,
-            d1=d1,
-            d2=d2,
-            f=f,
-            m_red=m // f,
-            d1_red=d1 // f,
-            d2_red=d2 // f,
-            r1=arithmetic.return_number(m, d1),
-            r2=arithmetic.return_number(m, d2),
-        )
+        return _pair_geometry(m, n_c, d1 % m, d2 % m)
 
     @property
     def no_self_conflicts(self) -> bool:
@@ -111,6 +96,31 @@ class PairGeometry:
                 f"theorem requires d2 > d1 (got d1={self.d1}, d2={self.d2}); "
                 "swap or canonicalize the pair first"
             )
+
+
+@lru_cache(maxsize=65536)
+def _pair_geometry(m: int, n_c: int, d1: int, d2: int) -> PairGeometry:
+    """Cached :meth:`PairGeometry.of` core (inputs already reduced).
+
+    Every theorem predicate rebuilds the same handful of derived
+    quantities; a census touches each canonical pair from several
+    predicates, so the geometry is shared across them.
+    """
+    f = gcd3(m, d1, d2)
+    if f == 0:  # both strides ≡ 0
+        f = m
+    return PairGeometry(
+        m=m,
+        n_c=n_c,
+        d1=d1,
+        d2=d2,
+        f=f,
+        m_red=m // f,
+        d1_red=d1 // f,
+        d2_red=d2 // f,
+        r1=arithmetic.return_number(m, d1),
+        r2=arithmetic.return_number(m, d2),
+    )
 
 
 # ----------------------------------------------------------------------

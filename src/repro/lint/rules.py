@@ -371,9 +371,12 @@ class RunnerLayerRule(Rule):
     #: Modules allowed to touch the engine directly: the backend layer
     #: itself, the engine internals, and the byte-compatible legacy
     #: shims (kept for PriorityRule *instances*, which cannot ride in a
-    #: hashable SimJob).
+    #: hashable SimJob).  ``repro.runner.fastsim`` is the flat-array
+    #: core the fast backend runs on — an engine primitive in its own
+    #: right, blessed for the same reason ``repro.sim.engine`` is.
     BLESSED = frozenset({
         "repro.runner.backends",
+        "repro.runner.fastsim",
         "repro.sim.engine",
         "repro.sim.port",
         "repro.sim.pairs",
@@ -382,11 +385,16 @@ class RunnerLayerRule(Rule):
     })
 
     #: Call origins that bypass the runner layer (matched by suffix so
-    #: relative imports resolve identically).
+    #: relative imports resolve identically).  The fastsim core joins
+    #: the historical engine primitives: calling ``FlatSim`` or the
+    #: steady-cycle detector directly skips backend checking and the
+    #: executor's cache, exactly like constructing an ``Engine``.
     TARGET_SUFFIXES = (
         "sim.engine.Engine",
         "sim.engine.simulate_streams",
         "sim.port.Port",
+        "runner.fastsim.FlatSim",
+        "runner.fastsim.find_steady_cycle",
     )
 
     def applies_to(self, ctx: LintContext) -> bool:

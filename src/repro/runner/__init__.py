@@ -7,24 +7,31 @@ Every simulation in the repository flows through three layers:
     canonicalizes equivalent jobs via the Appendix isomorphism — and
     :class:`SimOutcome`, the exact :class:`~fractions.Fraction` result.
 ``backends``
-    :class:`SimBackend` protocol with two implementations: the
-    ``reference`` object-per-port engine (ground truth, stats, traces)
-    and the ``fast`` flat-array engine (bit-identical steady results,
-    several times the throughput).  Select per call or via the
+    :class:`SimBackend` protocol (per-job ``run`` plus batched
+    ``run_batch``) with a tiered set of implementations: the
+    ``reference`` object-per-port engine (ground truth, stats, traces),
+    the ``fast`` flat-array engine with Brent steady-cycle detection
+    (bit-identical steady results, orders of magnitude the throughput),
+    the strict ``analytic`` closed-form solver (Tier A: theorem-decided
+    jobs only), and ``auto`` — closed form when the theory decides,
+    fast simulation otherwise.  Select per call or via the
     ``REPRO_SIM_BACKEND`` environment variable.
 ``executor``
     :class:`SweepExecutor` — deduplicates isomorphic jobs, memoizes
-    outcomes in-process and in an on-disk JSON cache, and fans out over
-    ``concurrent.futures`` workers.
+    outcomes in an LRU in-process cache and an on-disk JSON cache, and
+    fans out batched chunks over ``concurrent.futures`` workers.
 
 The historical front ends (:func:`repro.sim.pairs.simulate_pair`,
 :func:`repro.sim.multi.simulate_multi`, the statespace detector) are
 thin adapters over :func:`run`.
 """
 
+from .analytic import solve
 from .api import run
 from .backends import (
     BACKEND_ENV_VAR,
+    AnalyticBackend,
+    AutoBackend,
     FastBackend,
     ReferenceBackend,
     SimBackend,
@@ -42,6 +49,8 @@ from .regime import (
 )
 
 __all__ = [
+    "AnalyticBackend",
+    "AutoBackend",
     "BACKEND_ENV_VAR",
     "ExecutorStats",
     "FastBackend",
@@ -60,4 +69,5 @@ __all__ = [
     "observe_pair_regime",
     "resolve_backend",
     "run",
+    "solve",
 ]

@@ -1,0 +1,222 @@
+"""Tier A: closed-form steady-state answers, straight from the theory.
+
+Large sweeps ask the same question millions of times — "what is the
+exact steady state of these streams on this memory?" — and for a big
+slice of the parameter space the paper already answers it in closed
+form.  This module turns those theorems into a *solver*: given a
+:class:`~repro.runner.job.SimJob`, :func:`solve` either returns a
+:class:`~repro.runner.job.SimOutcome` **bit-identical to what the
+simulation backends would produce** (same exact ``Fraction`` bandwidth,
+same minimal period, same per-port grants over that period, same
+transient length, same total cycles) or ``None`` — *undecided*, fall
+through to simulation.  It never guesses: every decided case rests on a
+certificate that pins the whole trajectory, and the property suite
+cross-checks decided outcomes against both simulation backends
+exhaustively on small machines.
+
+Decided regimes
+---------------
+Single stream (Theorem 1 + §III-A)
+    The return number ``r = m / gcd(m, d)`` fixes everything: a stream
+    with ``r >= n_c`` runs at full rate with transient ``n_c - 1`` and
+    period ``r``; one with ``r < n_c`` self-conflicts into an
+    ``n_c``-clock period with ``r`` grants and transient ``r - 1``.
+Bank-disjoint pair (Theorem 2)
+    With ``f = gcd(m, d1, d2) > 1`` and start banks in different residue
+    classes mod ``f``, the streams never touch a common bank; the joint
+    steady state is the independent product of the single-stream forms
+    (transient ``max``, period ``lcm``, grants scaled per stream).
+Conflict-free pair (Theorem 3 machinery, start-resolved)
+    Both streams full-rate and, for every skew ``|j| < n_c``, the
+    congruence ``c + j·d1 ≡ 0 (mod gcd(m, d1 - d2))`` unsolvable — no
+    clock ever sees a busy or simultaneous bank, so both streams run at
+    rate 1 with transient ``n_c - 1`` and period ``lcm(r1, r2)``.
+
+The barrier regime (Theorems 4-7) pins the steady *bandwidth* but not
+the transient length for arbitrary starts, so barrier jobs are left to
+the simulator — returning ``undecided`` is the honest answer whenever
+the full outcome tuple is not certain.
+
+Gates
+-----
+The certificates describe bank behaviour, so the solver only fires when
+arbitration state cannot leak into the steady detector's state key:
+priority rules with constant snapshots (any rule is constant for one
+port except ``block-cyclic``; two-port jobs require ``fixed``) and
+section topologies where path conflicts coincide with bank conflicts
+(distinct CPUs, or one section per bank).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Sequence
+
+from ..core.arithmetic import lcm
+from .job import SimJob, SimOutcome
+
+__all__ = ["solve", "AnalyticBackend", "AutoBackend"]
+
+#: Rules whose snapshot is constant when arbitrating a single port.
+#: (``block-cyclic`` free-runs a clock counter even with no conflicts.)
+_SINGLE_SAFE = frozenset(("fixed", "cyclic", "lru"))
+
+
+def _single_form(m: int, n_c: int, d: int) -> tuple[int, int, int]:
+    """``(transient, period, grants)`` of one infinite stream, exact.
+
+    ``r = m / gcd(m, d)`` banks participate (Theorem 1; ``d = 0`` gives
+    ``r = 1``).  ``r >= n_c`` — full rate: the state (pending bank +
+    busy counters) first repeats with period ``r`` after the ``n_c - 1``
+    clock busy-ramp.  ``r < n_c`` — the stream stalls on its own busy
+    banks: ``r`` grants per ``n_c`` clocks, transient ``r - 1``.
+    """
+    r = m // gcd(m, d)
+    if r >= n_c:
+        return n_c - 1, r, r
+    return r - 1, n_c, r
+
+
+def _outcome(
+    job: SimJob, mu: int, lam: int, grants: Sequence[int]
+) -> SimOutcome | None:
+    """Package a decided answer, honouring the job's cycle bound."""
+    if mu + lam > job.max_cycles:
+        # The simulator would exhaust its bound; let it raise its error.
+        return None
+    return SimOutcome(
+        job=job,
+        backend="analytic",
+        bandwidth=Fraction(sum(grants), lam),
+        period=lam,
+        grants=tuple(grants),
+        steady_start=mu,
+        cycles=mu + lam,
+    )
+
+
+def _solve_single(job: SimJob) -> SimOutcome | None:
+    if job.priority not in _SINGLE_SAFE:
+        return None
+    if job.intra_priority is not None and job.intra_priority not in _SINGLE_SAFE:
+        return None
+    _, d = job.streams[0]
+    mu, lam, r = _single_form(job.banks, job.bank_cycle, d)
+    return _outcome(job, mu, lam, (r,))
+
+
+def _solve_pair(job: SimJob) -> SimOutcome | None:
+    # Stateless arbitration only: any stateful rule's snapshot would
+    # enter the detector's state key and stretch the reported period.
+    if job.priority != "fixed" or job.intra_priority not in (None, "fixed"):
+        return None
+    # Section conflicts must coincide with bank conflicts: distinct CPUs
+    # (no shared path) or one section per bank.
+    if len(set(job.cpus)) != 2 and job.effective_sections != job.banks:
+        return None
+    m = job.banks
+    n_c = job.bank_cycle
+    (b1, d1), (b2, d2) = job.streams
+
+    # Theorem 2 — bank-disjoint: gcd(m, d1, d2) = f > 1 splits the banks
+    # into residue classes mod f that each stream can never leave.
+    f = gcd(gcd(m, d1), d2)
+    if f > 1 and (b2 - b1) % f != 0:
+        mu1, lam1, r1 = _single_form(m, n_c, d1)
+        mu2, lam2, r2 = _single_form(m, n_c, d2)
+        lam = lcm(lam1, lam2)
+        grants = ((lam // lam1) * r1, (lam // lam2) * r2)
+        return _outcome(job, max(mu1, mu2), lam, grants)
+
+    # Conflict-free from these starts: both streams individually
+    # full-rate, and no clock skew |j| < n_c ever lands the two streams
+    # on one bank.  Assuming full rate, stream 2 at clock t and stream 1
+    # at clock t - j collide iff c + t·(d2 - d1) + j·d1 ≡ 0 (mod m),
+    # which has a solution in t iff c + j·d1 ≡ 0 (mod gcd(m, d1 - d2)).
+    # Unsolvable for every relevant j ⇒ the full-rate assumption is
+    # self-consistent and exact from clock 0.
+    r1 = m // gcd(m, d1)
+    r2 = m // gcd(m, d2)
+    if r1 < n_c or r2 < n_c:
+        return None
+    c = (b2 - b1) % m
+    g = gcd(m, d1 - d2)  # d1 == d2 -> gcd(m, 0) = m
+    if all((c + j * d1) % g for j in range(-(n_c - 1), n_c)):
+        lam = lcm(r1, r2)
+        return _outcome(job, n_c - 1, lam, (lam, lam))
+
+    # Possible conflicts (barrier or worse): leave to the simulator.
+    return None
+
+
+def solve(job: SimJob) -> SimOutcome | None:
+    """Closed-form outcome of ``job``, or ``None`` when undecided.
+
+    A non-``None`` return is exact and bit-identical to simulation;
+    ``None`` means "the theory does not pin this job down" — never an
+    approximation.
+    """
+    if not job.steady or job.trace:
+        return None
+    n = len(job.streams)
+    if n == 1:
+        return _solve_single(job)
+    if n == 2:
+        return _solve_pair(job)
+    return None
+
+
+class AnalyticBackend:
+    """The solver as a strict backend: raises on undecided jobs.
+
+    Useful for probing coverage; sweeps want :class:`AutoBackend`,
+    which falls back to simulation instead.
+    """
+
+    name = "analytic"
+
+    def run(self, job: SimJob) -> SimOutcome:
+        out = solve(job)
+        if out is None:
+            raise ValueError(
+                "job is not analytically decided; run it on the auto/fast "
+                f"backend ({job.describe()})"
+            )
+        return out
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimOutcome]:
+        return [self.run(job) for job in jobs]
+
+
+class AutoBackend:
+    """Tier dispatch: closed form when the theory decides, else fast sim."""
+
+    name = "auto"
+
+    def run(self, job: SimJob) -> SimOutcome:
+        out = solve(job)
+        if out is not None:
+            return out
+        from .backends import get_backend
+
+        return get_backend("fast").run(job)
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimOutcome]:
+        """Solve what the theory decides; batch the rest through fast."""
+        out: list[SimOutcome | None] = []
+        rest: list[int] = []
+        for i, job in enumerate(jobs):
+            o = solve(job)
+            out.append(o)
+            if o is None:
+                rest.append(i)
+        if rest:
+            from .backends import get_backend
+
+            fast = get_backend("fast")
+            ran = fast.run_batch([jobs[i] for i in rest])
+            for i, o in zip(rest, ran):
+                out[i] = o
+        assert all(o is not None for o in out)
+        return [o for o in out if o is not None]

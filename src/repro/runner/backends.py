@@ -1,37 +1,51 @@
-"""Simulation backends: one protocol, two engines.
+"""Simulation backends: one protocol, a tiered set of engines.
 
 ``reference``
     The object-per-port engine of :mod:`repro.sim.engine` — full
     fidelity: conflict statistics, trace recording, the works.  This is
     the semantic ground truth.
 ``fast``
-    A flat-array re-implementation of the same two-stage arbitration:
-    bank-busy countdowns and port positions live in plain integer lists,
-    the bank→section table is precomputed, and no per-clock statistics
-    are kept.  It produces bit-identical steady-state results (exact
-    ``Fraction`` bandwidth, period, per-port grants, transient length) at
-    a multiple of the reference throughput, and is cross-checked against
-    the reference by ``tests/property/test_backend_equivalence.py`` on
-    every CI run.
+    The flat-array core of :mod:`repro.runner.fastsim` — the same
+    two-stage arbitration over plain integer lists, with Brent's
+    cycle detection instead of a visited-state dictionary.  It produces
+    bit-identical steady-state results (exact ``Fraction`` bandwidth,
+    period, per-port grants, transient length) at a multiple of the
+    reference throughput, and is cross-checked against the reference by
+    ``tests/property/test_backend_equivalence.py`` on every CI run.
+``analytic``
+    The closed-form solver of :mod:`repro.runner.analytic` as a strict
+    backend — raises on jobs the theory does not decide.
+``auto``
+    The production tier dispatch: closed form when a theorem certifies
+    the outcome, fast simulation otherwise.
+
+All backends also answer :meth:`SimBackend.run_batch`, which amortises
+per-job setup (shared section tables, one dispatch) across a sweep
+chunk — the executor's workers call it once per chunk.
 
 Backend selection: pass ``backend=`` to :func:`repro.runner.api.run`, or
-set the ``REPRO_SIM_BACKEND`` environment variable (``reference`` /
-``fast``).  Jobs that request a trace always run on the reference
-backend — the fast path keeps no event log.
+set the ``REPRO_SIM_BACKEND`` environment variable.  Jobs that request a
+trace always run on the reference backend — the fast path keeps no
+event log.
 """
 
 from __future__ import annotations
 
 import os
 from fractions import Fraction
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
+from ..memory.config import MemoryConfig
+from .analytic import AnalyticBackend, AutoBackend
+from .fastsim import FlatSim, find_steady_cycle
 from .job import SimJob, SimOutcome
 
 __all__ = [
     "SimBackend",
     "ReferenceBackend",
     "FastBackend",
+    "AnalyticBackend",
+    "AutoBackend",
     "BACKEND_ENV_VAR",
     "available_backends",
     "get_backend",
@@ -49,6 +63,12 @@ class SimBackend(Protocol):
     name: str
 
     def run(self, job: SimJob) -> SimOutcome:  # pragma: no cover - protocol
+        ...
+
+    def run_batch(
+        self, jobs: Sequence[SimJob]
+    ) -> list[SimOutcome]:  # pragma: no cover - protocol
+        """Run many jobs in one call, amortising per-job setup."""
         ...
 
 
@@ -103,6 +123,9 @@ class ReferenceBackend:
             result=res,
         )
 
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimOutcome]:
+        return [self.run(job) for job in jobs]
+
 
 class FastBackend:
     """Flat-array engine: same arbitration, no per-request objects.
@@ -119,141 +142,64 @@ class FastBackend:
     name = "fast"
 
     def run(self, job: SimJob) -> SimOutcome:
+        return self._run_with_sect(job, None)
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimOutcome]:
+        """Run many jobs, sharing precomputed tables across the batch.
+
+        Jobs with the same memory shape reuse one bank→section table —
+        the per-job setup cost that dominates small steady runs in a
+        sweep.
+        """
+        sect_cache: dict[MemoryConfig, list[int]] = {}
+        out: list[SimOutcome] = []
+        for job in jobs:
+            cfg = job.config
+            sect = sect_cache.get(cfg)
+            if sect is None:
+                from ..memory.sections import section_map_for
+
+                smap = section_map_for(cfg)
+                sect = [smap.section_of(j) for j in range(cfg.banks)]
+                sect_cache[cfg] = sect
+            out.append(self._run_with_sect(job, sect))
+        return out
+
+    def _run_with_sect(
+        self, job: SimJob, sect: "list[int] | None"
+    ) -> SimOutcome:
         if job.trace:
             raise ValueError(
                 "the fast backend keeps no trace; run trace jobs on the "
                 "reference backend"
             )
-        from ..memory.sections import section_map_for
-        from ..sim.priority import make_priority
-
-        cfg = job.config
-        m = cfg.banks
-        n_c = cfg.bank_cycle
-        n = len(job.streams)
-        smap = section_map_for(cfg)
-        sect = [smap.section_of(j) for j in range(m)]
-        cpu = list(job.cpus)
-        pos = [b for b, _ in job.streams]
-        stride = [d for _, d in job.streams]
-        prio = make_priority(job.priority, n)
-        intra = (
-            prio
-            if job.intra_priority is None
-            else make_priority(job.intra_priority, n)
-        )
-        same_rule = intra is prio
-
-        busy = [0] * m
-        active: list[int] = []
-        grants = [0] * n
-        cycle = 0
-        ports = list(range(n))
-
-        def step() -> None:
-            nonlocal cycle, active
-            # Phase 1 — bank conflicts: active banks reject everyone.
-            free = [p for p in ports if not busy[pos[p]]]
-            # Phase 2 — section conflicts: per (cpu, path) at most one.
-            if len(free) > 1:
-                groups: dict[tuple[int, int], list[int]] = {}
-                for p in free:
-                    key = (cpu[p], sect[pos[p]])
-                    g = groups.get(key)
-                    if g is None:
-                        groups[key] = [p]
-                    else:
-                        g.append(p)
-                if len(groups) != len(free):
-                    free = [
-                        members[0]
-                        if len(members) == 1
-                        else intra.choose(members, cycle)
-                        for members in groups.values()
-                    ]
-                # Phase 3 — simultaneous bank conflicts: per bank at most
-                # one grant (cross-CPU by construction after phase 2).
-                if len(free) > 1:
-                    banks: dict[int, list[int]] = {}
-                    for p in free:
-                        b = pos[p]
-                        g = banks.get(b)
-                        if g is None:
-                            banks[b] = [p]
-                        else:
-                            g.append(p)
-                    if len(banks) != len(free):
-                        free = [
-                            members[0]
-                            if len(members) == 1
-                            else prio.choose(sorted(members), cycle)
-                            for members in banks.values()
-                        ]
-            # Commit grants.
-            for p in free:
-                b = pos[p]
-                busy[b] = n_c
-                active.append(b)
-                grants[p] += 1
-                b += stride[p]
-                pos[p] = b - m if b >= m else b
-                prio.granted(p, cycle)
-            # Clock edge.
-            if active:
-                nxt = []
-                for b in active:
-                    c = busy[b] - 1
-                    busy[b] = c
-                    if c:
-                        nxt.append(b)
-                active = nxt
-            prio.tick(cycle)
-            if not same_rule:
-                intra.tick(cycle)
-            cycle += 1
-
         if not job.steady:
             assert job.cycles is not None
-            for _ in range(job.cycles):
-                step()
-            total = sum(grants)
+            sim = FlatSim.from_job(job, sect)
+            sim.run_span(job.cycles)
+            total = sum(sim.grants)
             return SimOutcome(
                 job=job,
                 backend=self.name,
-                bandwidth=Fraction(total, cycle) if cycle else Fraction(0),
+                bandwidth=Fraction(total, sim.cycle) if sim.cycle else Fraction(0),
                 period=None,
-                grants=tuple(grants),
+                grants=tuple(sim.grants),
                 steady_start=None,
-                cycles=cycle,
+                cycles=sim.cycle,
             )
 
-        # Steady-state detection — the exact loop of
-        # Engine.run_to_steady_state over the same state key.
-        seen: dict[tuple, tuple[int, tuple[int, ...]]] = {}
-        while cycle <= job.max_cycles:
-            key = (tuple(busy), tuple(pos), prio.snapshot(), intra.snapshot())
-            grants_now = tuple(grants)
-            hit = seen.get(key)
-            if hit is not None:
-                cycle0, grants0 = hit
-                period = cycle - cycle0
-                per_port = tuple(
-                    g1 - g0 for g0, g1 in zip(grants0, grants_now)
-                )
-                return SimOutcome(
-                    job=job,
-                    backend=self.name,
-                    bandwidth=Fraction(sum(per_port), period),
-                    period=period,
-                    grants=per_port,
-                    steady_start=cycle0,
-                    cycles=cycle,
-                )
-            seen[key] = (cycle, grants_now)
-            step()
-        raise RuntimeError(
-            f"no cyclic state within {job.max_cycles} cycles "
-            "(state space exhausted the bound)"
+        mu, lam, grants0, grants1 = find_steady_cycle(
+            lambda: FlatSim.from_job(job, sect), job.max_cycles
+        )
+        per_port = tuple(g1 - g0 for g0, g1 in zip(grants0, grants1))
+        return SimOutcome(
+            job=job,
+            backend=self.name,
+            bandwidth=Fraction(sum(per_port), lam),
+            period=lam,
+            grants=per_port,
+            steady_start=mu,
+            cycles=mu + lam,
         )
 
 
@@ -261,6 +207,8 @@ _INSTANCES: dict[str, SimBackend] = {}
 _CLASSES: dict[str, type] = {
     ReferenceBackend.name: ReferenceBackend,
     FastBackend.name: FastBackend,
+    AnalyticBackend.name: AnalyticBackend,
+    AutoBackend.name: AutoBackend,
 }
 
 

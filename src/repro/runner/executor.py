@@ -12,7 +12,9 @@ gives them one shared engine room:
   on-disk JSON file keyed by the canonical job hash (exact ``Fraction``
   values survive the round trip);
 * **fan-out** — with ``workers > 1`` unique jobs spread over a
-  ``concurrent.futures`` process pool.
+  ``concurrent.futures`` process pool in per-worker chunks, one
+  :meth:`~repro.runner.backends.SimBackend.run_batch` call (and one
+  pickle round trip) per chunk.
 
 Outcomes returned by the executor never carry the engine-level
 ``result`` object (stats/trace); use :func:`repro.runner.api.run`
@@ -62,6 +64,17 @@ def _execute_payload(args: tuple[SimJob, str | None]) -> dict:
     return run(job, backend=backend).to_payload()
 
 
+def _execute_payload_batch(
+    args: tuple[list[SimJob], str | None]
+) -> list[dict]:
+    """Process-pool worker: run one job chunk through the backend's
+    batch entry point (one pickle round trip, shared per-shape tables)."""
+    jobs, backend = args
+    from .backends import resolve_backend
+
+    return [o.to_payload() for o in resolve_backend(backend).run_batch(jobs)]
+
+
 class SweepExecutor:
     """Run batches of :class:`SimJob` with dedup, caching and workers.
 
@@ -76,7 +89,8 @@ class SweepExecutor:
         Optional JSON file for the on-disk outcome cache.  Loaded lazily
         at construction, written by :meth:`flush` (or on context exit).
     max_memo:
-        Bound on the in-process cache; oldest entries are evicted first.
+        Bound on the in-process cache; least-recently-used entries are
+        evicted first (a hit refreshes recency).
     """
 
     def __init__(
@@ -125,14 +139,23 @@ class SweepExecutor:
 
         keys: list[str | None] = []
         fresh: dict[str, SimJob] = {}
+        # Hits are held locally as well as re-queued at the memo's MRU
+        # end: this batch's own eviction can then never invalidate them.
+        held: dict[str, dict] = {}
         for job in jobs:
             if job.trace:
                 keys.append(None)  # uncacheable
                 continue
             key = job.cache_key()
             keys.append(key)
-            if key in self._memo:
+            if key in held:
                 self.stats.hits += 1
+            elif key in self._memo:
+                self.stats.hits += 1
+                # LRU refresh: re-insert at the most-recently-used end.
+                payload = self._memo.pop(key)
+                self._memo[key] = payload
+                held[key] = payload
             elif key in fresh:
                 self.stats.deduped += 1
             else:
@@ -146,7 +169,7 @@ class SweepExecutor:
                 self.stats.executed += 1
                 out.append(run(job, backend=backend))
             else:
-                payload = ran.get(key) or self._memo[key]
+                payload = ran.get(key) or held.get(key) or self._memo[key]
                 out.append(SimOutcome.from_payload(job, payload))
         return out
 
@@ -156,24 +179,37 @@ class SweepExecutor:
     ) -> dict[str, dict]:
         items = list(fresh.items())
         self.stats.executed += len(items)
+        unique = [job for _, job in items]
         if self.workers == 1 or len(items) == 1:
-            payloads = [
-                run(job, backend=backend).to_payload() for _, job in items
-            ]
+            payloads = _execute_payload_batch((unique, backend))
         else:
             from concurrent.futures import ProcessPoolExecutor
 
+            # One batch per worker chunk: ceil division so the tail jobs
+            # are spread over the chunks instead of dangling one by one
+            # (the old floor division degenerated to chunks of a single
+            # job for batches smaller than 4 x workers).
+            size = -(-len(unique) // (4 * self.workers))
+            chunks = [
+                unique[i : i + size] for i in range(0, len(unique), size)
+            ]
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                payloads = list(
-                    pool.map(
-                        _execute_payload,
-                        [(job, backend) for _, job in items],
-                        chunksize=max(1, len(items) // (4 * self.workers)),
+                payloads = [
+                    payload
+                    for chunk_payloads in pool.map(
+                        _execute_payload_batch,
+                        [(chunk, backend) for chunk in chunks],
                     )
-                )
+                    for payload in chunk_payloads
+                ]
         ran = {key: payload for (key, _), payload in zip(items, payloads)}
-        self._memo.update(ran)
         self._dirty = True
+        # LRU eviction, oldest first, *before* inserting: fresh results
+        # must land at the MRU end and survive their own batch.
+        room = max(self.max_memo - len(ran), 0)
+        while len(self._memo) > room:
+            self._memo.pop(next(iter(self._memo)))
+        self._memo.update(ran)
         while len(self._memo) > self.max_memo:
             self._memo.pop(next(iter(self._memo)))
         return ran
@@ -214,12 +250,13 @@ _DEFAULT: SweepExecutor | None = None
 def default_executor() -> SweepExecutor:
     """The process-wide executor library internals share.
 
-    In-memory cache only, inline execution — pure memoization.  Front
-    ends use it when no explicit executor is passed, so repeated sweeps
-    (validation + benchmarks + reports over the same pairs) each pay for
-    a simulation at most once per process.
+    In-memory cache only, inline execution, the tiered ``auto`` backend
+    (closed form where a theorem decides, fast simulation otherwise).
+    Front ends use it when no explicit executor is passed, so repeated
+    sweeps (validation + benchmarks + reports over the same pairs) each
+    pay for a simulation at most once per process.
     """
     global _DEFAULT
     if _DEFAULT is None:
-        _DEFAULT = SweepExecutor()
+        _DEFAULT = SweepExecutor(backend="auto")
     return _DEFAULT

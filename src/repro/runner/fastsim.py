@@ -1,0 +1,636 @@
+"""Flat-array simulation core and O(1)-memory steady-state detection.
+
+This module is Tier B of the runner's execution pipeline: a re-usable,
+allocation-light implementation of the engine's two-stage arbitration
+(bank busy → per-CPU section path → cross-CPU simultaneous bank) over
+plain integer lists, plus Brent's cycle-detection algorithm for finding
+the steady state without the historical ``seen`` dictionary.
+
+The dictionary detector hashed a full-width state tuple *every clock*
+and kept every visited state alive — O(cycles × state-width) memory and
+an O(state-width) tuple build per clock.  Brent's algorithm keeps one
+anchor snapshot (re-taken at powers of two) and compares the live state
+against it with short-circuiting C-level list equality; memory is O(1)
+in the run length and the per-clock cost is dominated by the arbitration
+itself.
+
+Bit-identity contract (relied on by the backends and locked by
+``tests/property``): for the same start state the detector reports
+exactly the first-repeat answer of the dictionary version — the minimal
+transient ``mu`` (first clock of the periodic regime), the minimal
+period ``lam``, per-port grants over ``[mu, mu+lam)``, and a total of
+``mu + lam`` simulated clocks; jobs whose ``mu + lam`` exceeds
+``max_cycles`` raise the same ``RuntimeError``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.priority import PriorityRule
+    from .job import SimJob
+
+__all__ = ["FlatSim", "find_steady_cycle"]
+
+#: One full comparable state: positions, priority snapshots, bank
+#: countdowns.  Positions lead because they discriminate fastest.
+StateKey = tuple[list[int], tuple, tuple, list[int]]
+
+
+class FlatSim:
+    """One workload's state in flat integer lists, steppable per clock.
+
+    Semantically identical to :class:`repro.sim.engine.Engine` for
+    infinite constant-stride streams (the property suite cross-checks
+    every steady outcome); keeps no statistics, no trace, and allocates
+    nothing per clock on the conflict-free path.
+    """
+
+    __slots__ = (
+        "m",
+        "n_c",
+        "n",
+        "sect",
+        "cpu",
+        "pos",
+        "stride",
+        "prio",
+        "intra",
+        "same_rule",
+        "static_rules",
+        "busy",
+        "grants",
+        "cycle",
+        "ports",
+        "step",
+        "_pair_same_cpu",
+    )
+
+    #: Per-instance dispatch: the specialised or generic step function.
+    step: Callable[[], None]
+
+    def __init__(
+        self,
+        *,
+        m: int,
+        n_c: int,
+        sect: Sequence[int],
+        cpus: Sequence[int],
+        positions: Sequence[int],
+        strides: Sequence[int],
+        prio: "PriorityRule",
+        intra: "PriorityRule",
+        busy: Sequence[int] | None = None,
+        start_cycle: int = 0,
+    ) -> None:
+        from ..sim.priority import FixedPriority
+
+        self.m = m
+        self.n_c = n_c
+        self.n = len(positions)
+        self.sect = list(sect)
+        self.cpu = list(cpus)
+        self.pos = [b % m for b in positions]
+        self.stride = [d % m for d in strides]
+        self.prio = prio
+        self.intra = intra
+        self.same_rule = intra is prio
+        # Rules whose snapshot is statically empty need no state compare.
+        self.static_rules = isinstance(prio, FixedPriority) and (
+            self.same_rule or isinstance(intra, FixedPriority)
+        )
+        # Banks are tracked as absolute busy-until clocks (bank ``b`` is
+        # free at clock ``t`` iff ``busy[b] <= t``), not countdowns: a
+        # grant writes one timestamp and the per-clock decrement sweep
+        # of the countdown representation disappears entirely.  ``busy``
+        # arrives as engine-style countdown counters.
+        self.busy = (
+            [0] * m
+            if busy is None
+            else [start_cycle + c if c else 0 for c in busy]
+        )
+        self.grants = [0] * self.n
+        # Absolute clock fed to the priority rules: rules cloned from a
+        # mid-run engine carry timestamps in the engine's numbering.
+        self.cycle = start_cycle
+        self.ports = list(range(self.n))
+        # Sweeps overwhelmingly run two fixed-priority streams; that
+        # shape gets a branch-only step with no dicts and no rule calls
+        # (fixed rules are pure ``min`` — port 0 wins every tie).
+        self._pair_same_cpu = self.n == 2 and self.cpu[0] == self.cpu[1]
+        if self.n == 2 and self.static_rules:
+            self.step = self._step_pair_fixed
+        else:
+            self.step = self._step_generic
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_job(cls, job: "SimJob", sect: Sequence[int] | None = None) -> "FlatSim":
+        """Fresh simulation of ``job`` from its start state.
+
+        ``sect`` lets batch drivers share one precomputed bank→section
+        table across every job with the same memory shape.
+        """
+        from ..memory.sections import section_map_for
+        from ..sim.priority import make_priority
+
+        m = job.banks
+        if sect is None:
+            smap = section_map_for(job.config)
+            sect = [smap.section_of(j) for j in range(m)]
+        n = len(job.streams)
+        prio = make_priority(job.priority, n)
+        intra = (
+            prio
+            if job.intra_priority is None
+            else make_priority(job.intra_priority, n)
+        )
+        return cls(
+            m=m,
+            n_c=job.bank_cycle,
+            sect=sect,
+            cpus=job.cpus,
+            positions=[b for b, _ in job.streams],
+            strides=[d for _, d in job.streams],
+            prio=prio,
+            intra=intra,
+        )
+
+    def clone_start(self) -> "FlatSim":
+        """Cheap structural copy of this (never-stepped) template.
+
+        Only valid for static rules, whose objects are stateless and can
+        be shared between walkers; read-only tables (``sect``, ``cpu``,
+        ``stride``) are shared, mutable state is copied.
+        """
+        new = FlatSim.__new__(FlatSim)
+        new.m = self.m
+        new.n_c = self.n_c
+        new.n = self.n
+        new.sect = self.sect
+        new.cpu = self.cpu
+        new.pos = self.pos.copy()
+        new.stride = self.stride
+        new.prio = self.prio
+        new.intra = self.intra
+        new.same_rule = self.same_rule
+        new.static_rules = self.static_rules
+        new.busy = self.busy.copy()
+        new.grants = self.grants.copy()
+        new.cycle = self.cycle
+        new.ports = self.ports
+        new._pair_same_cpu = self._pair_same_cpu
+        new.step = (
+            new._step_pair_fixed
+            if new.n == 2 and new.static_rules
+            else new._step_generic
+        )
+        return new
+
+    # ------------------------------------------------------------------
+    # One clock period — the exact three-phase arbitration of
+    # Engine.step(), on flat state.
+    # ------------------------------------------------------------------
+    def _step_pair_fixed(self) -> None:
+        """Two streams, fixed rules: the generic step with every branch
+        resolved at construction time (bit-identical trajectory)."""
+        busy = self.busy
+        pos = self.pos
+        t = self.cycle
+        b0 = pos[0]
+        b1 = pos[1]
+        g0 = busy[b0] <= t
+        g1 = busy[b1] <= t
+        if (
+            g0
+            and g1
+            and (
+                b0 == b1
+                if not self._pair_same_cpu
+                else self.sect[b0] == self.sect[b1]
+            )
+        ):
+            # Section conflict (same CPU) or simultaneous bank conflict
+            # (across CPUs): fixed priority grants port 0.
+            g1 = False
+        until = t + self.n_c
+        m = self.m
+        if g0:
+            busy[b0] = until
+            self.grants[0] += 1
+            b0 += self.stride[0]
+            pos[0] = b0 - m if b0 >= m else b0
+        if g1:
+            busy[b1] = until
+            self.grants[1] += 1
+            b1 += self.stride[1]
+            pos[1] = b1 - m if b1 >= m else b1
+        self.cycle = t + 1
+
+    def _step_generic(self) -> None:
+        busy = self.busy
+        pos = self.pos
+        cycle = self.cycle
+        # Phase 1 — bank conflicts: active banks reject everyone.
+        free = [p for p in self.ports if busy[pos[p]] <= cycle]
+        # Phase 2 — section conflicts: per (cpu, path) at most one.
+        if len(free) > 1:
+            cpu = self.cpu
+            sect = self.sect
+            groups: dict[tuple[int, int], list[int]] = {}
+            for p in free:
+                key = (cpu[p], sect[pos[p]])
+                g = groups.get(key)
+                if g is None:
+                    groups[key] = [p]
+                else:
+                    g.append(p)
+            if len(groups) != len(free):
+                intra = self.intra
+                free = [
+                    members[0]
+                    if len(members) == 1
+                    else intra.choose(members, cycle)
+                    for members in groups.values()
+                ]
+            # Phase 3 — simultaneous bank conflicts: per bank at most
+            # one grant (cross-CPU by construction after phase 2).
+            if len(free) > 1:
+                banks: dict[int, list[int]] = {}
+                for p in free:
+                    b = pos[p]
+                    g = banks.get(b)
+                    if g is None:
+                        banks[b] = [p]
+                    else:
+                        g.append(p)
+                if len(banks) != len(free):
+                    prio = self.prio
+                    free = [
+                        members[0]
+                        if len(members) == 1
+                        else prio.choose(sorted(members), cycle)
+                        for members in banks.values()
+                    ]
+        # Commit grants.
+        m = self.m
+        until = cycle + self.n_c
+        stride = self.stride
+        grants = self.grants
+        prio = self.prio
+        for p in free:
+            b = pos[p]
+            busy[b] = until
+            grants[p] += 1
+            b += stride[p]
+            pos[p] = b - m if b >= m else b
+            prio.granted(p, cycle)
+        # Clock edge.
+        prio.tick(cycle)
+        if not self.same_rule:
+            self.intra.tick(cycle)
+        self.cycle = cycle + 1
+
+    def run_span(self, clocks: int) -> None:
+        """Advance a fixed number of clock periods."""
+        if self.n == 2 and self.static_rules:
+            self._run_span_pair(clocks)
+            return
+        step = self.step
+        for _ in range(clocks):
+            step()
+
+    def _run_span_pair(self, clocks: int) -> None:
+        """Fused two-port fixed loop: one frame for the whole span, all
+        hot state carried in integer locals and written back on exit."""
+        busy = self.busy
+        sect = self.sect
+        s0, s1 = self.stride
+        n_c = self.n_c
+        m = self.m
+        same_cpu = self._pair_same_cpu
+        b0, b1 = self.pos
+        c0, c1 = self.grants
+        t = self.cycle
+        for _ in range(clocks):
+            g0 = busy[b0] <= t
+            g1 = busy[b1] <= t
+            if (
+                g0
+                and g1
+                and (sect[b0] == sect[b1] if same_cpu else b0 == b1)
+            ):
+                g1 = False
+            until = t + n_c
+            if g0:
+                busy[b0] = until
+                c0 += 1
+                b0 += s0
+                if b0 >= m:
+                    b0 -= m
+            if g1:
+                busy[b1] = until
+                c1 += 1
+                b1 += s1
+                if b1 >= m:
+                    b1 -= m
+            t += 1
+        self.pos[0] = b0
+        self.pos[1] = b1
+        self.grants[0] = c0
+        self.grants[1] = c1
+        self.cycle = t
+
+    # ------------------------------------------------------------------
+    # Bulk detector loops
+    # ------------------------------------------------------------------
+    def walk_until_match(self, key: StateKey, window: int) -> int:
+        """Step up to ``window`` clocks, checking for ``key`` after each.
+
+        Returns the number of steps taken when the state matched, or
+        ``-1`` when the window closed without a match (the walker then
+        sits exactly ``window`` steps further on).
+        """
+        if self.n == 2 and self.static_rules:
+            return self._walk_until_match_pair(key, window)
+        step = self.step
+        matches = self.matches
+        for taken in range(1, window + 1):
+            step()
+            if matches(key):
+                return taken
+        return -1
+
+    def _walk_until_match_pair(self, key: StateKey, window: int) -> int:
+        """Fused step-and-compare for the two-port fixed shape.
+
+        The position compare is the only per-clock check (fixed rules
+        have empty snapshots); the O(m) busy normalisation runs on the
+        rare position collision.
+        """
+        busy = self.busy
+        sect = self.sect
+        s0, s1 = self.stride
+        n_c = self.n_c
+        m = self.m
+        same_cpu = self._pair_same_cpu
+        k0, k1 = key[0]
+        kbusy = key[3]
+        b0, b1 = self.pos
+        c0, c1 = self.grants
+        t = self.cycle
+        taken = 0
+        found = -1
+        while taken < window:
+            g0 = busy[b0] <= t
+            g1 = busy[b1] <= t
+            if (
+                g0
+                and g1
+                and (sect[b0] == sect[b1] if same_cpu else b0 == b1)
+            ):
+                g1 = False
+            until = t + n_c
+            if g0:
+                busy[b0] = until
+                c0 += 1
+                b0 += s0
+                if b0 >= m:
+                    b0 -= m
+            if g1:
+                busy[b1] = until
+                c1 += 1
+                b1 += s1
+                if b1 >= m:
+                    b1 -= m
+            t += 1
+            taken += 1
+            if (
+                b0 == k0
+                and b1 == k1
+                and [u - t if u > t else 0 for u in busy] == kbusy
+            ):
+                found = taken
+                break
+        self.pos[0] = b0
+        self.pos[1] = b1
+        self.grants[0] = c0
+        self.grants[1] = c1
+        self.cycle = t
+        return found
+
+    # ------------------------------------------------------------------
+    # State identity (for cycle detection)
+    # ------------------------------------------------------------------
+    def _busy_counters(self) -> list[int]:
+        """Busy-until clocks as clock-invariant remaining counters."""
+        t = self.cycle
+        return [u - t if u > t else 0 for u in self.busy]
+
+    def key(self) -> StateKey:
+        """Copy of the full comparable state (the detector's anchor)."""
+        return (
+            self.pos.copy(),
+            self.prio.snapshot(),
+            self.intra.snapshot(),
+            self._busy_counters(),
+        )
+
+    def matches(self, key: StateKey) -> bool:
+        """Whether the live state equals an anchor (short-circuiting).
+
+        Positions discriminate almost every clock, so the O(m) busy
+        normalisation only happens on the rare position collision.
+        """
+        if self.pos != key[0]:
+            return False
+        if not self.static_rules and (
+            self.prio.snapshot() != key[1]
+            or self.intra.snapshot() != key[2]
+        ):
+            return False
+        return self._busy_counters() == key[3]
+
+    def same_state(self, other: "FlatSim") -> bool:
+        """Whether two walkers of one workload are in the same state
+        (the walkers may sit at different absolute clocks)."""
+        if self.pos != other.pos:
+            return False
+        if not self.static_rules and (
+            self.prio.snapshot() != other.prio.snapshot()
+            or self.intra.snapshot() != other.intra.snapshot()
+        ):
+            return False
+        return self._busy_counters() == other._busy_counters()
+
+
+def _meet_pair(trail: FlatSim, lead: FlatSim, mu_limit: int) -> int:
+    """Fused phase-2 meeting loop for the two-port fixed shape.
+
+    Steps both walkers in lockstep until their (clock-normalised)
+    states coincide, returning the step count ``mu`` — or ``-1`` once
+    ``mu_limit`` lockstep steps passed without a meeting.  Both sims
+    are left at the exit state (positions, grants, clock written back).
+    """
+    busy_a = trail.busy
+    busy_b = lead.busy
+    sect = trail.sect
+    s0, s1 = trail.stride
+    n_c = trail.n_c
+    m = trail.m
+    same_cpu = trail._pair_same_cpu
+    a0, a1 = trail.pos
+    b0, b1 = lead.pos
+    ca0, ca1 = trail.grants
+    cb0, cb1 = lead.grants
+    ta = trail.cycle
+    tb = lead.cycle
+    mu = 0
+    while True:
+        if (
+            a0 == b0
+            and a1 == b1
+            and [u - ta if u > ta else 0 for u in busy_a]
+            == [u - tb if u > tb else 0 for u in busy_b]
+        ):
+            break
+        if mu >= mu_limit:
+            mu = -1
+            break
+        g0 = busy_a[a0] <= ta
+        g1 = busy_a[a1] <= ta
+        if (
+            g0
+            and g1
+            and (sect[a0] == sect[a1] if same_cpu else a0 == a1)
+        ):
+            g1 = False
+        until = ta + n_c
+        if g0:
+            busy_a[a0] = until
+            ca0 += 1
+            a0 += s0
+            if a0 >= m:
+                a0 -= m
+        if g1:
+            busy_a[a1] = until
+            ca1 += 1
+            a1 += s1
+            if a1 >= m:
+                a1 -= m
+        ta += 1
+        g0 = busy_b[b0] <= tb
+        g1 = busy_b[b1] <= tb
+        if (
+            g0
+            and g1
+            and (sect[b0] == sect[b1] if same_cpu else b0 == b1)
+        ):
+            g1 = False
+        until = tb + n_c
+        if g0:
+            busy_b[b0] = until
+            cb0 += 1
+            b0 += s0
+            if b0 >= m:
+                b0 -= m
+        if g1:
+            busy_b[b1] = until
+            cb1 += 1
+            b1 += s1
+            if b1 >= m:
+                b1 -= m
+        tb += 1
+        mu += 1
+    trail.pos[0] = a0
+    trail.pos[1] = a1
+    trail.grants[0] = ca0
+    trail.grants[1] = ca1
+    trail.cycle = ta
+    lead.pos[0] = b0
+    lead.pos[1] = b1
+    lead.grants[0] = cb0
+    lead.grants[1] = cb1
+    lead.cycle = tb
+    return mu
+
+
+def find_steady_cycle(
+    make: Callable[[], FlatSim], max_cycles: int
+) -> tuple[int, int, tuple[int, ...], tuple[int, ...]]:
+    """Brent's algorithm over fresh walkers from ``make()``.
+
+    Returns ``(mu, lam, grants_at_mu, grants_at_mu_plus_lam)`` where
+    ``mu`` is the minimal transient, ``lam`` the minimal period and the
+    grant tuples are cumulative per-port grants after ``mu`` and
+    ``mu + lam`` clocks — everything the backends need to report the
+    exact steady outcome of the historical first-repeat detector.
+
+    Raises the detector's ``RuntimeError`` iff ``mu + lam > max_cycles``
+    (phase 1 is bounded by ``3·max_cycles + 4`` steps, which Brent never
+    exceeds while ``mu + lam <= max_cycles``).
+    """
+
+    def exhausted() -> RuntimeError:
+        return RuntimeError(
+            f"no cyclic state within {max_cycles} cycles "
+            "(state space exhausted the bound)"
+        )
+
+    if max_cycles < 0:
+        raise exhausted()
+
+    # Static-rule workloads spawn walkers by cheap structural copy of
+    # one never-stepped template instead of re-deriving the job thrice.
+    template = make()
+    if template.static_rules:
+        make = template.clone_start
+        hare = make()
+    else:
+        hare = template
+
+    # Phase 1 — find the minimal period lam.  The anchor ("tortoise")
+    # re-roots at every power of two; transient states never recur, so
+    # the first match is at distance exactly lam.  Each power-of-two
+    # window runs as one fused walk-and-compare span; the global step
+    # budget (never hit while mu + lam <= max_cycles) caps the windows.
+    limit = 3 * max_cycles + 4
+    power = 1
+    total = 0
+    while True:
+        anchor = hare.key()
+        window = min(power, limit + 1 - total)
+        took = hare.walk_until_match(anchor, window)
+        if took >= 0:
+            lam = took
+            break
+        total += window
+        if window < power:
+            raise exhausted()
+        power <<= 1
+    if lam > max_cycles:
+        raise exhausted()
+
+    # Phase 2 — find the minimal transient mu: walk two fresh walkers
+    # lam apart until they meet; the meeting point is the first state of
+    # the periodic regime, and the walkers' grant counters are exactly
+    # the cumulative grants after mu and mu + lam clocks.
+    lead = make()
+    lead.run_span(lam)
+    trail = make()
+    if trail.n == 2 and trail.static_rules:
+        mu = _meet_pair(trail, lead, max_cycles - lam)
+        if mu < 0:
+            raise exhausted()
+        return mu, lam, tuple(trail.grants), tuple(lead.grants)
+    mu = 0
+    while not trail.same_state(lead):
+        if mu + lam >= max_cycles:
+            raise exhausted()
+        trail.step()
+        lead.step()
+        mu += 1
+    return mu, lam, tuple(trail.grants), tuple(lead.grants)

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from ..core.arithmetic import units
+from ..core.isomorphism import stabilizer_units
 from ..memory.config import MemoryConfig
 from .regime import ObservedRegime, full_rate_streams, is_conflict_free, observe_pair_regime
 
@@ -208,9 +208,12 @@ class SimJob:
         )
         if not self._renumbering_safe():
             return base
-        b0 = self.streams[0][0]
+        b0, d0 = self.streams[0]
+        # Lexicographic minimisation: stream 1 becomes (0, k·d0), which is
+        # minimal exactly for the units mapping d0 to gcd(m, d0) — so only
+        # that (cached) stabiliser coset needs scanning, not all of U(m).
         best: tuple[tuple[int, int], ...] | None = None
-        for k in units(m):
+        for k in stabilizer_units(m, d0):
             cand = tuple(
                 (((b - b0) * k) % m, (d * k) % m) for b, d in self.streams
             )

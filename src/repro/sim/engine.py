@@ -280,31 +280,74 @@ class Engine:
         Returns ``(b_eff, period, per-port grants in one period,
         first cycle of the periodic regime)``.  Requires all ports to
         carry infinite streams (the analytical model's assumption 1).
+
+        Implementation: cheap :class:`~repro.runner.fastsim.FlatSim`
+        walkers cloned from the current engine state find the transient
+        length and minimal period via Brent's algorithm (O(1) memory —
+        the historical ``seen`` dictionary retained every visited
+        state), then the engine itself replays exactly those
+        ``transient + period`` clocks so statistics and traces come out
+        as they always have.
         """
+        import copy
+
+        from ..runner.fastsim import FlatSim, find_steady_cycle
+
         for p in self.ports:
             if p.stream is None or not p.stream.is_infinite:
                 raise ValueError(
                     "steady-state detection requires infinite streams on "
                     f"all ports (port {p.index} violates this)"
                 )
-        seen: dict[tuple, tuple[int, tuple[int, ...]]] = {}
-        while self.cycle <= max_cycles:
-            key = self._state_key()
-            grants_now = tuple(p.granted_total for p in self.ports)
-            if key in seen:
-                cycle0, grants0 = seen[key]
-                period = self.cycle - cycle0
-                per_port = tuple(
-                    g1 - g0 for g0, g1 in zip(grants0, grants_now)
-                )
-                bw = Fraction(sum(per_port), period)
-                return bw, period, per_port, cycle0
-            seen[key] = (self.cycle, grants_now)
-            self.step()
-        raise RuntimeError(
-            f"no cyclic state within {max_cycles} cycles "
-            "(state space exhausted the bound)"
+        m = self.config.banks
+        sect = [self.section_map.section_of(j) for j in range(m)]
+        cpus = [p.cpu for p in self.ports]
+        positions = [p.current_bank(m) for p in self.ports]
+        strides = [p.stream.stride for p in self.ports if p.stream]
+        busy = self.banks.snapshot()
+        start_cycle = self.cycle
+
+        def make() -> FlatSim:
+            # Rules are part of the simulated state: each walker gets a
+            # fresh deep copy (jointly, preserving intra-is-priority
+            # aliasing) and continues the engine's clock numbering so
+            # timestamp-based rules (LRU) stay consistent.
+            prio, intra = copy.deepcopy((self.priority, self.intra_priority))
+            return FlatSim(
+                m=m,
+                n_c=self.config.bank_cycle,
+                sect=sect,
+                cpus=cpus,
+                positions=positions,
+                strides=strides,
+                prio=prio,
+                intra=intra,
+                busy=busy,
+                start_cycle=start_cycle,
+            )
+
+        try:
+            mu, lam, _, _ = find_steady_cycle(make, max_cycles - self.cycle)
+        except RuntimeError:
+            raise RuntimeError(
+                f"no cyclic state within {max_cycles} cycles "
+                "(state space exhausted the bound)"
+            ) from None
+
+        # Replay the detected span on the real engine: contiguous
+        # statistics/trace, and ``self.cycle`` ends at transient+period
+        # exactly as the dictionary detector left it.
+        cycle0 = self.cycle + mu
+        self.run(mu)
+        grants0 = tuple(p.granted_total for p in self.ports)
+        self.run(lam)
+        per_port = tuple(
+            g1 - g0
+            for g0, g1 in zip(
+                grants0, (p.granted_total for p in self.ports)
+            )
         )
+        return Fraction(sum(per_port), lam), lam, per_port, cycle0
 
     # ------------------------------------------------------------------
     def result(self) -> SimulationResult:

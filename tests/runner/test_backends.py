@@ -19,7 +19,7 @@ from repro.runner.backends import (
 
 class TestRegistry:
     def test_available(self):
-        assert available_backends() == ("fast", "reference")
+        assert available_backends() == ("analytic", "auto", "fast", "reference")
 
     def test_instances_are_shared(self):
         assert get_backend("fast") is get_backend("fast")
@@ -107,6 +107,44 @@ class TestAgreement:
         out = run(AGREEMENT_JOBS[0], backend="fast")
         assert out.result is None
         assert run(AGREEMENT_JOBS[0], backend="reference").result is not None
+
+
+class TestRunBatch:
+    def test_fast_batch_matches_per_job_runs(self):
+        # Mixed shapes in one batch: the shared section-table cache must
+        # not leak one config's table into another's jobs.
+        jobs = AGREEMENT_JOBS + [
+            SimJob.from_specs(FIG2_CONFIG, [(0, 1), (5, 7)]),
+            SimJob.from_specs(FIG3_CONFIG, [(0, 1)], steady=False, cycles=40),
+        ]
+        batch = FastBackend().run_batch(jobs)
+        for job, out in zip(jobs, batch):
+            solo = FastBackend().run(job)
+            assert out.bandwidth == solo.bandwidth
+            assert out.period == solo.period
+            assert out.grants == solo.grants
+            assert out.steady_start == solo.steady_start
+
+    def test_auto_batch_mixes_tiers_in_order(self):
+        from repro.runner.analytic import solve
+
+        decided = SimJob.from_specs(FIG3_CONFIG, [(0, 1)])
+        undecided = SimJob.from_specs(FIG3_CONFIG, [(0, 1), (0, 6)])
+        assert solve(decided) is not None and solve(undecided) is None
+        jobs = [undecided, decided, undecided, decided]
+        outs = get_backend("auto").run_batch(jobs)
+        assert [o.backend for o in outs] == ["fast", "analytic", "fast", "analytic"]
+        for job, out in zip(jobs, outs):
+            ref = run(job, backend="reference")
+            assert out.bandwidth == ref.bandwidth
+            assert out.grants == ref.grants
+            assert out.period == ref.period
+            assert out.steady_start == ref.steady_start
+
+    def test_reference_batch_matches_run(self):
+        outs = get_backend("reference").run_batch(AGREEMENT_JOBS[:2])
+        for job, out in zip(AGREEMENT_JOBS[:2], outs):
+            assert out.bandwidth == run(job, backend="reference").bandwidth
 
 
 class TestOutcomeViews:

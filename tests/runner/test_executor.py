@@ -98,6 +98,43 @@ class TestDiskCache:
         assert len(outs) == 12
 
 
+class TestLruMemo:
+    """Regression: the memo is genuine LRU, not insertion-order FIFO."""
+
+    def test_hit_refreshes_recency(self):
+        a, b, c = (_job(1), _job(2), _job(3))
+        ex = SweepExecutor(max_memo=2)
+        ex.run_many([a, b])           # memo: [a, b]
+        ex.run_one(a)                 # hit refreshes a -> memo: [b, a]
+        executed = ex.stats.executed
+        ex.run_one(c)                 # evicts b (LRU), not a
+        assert ex.stats.executed == executed + 1
+        ex.run_one(a)                 # still cached
+        assert ex.stats.executed == executed + 1
+        ex.run_one(b)                 # evicted: must re-run
+        assert ex.stats.executed == executed + 2
+
+    def test_fresh_results_survive_their_own_batch(self):
+        # Without evict-before-insert, a full memo evicts the batch's
+        # own results the moment they land.
+        ex = SweepExecutor(max_memo=3)
+        ex.run_many(jobs_for_offsets(CFG, 1, 7, range(3)))   # fill memo
+        ex.run_many(jobs_for_offsets(CFG, 1, 7, [3, 4, 5]))  # displace it
+        executed = ex.stats.executed
+        ex.run_many(jobs_for_offsets(CFG, 1, 7, [3, 4, 5]))
+        assert ex.stats.executed == executed  # all three were retained
+
+    def test_held_hits_survive_same_batch_eviction(self):
+        # A cache hit whose memo entry is evicted by the same batch's
+        # fresh results must still be returned intact.
+        ex = SweepExecutor(max_memo=1)
+        first = ex.run_one(_job(1))
+        outs = ex.run_many([_job(1), _job(2), _job(3)])
+        assert outs[0].bandwidth == first.bandwidth
+        assert outs[0].grants == first.grants
+        assert len(ex) == 1
+
+
 class TestWorkersAndModes:
     def test_parallel_matches_inline(self):
         jobs = jobs_for_offsets(FIG2_CONFIG, 1, 7, range(12))
@@ -105,6 +142,39 @@ class TestWorkersAndModes:
         parallel = SweepExecutor(workers=2).run_many(jobs)
         assert [o.bandwidth for o in inline] == [o.bandwidth for o in parallel]
         assert [o.grants for o in inline] == [o.grants for o in parallel]
+
+    def test_inline_path_is_one_batch_call(self):
+        # Workers=1 hands the whole deduped batch to the backend's
+        # run_batch in a single call (shared per-shape tables).
+        from repro.runner import executor as executor_mod
+
+        calls: list[int] = []
+        original = executor_mod._execute_payload_batch
+
+        def spy(args):
+            calls.append(len(args[0]))
+            return original(args)
+
+        jobs = jobs_for_offsets(FIG2_CONFIG, 1, 7, range(6))
+        try:
+            executor_mod._execute_payload_batch = spy
+            outs = SweepExecutor(workers=1).run_many(jobs)
+        finally:
+            executor_mod._execute_payload_batch = original
+        assert calls == [len({j.cache_key() for j in jobs})]
+        direct = [run(j) for j in jobs]
+        assert [o.bandwidth for o in outs] == [o.bandwidth for o in direct]
+
+    def test_pool_chunks_cover_awkward_batch_sizes(self):
+        # Regression for the chunksize math: ceil division (the old
+        # floor division degenerated to single-job chunks, one pickle
+        # round trip each).  An odd-sized batch over several workers
+        # must come back complete and in order.
+        jobs = jobs_for_offsets(MemoryConfig(banks=13, bank_cycle=4), 1, 3, range(13))
+        pooled = SweepExecutor(workers=3).run_many(jobs)
+        direct = [run(j) for j in jobs]
+        assert [o.grants for o in pooled] == [o.grants for o in direct]
+        assert [o.bandwidth for o in pooled] == [o.bandwidth for o in direct]
 
     def test_backend_override(self):
         ex = SweepExecutor(backend="fast")

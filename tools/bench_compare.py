@@ -1,15 +1,29 @@
 #!/usr/bin/env python
-"""Compare reference vs fast backend throughput, as JSON.
+"""Backend and sweep throughput comparison, as JSON.
 
-Runs the three ``benchmarks/bench_engine_throughput.py`` workload shapes
-(one port, two CPUs, six ports on a sectioned memory) on both backends
-and prints simulated clocks per second plus the speedup factor::
+Three modes, all printing a JSON report and exiting non-zero when a
+speedup floor is missed:
+
+**Backend throughput** (default) — runs the three
+``benchmarks/bench_engine_throughput.py`` workload shapes (one port,
+two CPUs, six ports on a sectioned memory) on the reference and fast
+backends and reports simulated clocks per second::
 
     PYTHONPATH=src python tools/bench_compare.py [--clocks N] [--repeat K]
 
-Exit status is non-zero if any workload's fast-backend speedup falls
-below the floor (default 1.0, i.e. "not slower"); CI calls this with
-``--min-speedup 3`` to enforce the fast path's reason to exist.
+**Sweep wall-clock** (``--sweeps``) — times the two tier-sensitive
+sweep workloads (the regime census and the start-space profiles of the
+paper's figure pairs) through the tiered executor, best-of ``--repeat``,
+and writes the wall-clock JSON (``--json PATH``) whose schema matches
+the benchmark timing artifacts (``BENCH_*.json``)::
+
+    PYTHONPATH=src python tools/bench_compare.py --sweeps --json BENCH_after.json
+
+**Artifact comparison** (``--compare BEFORE AFTER``) — reads two such
+wall-clock artifacts (same-machine captures) and reports per-benchmark
+speedups; CI runs this on the committed ``BENCH_before.json`` /
+``BENCH_after.json`` pair with ``--min-speedup 5`` to pin the tiered
+pipeline's reason to exist.
 """
 
 from __future__ import annotations
@@ -58,6 +72,81 @@ def _clocks_per_second(backend_name: str, job: SimJob, repeat: int) -> float:
     return job.cycles / best
 
 
+#: The tier-sensitive sweep benchmarks whose wall-clock the committed
+#: ``BENCH_*.json`` artifacts track.
+SWEEP_BENCHES = (
+    "benchmarks/bench_regime_census.py",
+    "benchmarks/bench_start_space.py",
+)
+
+
+def _run_sweeps(repeat: int) -> dict:
+    """Best-of-``repeat`` wall-clock of the sweep benchmarks.
+
+    Each repetition is a fresh pytest process so in-process caches
+    (executor memo, classifier lru_caches) start cold — the same
+    methodology as the committed ``BENCH_*.json`` captures.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    best: dict[str, float] = {}
+    for _ in range(repeat):
+        with tempfile.TemporaryDirectory() as tmp:
+            timings = pathlib.Path(tmp) / "timings.json"
+            env = dict(os.environ)
+            env["REPRO_BENCH_TIMINGS"] = str(timings)
+            env["PYTHONPATH"] = str(root / "src")
+            subprocess.run(
+                [sys.executable, "-m", "pytest", *SWEEP_BENCHES, "-q"],
+                check=True,
+                cwd=root,
+                env=env,
+                stdout=subprocess.DEVNULL,
+            )
+            for key, elapsed in json.loads(timings.read_text())[
+                "benchmarks"
+            ].items():
+                best[key] = min(best.get(key, elapsed), elapsed)
+    return {
+        "schema": 1,
+        "unit": "seconds",
+        "benchmarks": {k: round(v, 6) for k, v in sorted(best.items())},
+    }
+
+
+def _compare_artifacts(
+    before_path: str, after_path: str, min_speedup: float
+) -> dict:
+    """Per-benchmark speedups between two wall-clock artifacts."""
+    before = json.loads(pathlib.Path(before_path).read_text())["benchmarks"]
+    after = json.loads(pathlib.Path(after_path).read_text())["benchmarks"]
+    shared = sorted(set(before) & set(after))
+    if not shared:
+        raise SystemExit(
+            f"no shared benchmarks between {before_path} and {after_path}"
+        )
+    rows = {}
+    ok = True
+    for key in shared:
+        speedup = before[key] / after[key]
+        ok = ok and speedup >= min_speedup
+        rows[key] = {
+            "before_s": before[key],
+            "after_s": after[key],
+            "speedup": round(speedup, 2),
+        }
+    return {
+        "before": before_path,
+        "after": after_path,
+        "benchmarks": rows,
+        "min_speedup_required": min_speedup,
+        "pass": ok,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--clocks", type=int, default=20_000,
@@ -66,28 +155,46 @@ def main(argv: list[str] | None = None) -> int:
                     help="timing repetitions, best-of (default 5)")
     ap.add_argument("--min-speedup", type=float, default=1.0,
                     help="fail if any workload's speedup is below this")
+    ap.add_argument("--sweeps", action="store_true",
+                    help="time the census/start-space sweep benchmarks "
+                         "instead of backend throughput")
+    ap.add_argument("--compare", nargs=2, metavar=("BEFORE", "AFTER"),
+                    help="compare two wall-clock JSON artifacts")
+    ap.add_argument("--json", dest="json_path",
+                    help="also write the report to this path")
     args = ap.parse_args(argv)
 
-    report = {
-        "clocks": args.clocks,
-        "repeat": args.repeat,
-        "workloads": {},
-    }
-    ok = True
-    for name, n_ports, sectioned in WORKLOADS:
-        job = _job(n_ports, sectioned, args.clocks)
-        ref = _clocks_per_second("reference", job, args.repeat)
-        fast = _clocks_per_second("fast", job, args.repeat)
-        speedup = fast / ref
-        ok = ok and speedup >= args.min_speedup
-        report["workloads"][name] = {
-            "reference_clk_per_s": round(ref),
-            "fast_clk_per_s": round(fast),
-            "speedup": round(speedup, 2),
+    if args.compare:
+        report = _compare_artifacts(*args.compare, args.min_speedup)
+        ok = report["pass"]
+    elif args.sweeps:
+        report = _run_sweeps(args.repeat)
+        ok = True  # absolute timings carry no pass/fail by themselves
+    else:
+        report = {
+            "clocks": args.clocks,
+            "repeat": args.repeat,
+            "workloads": {},
         }
-    report["min_speedup_required"] = args.min_speedup
-    report["pass"] = ok
-    print(json.dumps(report, indent=2))
+        ok = True
+        for name, n_ports, sectioned in WORKLOADS:
+            job = _job(n_ports, sectioned, args.clocks)
+            ref = _clocks_per_second("reference", job, args.repeat)
+            fast = _clocks_per_second("fast", job, args.repeat)
+            speedup = fast / ref
+            ok = ok and speedup >= args.min_speedup
+            report["workloads"][name] = {
+                "reference_clk_per_s": round(ref),
+                "fast_clk_per_s": round(fast),
+                "speedup": round(speedup, 2),
+            }
+        report["min_speedup_required"] = args.min_speedup
+        report["pass"] = ok
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json_path:
+        pathlib.Path(args.json_path).write_text(text + "\n")
     return 0 if ok else 1
 
 
