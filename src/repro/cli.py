@@ -90,6 +90,17 @@ def _add_runner_args(
                        help="worker processes for the sweep (default 1)")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """Observability switches for the sweep-shaped subcommands
+    (docs/OBSERVABILITY.md documents every emitted name)."""
+    p.add_argument("--metrics", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="collect pipeline metrics; bare --metrics prints a "
+                        "text report, PATH writes .json / .prom / text")
+    p.add_argument("--trace-spans", action="store_true",
+                   help="time the pipeline's phases and print the span tree")
+
+
 def _memory(args: argparse.Namespace) -> MemoryConfig:
     return MemoryConfig(
         banks=args.banks,
@@ -132,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-priority", action="store_true",
                    help="add the favoured-stream header row (Figs. 8-9)")
     _add_runner_args(p, jobs=False)
+    _add_obs_args(p)
 
     p = sub.add_parser("triad", help="the Fig. 10 X-MP experiment")
     p.add_argument("--inc", type=_parse_range, default=list(range(1, 17)),
@@ -155,11 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--priority", default="fixed",
                    help="fixed | cyclic | block-cyclic:N | lru")
     _add_runner_args(p)
+    _add_obs_args(p)
 
     p = sub.add_parser(
         "census", help="regime counts over all stride pairs"
     )
     _add_memory_args(p)
+    p.add_argument("--observed", action="store_true",
+                   help="simulate every canonical pair over every start "
+                        "instead of classifying analytically")
+    _add_runner_args(p)
+    _add_obs_args(p)
 
     p = sub.add_parser("duel", help="both CPUs run triads concurrently")
     p.add_argument("inc0", type=int)
@@ -297,6 +315,8 @@ def _cmd_census(args: argparse.Namespace) -> int:
     from .analysis.census import regime_census
 
     cfg = _memory(args)
+    if args.observed:
+        return _census_observed(cfg, args)
     census = regime_census(
         cfg.banks, cfg.bank_cycle,
         s=cfg.effective_sections if cfg.sectioned else None,
@@ -309,6 +329,69 @@ def _cmd_census(args: argparse.Namespace) -> int:
             f"{census.determined} analytically exact"
         ),
     ))
+    return 0
+
+
+def _census_observed(cfg: MemoryConfig, args: argparse.Namespace) -> int:
+    """Simulated census plus an exact bandwidth summary.
+
+    Two passes over the same job set through one executor: the census
+    sweep simulates every canonical pair over every relative start, the
+    summary pass recalls the identical outcomes from the memo — so the
+    ``--metrics`` report always shows live cache-hit counters.
+    """
+    from fractions import Fraction
+
+    from .analysis.census import observed_regime_census
+    from .analysis.report import fraction_str
+    from .analysis.sweep import canonical_pairs
+    from .runner import SweepExecutor, jobs_for_offsets
+
+    # The observed census runs on the plain (unsectioned) shape.
+    flat = MemoryConfig(banks=cfg.banks, bank_cycle=cfg.bank_cycle)
+    with SweepExecutor(
+        backend=args.backend or "auto", workers=args.jobs
+    ) as ex:
+        counts = observed_regime_census(
+            cfg.banks, cfg.bank_cycle, executor=ex
+        )
+        total_pairs = sum(counts.values())
+        print(format_table(
+            ["observed regime", "pairs", "share"],
+            [
+                (label, n, f"{100 * n / total_pairs:.1f}%")
+                for label, n in sorted(
+                    counts.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ],
+            title=(
+                f"Observed regime census for {flat.describe()}: "
+                f"{total_pairs} canonical pairs, all relative starts"
+            ),
+        ))
+        # Summary pass: exact bandwidth distribution over the same jobs.
+        total = Fraction(0)
+        lo: Fraction | None = None
+        hi: Fraction | None = None
+        n_jobs = 0
+        for d1, d2 in canonical_pairs(cfg.banks):
+            jobs = jobs_for_offsets(flat, d1, d2, range(cfg.banks))
+            for out in ex.run_many(jobs):
+                n_jobs += 1
+                total += out.bandwidth
+                if lo is None or out.bandwidth < lo:
+                    lo = out.bandwidth
+                if hi is None or out.bandwidth > hi:
+                    hi = out.bandwidth
+        assert lo is not None and hi is not None
+        print()
+        print(f"{n_jobs} start-resolved runs: "
+              f"b_eff min {fraction_str(lo)}, "
+              f"mean {fraction_str(total / n_jobs)}, "
+              f"max {fraction_str(hi)}")
+        st = ex.stats
+        print(f"executor: {st.submitted} submitted, {st.hits} memo hits, "
+              f"{st.deduped} deduped, {st.executed} executed")
     return 0
 
 
@@ -348,11 +431,59 @@ _COMMANDS = {
 }
 
 
+def _emit_metrics(reg: "object", dest: str) -> None:
+    """Render the captured registry to stdout or a file by suffix."""
+    from pathlib import Path
+
+    from .obs import render_json, render_prometheus, render_text
+
+    if dest == "-":
+        print()
+        print(render_text(reg))  # type: ignore[arg-type]
+        return
+    if dest.endswith(".json"):
+        text = render_json(reg)  # type: ignore[arg-type]
+    elif dest.endswith(".prom"):
+        text = render_prometheus(reg)  # type: ignore[arg-type]
+    else:
+        text = render_text(reg) + "\n"  # type: ignore[arg-type]
+    Path(dest).write_text(text)
+    print(f"metrics written to {dest}", file=sys.stderr)
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch one subcommand, honouring the observability switches."""
+    metrics_dest = getattr(args, "metrics", None)
+    want_spans = bool(getattr(args, "trace_spans", False))
+    if metrics_dest is None and not want_spans:
+        return _COMMANDS[args.command](args)
+    from contextlib import ExitStack
+
+    from .obs import capture_metrics, capture_spans, render_spans, span
+    from .obs import names as _names
+
+    with ExitStack() as stack:
+        reg = (
+            stack.enter_context(capture_metrics())
+            if metrics_dest is not None
+            else None
+        )
+        rec = stack.enter_context(capture_spans()) if want_spans else None
+        with span(_names.SPAN_CLI, command=args.command):
+            rc = _COMMANDS[args.command](args)
+    if rec is not None:
+        print()
+        print(render_spans(rec))
+    if reg is not None:
+        _emit_metrics(reg, metrics_dest)
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _run_command(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -29,6 +29,12 @@ Each rule guards one invariant of the reproduction (see DESIGN.md §7):
     outcomes assume value semantics, so ``object.__setattr__`` mutation
     of frozen instances is forbidden outside ``__init__``-family
     methods (the frozen-dataclass self-initialization idiom).
+``OBS001``
+    Monotonic-clock reads (``time.perf_counter`` and friends) inside
+    the ``repro`` package are confined to ``repro.obs.trace`` — the one
+    sanctioned timing boundary, off by default, whose readings can
+    never flow into result values.  Benchmarks and tools outside the
+    package time things however they like.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from typing import Iterator
 from .framework import Finding, LintContext, Rule, register_rule
 
 __all__ = [
+    "ClockBoundaryRule",
     "DeterminismRule",
     "ExactnessRule",
     "FrozenMutationRule",
@@ -137,11 +144,11 @@ class ExactnessRule(Rule):
     description = (
         "No float literals, float()/complex() conversions, or true "
         "division in the exactness layers (repro.core, repro.runner, "
-        "repro.analysis); *_float helpers are the blessed presentation "
-        "boundary."
+        "repro.analysis, repro.obs); *_float helpers are the blessed "
+        "presentation boundary."
     )
 
-    SCOPES = ("repro.core", "repro.runner", "repro.analysis")
+    SCOPES = ("repro.core", "repro.runner", "repro.analysis", "repro.obs")
 
     def applies_to(self, ctx: LintContext) -> bool:
         return not ctx.module or ctx.in_package(*self.SCOPES)
@@ -419,6 +426,54 @@ class RunnerLayerRule(Rule):
                         "backend-checked and cacheable",
                     )
                     break
+
+
+# ----------------------------------------------------------------------
+# OBS001
+# ----------------------------------------------------------------------
+@register_rule
+class ClockBoundaryRule(Rule):
+    code = "OBS001"
+    name = "clock-boundary"
+    description = (
+        "Monotonic-clock reads (time.perf_counter[_ns], "
+        "time.monotonic[_ns], time.process_time[_ns]) in the repro "
+        "package are confined to repro.obs.trace, the sanctioned span "
+        "timing boundary."
+    )
+
+    #: The one module allowed to read the clock: span timing is off by
+    #: default and its readings never reach a result value.
+    BLESSED = frozenset({"repro.obs.trace"})
+
+    #: Monotonic clocks (wall clocks are DET001's business).
+    CLOCKS = frozenset({
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.thread_time", "time.thread_time_ns",
+    })
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        if ctx.module in self.BLESSED:
+            return False
+        # Unknown modules are linted too (fixture files, loose scripts
+        # under src); tools/ and benchmarks/ fall outside "repro".
+        return not ctx.module or ctx.in_package("repro")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_call_origin(node, imports)
+            if origin in self.CLOCKS:
+                yield self.finding(
+                    ctx, node,
+                    f"{origin}() outside repro.obs.trace; ad-hoc timing "
+                    "fragments the observability contract — wrap the "
+                    "region in repro.obs.trace.span(...) instead",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,94 @@
+"""Observability for the runner pipeline: metrics, spans, exporters.
+
+The runner's three execution tiers, the memoizing executor and the
+simulation engines are instrumented against this package — behind a
+disabled-by-default switch, so the uninstrumented hot path costs one
+``None`` check per batch and nothing per job (benchmarked by the CI
+bench-smoke overhead gate).
+
+Three modules:
+
+:mod:`repro.obs.metrics`
+    :class:`MetricsRegistry` — counters, gauges, and histograms with
+    exact-integer buckets; :func:`capture_metrics` /
+    :func:`enable_metrics` switch collection on.
+:mod:`repro.obs.trace`
+    :func:`span` context managers over a monotonic clock, confined to
+    this package by the OBS001 lint rule; :func:`capture_spans` /
+    :func:`enable_tracing` switch recording on.
+:mod:`repro.obs.export`
+    Renderers: human text, JSON (round-trippable via
+    :func:`load_json`), Prometheus text format, and the span tree.
+
+The full metric/span name contract — every name, kind, label set and
+emitting call site — lives in :mod:`repro.obs.names` and is documented
+in ``docs/OBSERVABILITY.md``; the test suite diffs the two.  On the
+CLI, ``--metrics[=PATH]`` and ``--trace-spans`` expose all of this on
+the sweep-shaped subcommands.
+"""
+
+from .export import (
+    load_json,
+    render_json,
+    render_prometheus,
+    render_spans,
+    render_text,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    capture_metrics,
+    disable_metrics,
+    enable_metrics,
+)
+from .names import (
+    METRIC_CONTRACT,
+    SPAN_CONTRACT,
+    MetricSpec,
+    SpanSpec,
+    metric_names,
+    span_names,
+)
+from .trace import (
+    Span,
+    TraceRecorder,
+    active_trace,
+    capture_spans,
+    disable_tracing,
+    enable_tracing,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRIC_CONTRACT",
+    "MetricSpec",
+    "MetricsRegistry",
+    "SPAN_CONTRACT",
+    "Span",
+    "SpanSpec",
+    "TraceRecorder",
+    "active_metrics",
+    "active_trace",
+    "capture_metrics",
+    "capture_spans",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "load_json",
+    "metric_names",
+    "render_json",
+    "render_prometheus",
+    "render_spans",
+    "render_text",
+    "span",
+    "span_names",
+]

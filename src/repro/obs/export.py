@@ -1,0 +1,148 @@
+"""Exporters: render a metrics registry / span recorder for humans and tools.
+
+Three metric formats, one span format:
+
+* :func:`render_text` — aligned human-readable report (the CLI's bare
+  ``--metrics`` output);
+* :func:`render_json` — ``json.dumps`` of :meth:`MetricsRegistry.
+  snapshot`; :func:`load_json` round-trips it back into a registry;
+* :func:`render_prometheus` — Prometheus text exposition format
+  (``# TYPE`` headers, label sets, cumulative ``_bucket{le=...}``
+  series).  Metric names are sanitised (dots become underscores);
+  bucket bounds stay exact integers, the overflow bucket is ``+Inf``.
+* :func:`render_spans` — indented call tree with integer-nanosecond
+  durations formatted as milliseconds.
+
+Everything here is integer arithmetic end to end (EXACT001 applies to
+``repro.obs``); derived ratios are printed as exact percents via
+integer division.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import TraceRecorder
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "load_json",
+    "render_prometheus",
+    "render_spans",
+]
+
+
+def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return "{" + inner + "}"
+
+
+# ----------------------------------------------------------------------
+# Human text
+# ----------------------------------------------------------------------
+def render_text(registry: MetricsRegistry) -> str:
+    """Aligned ``name{labels}  kind  value`` report, one line per metric."""
+    rows: list[tuple[str, str, str]] = []
+    for metric in registry.collect():
+        ident = metric.name + _label_str(metric.labels)
+        if isinstance(metric, Histogram):
+            mean = (
+                f"{metric.sum}/{metric.count}" if metric.count else "-"
+            )
+            value = (
+                f"count={metric.count} sum={metric.sum} mean={mean}"
+            )
+        else:
+            value = str(metric.value)
+        rows.append((ident, metric.kind, value))
+    if not rows:
+        return "(no metrics recorded)"
+    width_ident = max(len(r[0]) for r in rows)
+    width_kind = max(len(r[1]) for r in rows)
+    lines = ["metrics report", "--------------"]
+    for ident, kind, value in rows:
+        lines.append(
+            f"{ident.ljust(width_ident)}  {kind.ljust(width_kind)}  {value}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSON (round-trips through MetricsRegistry.from_snapshot)
+# ----------------------------------------------------------------------
+def render_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot as a JSON document (exact integers)."""
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+
+
+def load_json(text: str) -> MetricsRegistry:
+    """Rebuild a registry from :func:`render_json` output."""
+    return MetricsRegistry.from_snapshot(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text format: one ``# TYPE`` header per metric family."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry.collect():
+        pname = _prom_name(metric.name)
+        if pname not in typed:
+            lines.append(f"# TYPE {pname} {metric.kind}")
+            typed.add(pname)
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, cum in zip(metric.buckets, cumulative):
+                le = (("le", str(bound)),) + metric.labels
+                lines.append(f"{pname}_bucket{_prom_labels(le)} {cum}")
+            le_inf = (("le", "+Inf"),) + metric.labels
+            lines.append(f"{pname}_bucket{_prom_labels(le_inf)} {cumulative[-1]}")
+            lines.append(f"{pname}_sum{_prom_labels(metric.labels)} {metric.sum}")
+            lines.append(
+                f"{pname}_count{_prom_labels(metric.labels)} {metric.count}"
+            )
+        elif isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{pname}{_prom_labels(metric.labels)} {metric.value}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def _format_ns(ns: int) -> str:
+    """Integer nanoseconds as a fixed-point millisecond string."""
+    us = ns // 1_000
+    return f"{us // 1_000}.{us % 1_000:03d} ms"
+
+
+def render_spans(recorder: TraceRecorder) -> str:
+    """Indented call tree of finished spans with durations."""
+    finished = recorder.finished()
+    if not finished:
+        return "(no spans recorded)"
+    lines = ["span trace", "----------"]
+    for s in finished:
+        indent = "  " * s.depth
+        lines.append(
+            f"{indent}{s.name}{_label_str(s.labels)}  {_format_ns(s.duration_ns)}"
+        )
+    return "\n".join(lines)

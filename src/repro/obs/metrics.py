@@ -1,0 +1,303 @@
+"""Zero-dependency metrics registry: counters, gauges, exact histograms.
+
+Design constraints, in order:
+
+* **Off means off.**  The registry is *disabled by default*: the module
+  global :func:`active_metrics` returns ``None`` and every instrumented
+  call site guards on that, so the uninstrumented hot path costs one
+  global load and a ``None`` check per *batch* (never per job or per
+  clock) and allocates nothing.
+* **Exact values.**  All recorded values are integers — counters and
+  gauges hold ``int``, histograms use exact-integer bucket bounds and
+  integer sums — so the registry lives comfortably inside the EXACT001
+  discipline and derived ratios can be taken as :class:`~fractions.
+  Fraction` without a float ever appearing.
+* **Stdlib only.**  Pure Python, importable anywhere the test suite
+  runs; exporters (text / JSON / Prometheus) live in
+  :mod:`repro.obs.export`.
+
+Metrics are identified by a dotted name plus an optional label set;
+asking the registry for the same ``(name, labels)`` twice returns the
+same instrument.  :func:`capture_metrics` is the scoped way to turn
+collection on::
+
+    with capture_metrics() as reg:
+        executor.run_many(jobs)
+    print(render_text(reg))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "active_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "capture_metrics",
+]
+
+#: Default histogram buckets: powers of two, exact integers.  A value
+#: ``v`` lands in the first bucket with ``v <= bound``; values above the
+#: last bound land in the implicit overflow bucket.
+DEFAULT_BUCKETS: tuple[int, ...] = tuple(1 << i for i in range(21))
+
+_LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: Mapping[str, object]) -> _LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: _LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """An integer that can go up, down, or be set outright."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: _LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Distribution of integer observations over exact-integer buckets.
+
+    ``counts[i]`` is the number of observations with ``value <=
+    buckets[i]`` and greater than ``buckets[i-1]``; ``counts[-1]`` is
+    the overflow bucket.  ``sum``/``count`` allow the exact mean
+    ``Fraction(sum, count)``.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: _LabelItems = (),
+        buckets: Sequence[int] | None = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        for b in bounds:
+            if type(b) is not int:
+                raise TypeError("bucket bounds must be exact integers")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value: int) -> None:
+        # Linear scan: bucket lists are short and observations are
+        # per-steady-run, not per-clock.
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style cumulative bucket counts (``le`` semantics)."""
+        out: list[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+Metric = Counter | Gauge | Histogram
+
+_SNAPSHOT_VERSION = 1
+
+
+class MetricsRegistry:
+    """A family of named instruments, created on first touch."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, _LabelItems], Metric] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, _label_items(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, _label_items(labels))
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[int] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, key[1], buckets)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def _get(self, cls: type, name: str, labels: _LabelItems) -> Metric:
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    def collect(self) -> list[Metric]:
+        """Every instrument, sorted by (name, labels)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def get(self, name: str, **labels: object) -> Metric | None:
+        """The instrument at ``(name, labels)``, or ``None``."""
+        return self._metrics.get((name, _label_items(labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Snapshots (the JSON exporter round-trips through these)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe dict of the whole registry (exact integers only)."""
+        out: list[dict] = []
+        for metric in self.collect():
+            entry: dict = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = list(metric.counts)
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return {"version": _SNAPSHOT_VERSION, "metrics": out}
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        if data.get("version") != _SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported metrics snapshot version {data.get('version')!r}"
+            )
+        reg = cls()
+        for entry in data["metrics"]:
+            labels = dict(entry["labels"])
+            kind = entry["kind"]
+            if kind == "counter":
+                reg.counter(entry["name"], **labels).value = entry["value"]
+            elif kind == "gauge":
+                reg.gauge(entry["name"], **labels).value = entry["value"]
+            elif kind == "histogram":
+                h = reg.histogram(
+                    entry["name"], buckets=entry["buckets"], **labels
+                )
+                h.counts = list(entry["counts"])
+                h.sum = entry["sum"]
+                h.count = entry["count"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+        return reg
+
+
+# ----------------------------------------------------------------------
+# The process-wide switch
+# ----------------------------------------------------------------------
+_ACTIVE: MetricsRegistry | None = None
+
+
+def active_metrics() -> MetricsRegistry | None:
+    """The enabled registry, or ``None`` — the instrumented-off default.
+
+    Instrumented call sites guard on this::
+
+        reg = active_metrics()
+        if reg is not None:
+            reg.counter(names.EXECUTOR_SUBMITTED).inc(n)
+    """
+    return _ACTIVE
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the active registry."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def disable_metrics() -> None:
+    """Return to the no-op default."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def capture_metrics(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Scoped enablement: activate a registry, restore the old state."""
+    global _ACTIVE
+    prev = _ACTIVE
+    reg = registry if registry is not None else MetricsRegistry()
+    _ACTIVE = reg
+    try:
+        yield reg
+    finally:
+        _ACTIVE = prev

@@ -1,0 +1,226 @@
+"""The metrics/tracing name contract — one constant per instrument.
+
+Every metric and span the instrumented layers emit is declared here,
+with its kind, label keys, and emitting call site.  The contract is
+load-bearing in three places:
+
+* call sites reference these constants (never string literals), so a
+  rename is one edit;
+* ``docs/OBSERVABILITY.md`` documents exactly this table, and
+  ``tests/obs/test_instrumentation.py`` diffs the two — an undocumented
+  metric name fails CI;
+* the same test asserts that instrumented runs emit *only* contract
+  names, so ad-hoc instrumentation cannot creep in unnamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MetricSpec",
+    "SpanSpec",
+    "METRIC_CONTRACT",
+    "SPAN_CONTRACT",
+    "metric_names",
+    "span_names",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One contract row: a metric's identity and provenance."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: tuple[str, ...]
+    emitter: str
+    help: str
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    """One tracing span's identity and provenance."""
+
+    name: str
+    labels: tuple[str, ...]
+    emitter: str
+    help: str
+
+
+# ----------------------------------------------------------------------
+# Metric names (referenced by the instrumented call sites)
+# ----------------------------------------------------------------------
+EXECUTOR_SUBMITTED = "runner.executor.submitted"
+EXECUTOR_MEMO_HITS = "runner.executor.memo_hits"
+EXECUTOR_DEDUPED = "runner.executor.deduped"
+EXECUTOR_EXECUTED = "runner.executor.executed"
+EXECUTOR_MEMO_EVICTIONS = "runner.executor.memo_evictions"
+EXECUTOR_MEMO_SIZE = "runner.executor.memo_size"
+EXECUTOR_DISK_LOADED = "runner.executor.disk_loaded"
+EXECUTOR_CHUNK_JOBS = "runner.executor.chunk_jobs"
+
+AUTO_DISPATCH = "runner.auto.dispatch"
+ANALYTIC_DECIDED = "runner.analytic.decided"
+
+FASTSIM_STEADY_MU = "runner.fastsim.steady_mu"
+FASTSIM_STEADY_LAM = "runner.fastsim.steady_lam"
+FAST_JOBS = "runner.fast.jobs"
+FAST_CLOCKS = "runner.fast.clocks"
+FAST_GRANTS = "runner.fast.grants"
+
+ENGINE_JOBS = "sim.engine.jobs"
+ENGINE_CLOCKS = "sim.engine.clocks"
+ENGINE_STEADY_DETECTIONS = "sim.engine.steady_detections"
+
+#: The full metrics contract, sorted by name.
+METRIC_CONTRACT: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        ANALYTIC_DECIDED, "counter", ("theorem",),
+        "repro.runner.analytic.solve",
+        "Closed-form decisions per certifying theorem "
+        "(t1-single / t2-disjoint / t3-start-resolved).",
+    ),
+    MetricSpec(
+        AUTO_DISPATCH, "counter", ("tier",),
+        "repro.runner.analytic.AutoBackend",
+        "Jobs the auto backend sent to each tier "
+        "(analytic closed form vs. fastsim fallback).",
+    ),
+    MetricSpec(
+        EXECUTOR_CHUNK_JOBS, "histogram", (),
+        "repro.runner.executor.SweepExecutor._execute",
+        "Unique jobs per dispatched batch chunk (inline batches count "
+        "as one chunk).",
+    ),
+    MetricSpec(
+        EXECUTOR_DEDUPED, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Jobs folded onto an isomorphic twin within the same batch.",
+    ),
+    MetricSpec(
+        EXECUTOR_DISK_LOADED, "counter", (),
+        "repro.runner.executor.SweepExecutor.__init__",
+        "Outcomes loaded from the on-disk cache at construction.",
+    ),
+    MetricSpec(
+        EXECUTOR_EXECUTED, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Jobs actually simulated (after dedup and cache hits).",
+    ),
+    MetricSpec(
+        EXECUTOR_MEMO_EVICTIONS, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Least-recently-used entries evicted from the in-process memo.",
+    ),
+    MetricSpec(
+        EXECUTOR_MEMO_HITS, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Jobs served from the in-process memo (disk-loaded entries "
+        "surface here once loaded).",
+    ),
+    MetricSpec(
+        EXECUTOR_MEMO_SIZE, "gauge", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Entries in the in-process memo after the batch.",
+    ),
+    MetricSpec(
+        EXECUTOR_SUBMITTED, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Jobs submitted to run_many/run_one.",
+    ),
+    MetricSpec(
+        FAST_CLOCKS, "counter", ("mode",),
+        "repro.runner.backends.FastBackend",
+        "Clocks the fast backend accounted: steady jobs contribute "
+        "mu + lam, span jobs their fixed horizon.",
+    ),
+    MetricSpec(
+        FAST_GRANTS, "counter", ("mode",),
+        "repro.runner.backends.FastBackend",
+        "Grants the fast backend reported: steady jobs contribute one "
+        "period's grants, span jobs the whole-run total.",
+    ),
+    MetricSpec(
+        FAST_JOBS, "counter", ("mode",),
+        "repro.runner.backends.FastBackend",
+        "Jobs run on the fast backend, split steady vs. fixed-horizon "
+        "span.",
+    ),
+    MetricSpec(
+        FASTSIM_STEADY_LAM, "histogram", (),
+        "repro.runner.fastsim.find_steady_cycle",
+        "Minimal steady-period lengths (Brent lambda) found by the "
+        "cycle detector.",
+    ),
+    MetricSpec(
+        FASTSIM_STEADY_MU, "histogram", (),
+        "repro.runner.fastsim.find_steady_cycle",
+        "Transient lengths (Brent mu) found by the cycle detector.",
+    ),
+    MetricSpec(
+        ENGINE_CLOCKS, "counter", (),
+        "repro.runner.backends.ReferenceBackend",
+        "Clocks simulated by the reference engine through the runner.",
+    ),
+    MetricSpec(
+        ENGINE_JOBS, "counter", (),
+        "repro.runner.backends.ReferenceBackend",
+        "Jobs run on the reference engine through the runner.",
+    ),
+    MetricSpec(
+        ENGINE_STEADY_DETECTIONS, "counter", (),
+        "repro.sim.engine.Engine.run_to_steady_state",
+        "Steady-state detections performed by the reference engine "
+        "(including legacy front ends).",
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Span names
+# ----------------------------------------------------------------------
+SPAN_CLI = "cli.command"
+SPAN_EXECUTOR_RUN_MANY = "executor.run_many"
+SPAN_EXECUTOR_POOL = "executor.pool"
+SPAN_AUTO_RUN_BATCH = "backend.auto.run_batch"
+SPAN_ENGINE_STEADY_DETECT = "engine.steady_detect"
+
+#: The full span contract, sorted by name.
+SPAN_CONTRACT: tuple[SpanSpec, ...] = (
+    SpanSpec(
+        SPAN_AUTO_RUN_BATCH, ("jobs",),
+        "repro.runner.analytic.AutoBackend.run_batch",
+        "One batched tier dispatch through the auto backend.",
+    ),
+    SpanSpec(
+        SPAN_CLI, ("command",),
+        "repro.cli.main",
+        "One repro-mem command dispatch, end to end.",
+    ),
+    SpanSpec(
+        SPAN_ENGINE_STEADY_DETECT, ("start_cycle",),
+        "repro.sim.engine.Engine.run_to_steady_state",
+        "Brent detection phase of a reference-engine steady run "
+        "(the statistics replay is outside the span).",
+    ),
+    SpanSpec(
+        SPAN_EXECUTOR_POOL, ("chunks", "workers"),
+        "repro.runner.executor.SweepExecutor._execute",
+        "One process-pool fan-out over the batch's unique jobs.",
+    ),
+    SpanSpec(
+        SPAN_EXECUTOR_RUN_MANY, ("jobs",),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "One executor batch: dedup, cache lookups, execution.",
+    ),
+)
+
+
+def metric_names() -> frozenset[str]:
+    """Every contract metric name."""
+    return frozenset(spec.name for spec in METRIC_CONTRACT)
+
+
+def span_names() -> frozenset[str]:
+    """Every contract span name."""
+    return frozenset(spec.name for spec in SPAN_CONTRACT)

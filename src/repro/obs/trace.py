@@ -1,0 +1,178 @@
+"""Lightweight tracing spans over a monotonic clock.
+
+This module is the repository's *only* sanctioned clock boundary: the
+OBS001 lint rule forbids monotonic-clock reads anywhere else under
+``repro``, so all wall-time attribution flows through these spans and
+can be switched off centrally.  Durations are integer nanoseconds from
+:func:`time.perf_counter_ns` — monotonic (DET001's wall-clock hazard
+does not apply: span timings never feed simulation results) and exact.
+
+Like the metrics registry, tracing is disabled by default: with no
+active recorder, :func:`span` returns one shared no-op context manager
+— no allocation, two method calls, nothing recorded::
+
+    with span("executor.run_many", jobs=len(jobs)):
+        ...
+
+Enable with :func:`capture_spans` (scoped) or :func:`enable_tracing`.
+Spans record their nesting depth at entry, so a recorder's ``spans``
+list renders as a call tree.  Recorders are per-process: work fanned
+out to pool workers traces in the worker, not the parent.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "span",
+    "active_trace",
+    "enable_tracing",
+    "disable_tracing",
+    "capture_spans",
+]
+
+
+class Span:
+    """One finished (or in-flight) span: name, labels, timing, depth."""
+
+    __slots__ = ("name", "labels", "start_ns", "end_ns", "depth")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        start_ns: int,
+        depth: int,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.start_ns = start_ns
+        self.end_ns: int | None = None
+        self.depth = depth
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds; raises while the span is still open."""
+        if self.end_ns is None:
+            raise ValueError(f"span {self.name!r} has not finished")
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "depth": self.depth,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+
+
+class _LiveSpan:
+    """Context manager recording one span into a recorder."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "TraceRecorder", span_: Span) -> None:
+        self._recorder = recorder
+        self._span = span_
+
+    def __enter__(self) -> Span:
+        rec = self._recorder
+        rec._depth += 1
+        self._span.start_ns = time.perf_counter_ns()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.end_ns = time.perf_counter_ns()
+        self._recorder._depth -= 1
+
+
+class _NullSpan:
+    """The shared do-nothing span used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TraceRecorder:
+    """Collects finished spans, in entry order, with nesting depth."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    def span(self, name: str, **labels: object) -> _LiveSpan:
+        s = Span(
+            name,
+            tuple(sorted((k, str(v)) for k, v in labels.items())),
+            0,
+            self._depth,
+        )
+        self.spans.append(s)
+        return _LiveSpan(self, s)
+
+    def finished(self) -> list[Span]:
+        """Spans that have closed (open spans are skipped, not errors)."""
+        return [s for s in self.spans if s.end_ns is not None]
+
+
+# ----------------------------------------------------------------------
+# The process-wide switch
+# ----------------------------------------------------------------------
+_ACTIVE: TraceRecorder | None = None
+
+
+def active_trace() -> TraceRecorder | None:
+    """The enabled recorder, or ``None`` (the default)."""
+    return _ACTIVE
+
+
+def span(name: str, **labels: object) -> "_LiveSpan | _NullSpan":
+    """A context manager timing one span — a shared no-op when disabled."""
+    rec = _ACTIVE
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, **labels)
+
+
+def enable_tracing(
+    recorder: TraceRecorder | None = None,
+) -> TraceRecorder:
+    """Install ``recorder`` (or a fresh one) as the active recorder."""
+    global _ACTIVE
+    _ACTIVE = recorder if recorder is not None else TraceRecorder()
+    return _ACTIVE
+
+
+def disable_tracing() -> None:
+    """Return to the no-op default."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def capture_spans(
+    recorder: TraceRecorder | None = None,
+) -> Iterator[TraceRecorder]:
+    """Scoped enablement: activate a recorder, restore the old state."""
+    global _ACTIVE
+    prev = _ACTIVE
+    rec = recorder if recorder is not None else TraceRecorder()
+    _ACTIVE = rec
+    try:
+        yield rec
+    finally:
+        _ACTIVE = prev

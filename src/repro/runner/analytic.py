@@ -54,9 +54,19 @@ from math import gcd
 from typing import Sequence
 
 from ..core.arithmetic import lcm
+from ..obs import metrics as _metrics
+from ..obs import names as _names
+from ..obs import trace as _trace
 from .job import SimJob, SimOutcome
 
 __all__ = ["solve", "AnalyticBackend", "AutoBackend"]
+
+
+def _record_decided(theorem: str) -> None:
+    """Count one closed-form decision (no-op unless metrics are on)."""
+    reg = _metrics.active_metrics()
+    if reg is not None:
+        reg.counter(_names.ANALYTIC_DECIDED, theorem=theorem).inc()
 
 #: Rules whose snapshot is constant when arbitrating a single port.
 #: (``block-cyclic`` free-runs a clock counter even with no conflicts.)
@@ -103,7 +113,10 @@ def _solve_single(job: SimJob) -> SimOutcome | None:
         return None
     _, d = job.streams[0]
     mu, lam, r = _single_form(job.banks, job.bank_cycle, d)
-    return _outcome(job, mu, lam, (r,))
+    out = _outcome(job, mu, lam, (r,))
+    if out is not None:
+        _record_decided("t1-single")
+    return out
 
 
 def _solve_pair(job: SimJob) -> SimOutcome | None:
@@ -127,7 +140,10 @@ def _solve_pair(job: SimJob) -> SimOutcome | None:
         mu2, lam2, r2 = _single_form(m, n_c, d2)
         lam = lcm(lam1, lam2)
         grants = ((lam // lam1) * r1, (lam // lam2) * r2)
-        return _outcome(job, max(mu1, mu2), lam, grants)
+        out = _outcome(job, max(mu1, mu2), lam, grants)
+        if out is not None:
+            _record_decided("t2-disjoint")
+        return out
 
     # Conflict-free from these starts: both streams individually
     # full-rate, and no clock skew |j| < n_c ever lands the two streams
@@ -144,7 +160,10 @@ def _solve_pair(job: SimJob) -> SimOutcome | None:
     g = gcd(m, d1 - d2)  # d1 == d2 -> gcd(m, 0) = m
     if all((c + j * d1) % g for j in range(-(n_c - 1), n_c)):
         lam = lcm(r1, r2)
-        return _outcome(job, n_c - 1, lam, (lam, lam))
+        out = _outcome(job, n_c - 1, lam, (lam, lam))
+        if out is not None:
+            _record_decided("t3-start-resolved")
+        return out
 
     # Possible conflicts (barrier or worse): leave to the simulator.
     return None
@@ -196,27 +215,44 @@ class AutoBackend:
 
     def run(self, job: SimJob) -> SimOutcome:
         out = solve(job)
+        reg = _metrics.active_metrics()
         if out is not None:
+            if reg is not None:
+                reg.counter(_names.AUTO_DISPATCH, tier="analytic").inc()
             return out
+        if reg is not None:
+            reg.counter(_names.AUTO_DISPATCH, tier="fastsim").inc()
         from .backends import get_backend
 
         return get_backend("fast").run(job)
 
     def run_batch(self, jobs: Sequence[SimJob]) -> list[SimOutcome]:
         """Solve what the theory decides; batch the rest through fast."""
-        out: list[SimOutcome | None] = []
-        rest: list[int] = []
-        for i, job in enumerate(jobs):
-            o = solve(job)
-            out.append(o)
-            if o is None:
-                rest.append(i)
-        if rest:
-            from .backends import get_backend
+        with _trace.span(_names.SPAN_AUTO_RUN_BATCH, jobs=len(jobs)):
+            out: list[SimOutcome | None] = []
+            rest: list[int] = []
+            for i, job in enumerate(jobs):
+                o = solve(job)
+                out.append(o)
+                if o is None:
+                    rest.append(i)
+            reg = _metrics.active_metrics()
+            if reg is not None:
+                decided = len(jobs) - len(rest)
+                if decided:
+                    reg.counter(
+                        _names.AUTO_DISPATCH, tier="analytic"
+                    ).inc(decided)
+                if rest:
+                    reg.counter(
+                        _names.AUTO_DISPATCH, tier="fastsim"
+                    ).inc(len(rest))
+            if rest:
+                from .backends import get_backend
 
-            fast = get_backend("fast")
-            ran = fast.run_batch([jobs[i] for i in rest])
-            for i, o in zip(rest, ran):
-                out[i] = o
-        assert all(o is not None for o in out)
-        return [o for o in out if o is not None]
+                fast = get_backend("fast")
+                ran = fast.run_batch([jobs[i] for i in rest])
+                for i, o in zip(rest, ran):
+                    out[i] = o
+            assert all(o is not None for o in out)
+            return [o for o in out if o is not None]

@@ -36,6 +36,8 @@ from fractions import Fraction
 from typing import Protocol, Sequence, runtime_checkable
 
 from ..memory.config import MemoryConfig
+from ..obs import metrics as _metrics
+from ..obs import names as _names
 from .analytic import AnalyticBackend, AutoBackend
 from .fastsim import FlatSim, find_steady_cycle
 from .job import SimJob, SimOutcome
@@ -98,6 +100,10 @@ class ReferenceBackend:
             trace=job.trace,
             max_cycles=job.max_cycles,
         )
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            reg.counter(_names.ENGINE_JOBS).inc()
+            reg.counter(_names.ENGINE_CLOCKS).inc(res.cycles)
         if job.steady:
             assert res.steady_bandwidth is not None
             assert res.steady_period is not None
@@ -173,11 +179,16 @@ class FastBackend:
                 "the fast backend keeps no trace; run trace jobs on the "
                 "reference backend"
             )
+        reg = _metrics.active_metrics()
         if not job.steady:
             assert job.cycles is not None
             sim = FlatSim.from_job(job, sect)
             sim.run_span(job.cycles)
             total = sum(sim.grants)
+            if reg is not None:
+                reg.counter(_names.FAST_JOBS, mode="span").inc()
+                reg.counter(_names.FAST_CLOCKS, mode="span").inc(sim.cycle)
+                reg.counter(_names.FAST_GRANTS, mode="span").inc(total)
             return SimOutcome(
                 job=job,
                 backend=self.name,
@@ -192,6 +203,10 @@ class FastBackend:
             lambda: FlatSim.from_job(job, sect), job.max_cycles
         )
         per_port = tuple(g1 - g0 for g0, g1 in zip(grants0, grants1))
+        if reg is not None:
+            reg.counter(_names.FAST_JOBS, mode="steady").inc()
+            reg.counter(_names.FAST_CLOCKS, mode="steady").inc(mu + lam)
+            reg.counter(_names.FAST_GRANTS, mode="steady").inc(sum(per_port))
         return SimOutcome(
             job=job,
             backend=self.name,

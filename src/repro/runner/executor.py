@@ -29,6 +29,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..obs import metrics as _metrics
+from ..obs import names as _names
+from ..obs import trace as _trace
 from .api import run
 from .job import SimJob, SimOutcome
 
@@ -48,6 +51,8 @@ class ExecutorStats:
     deduped: int = 0
     #: jobs actually simulated
     executed: int = 0
+    #: least-recently-used entries dropped from the in-process memo
+    evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -55,7 +60,18 @@ class ExecutorStats:
             "hits": self.hits,
             "deduped": self.deduped,
             "executed": self.executed,
+            "evictions": self.evictions,
         }
+
+
+#: ExecutorStats field -> contract metric name (published as deltas).
+_STAT_METRICS = (
+    ("submitted", _names.EXECUTOR_SUBMITTED),
+    ("hits", _names.EXECUTOR_MEMO_HITS),
+    ("deduped", _names.EXECUTOR_DEDUPED),
+    ("executed", _names.EXECUTOR_EXECUTED),
+    ("evictions", _names.EXECUTOR_MEMO_EVICTIONS),
+)
 
 
 def _execute_payload(args: tuple[SimJob, str | None]) -> dict:
@@ -115,7 +131,11 @@ class SweepExecutor:
         if self._cache_path is not None and self._cache_path.exists():
             data = json.loads(self._cache_path.read_text())
             if data.get("version") == _CACHE_VERSION:
-                self._memo.update(data.get("entries", {}))
+                entries = data.get("entries", {})
+                self._memo.update(entries)
+                reg = _metrics.active_metrics()
+                if reg is not None and entries:
+                    reg.counter(_names.EXECUTOR_DISK_LOADED).inc(len(entries))
 
     # ------------------------------------------------------------------
     def run_one(self, job: SimJob, *, backend: str | None = None) -> SimOutcome:
@@ -134,6 +154,28 @@ class SweepExecutor:
         log, which the cache does not carry).
         """
         jobs = list(jobs)
+        # Observability is off by default: one None check per *batch*,
+        # nothing per job (docs/OBSERVABILITY.md, CI overhead gate).
+        stats0 = (
+            self.stats.as_dict()
+            if _metrics.active_metrics() is not None
+            else None
+        )
+        with _trace.span(_names.SPAN_EXECUTOR_RUN_MANY, jobs=len(jobs)):
+            out = self._run_batch(jobs, backend)
+        reg = _metrics.active_metrics()
+        if reg is not None and stats0 is not None:
+            s1 = self.stats.as_dict()
+            for stat_field, name in _STAT_METRICS:
+                delta = s1[stat_field] - stats0[stat_field]
+                if delta:
+                    reg.counter(name).inc(delta)
+            reg.gauge(_names.EXECUTOR_MEMO_SIZE).set(len(self._memo))
+        return out
+
+    def _run_batch(
+        self, jobs: list[SimJob], backend: str | None
+    ) -> list[SimOutcome]:
         backend = backend if backend is not None else self.backend
         self.stats.submitted += len(jobs)
 
@@ -180,7 +222,10 @@ class SweepExecutor:
         items = list(fresh.items())
         self.stats.executed += len(items)
         unique = [job for _, job in items]
+        reg = _metrics.active_metrics()
         if self.workers == 1 or len(items) == 1:
+            if reg is not None:
+                reg.histogram(_names.EXECUTOR_CHUNK_JOBS).observe(len(unique))
             payloads = _execute_payload_batch((unique, backend))
         else:
             from concurrent.futures import ProcessPoolExecutor
@@ -193,15 +238,24 @@ class SweepExecutor:
             chunks = [
                 unique[i : i + size] for i in range(0, len(unique), size)
             ]
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                payloads = [
-                    payload
-                    for chunk_payloads in pool.map(
-                        _execute_payload_batch,
-                        [(chunk, backend) for chunk in chunks],
-                    )
-                    for payload in chunk_payloads
-                ]
+            if reg is not None:
+                hist = reg.histogram(_names.EXECUTOR_CHUNK_JOBS)
+                for chunk in chunks:
+                    hist.observe(len(chunk))
+            with _trace.span(
+                _names.SPAN_EXECUTOR_POOL,
+                chunks=len(chunks),
+                workers=self.workers,
+            ):
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    payloads = [
+                        payload
+                        for chunk_payloads in pool.map(
+                            _execute_payload_batch,
+                            [(chunk, backend) for chunk in chunks],
+                        )
+                        for payload in chunk_payloads
+                    ]
         ran = {key: payload for (key, _), payload in zip(items, payloads)}
         self._dirty = True
         # LRU eviction, oldest first, *before* inserting: fresh results
@@ -209,9 +263,11 @@ class SweepExecutor:
         room = max(self.max_memo - len(ran), 0)
         while len(self._memo) > room:
             self._memo.pop(next(iter(self._memo)))
+            self.stats.evictions += 1
         self._memo.update(ran)
         while len(self._memo) > self.max_memo:
             self._memo.pop(next(iter(self._memo)))
+            self.stats.evictions += 1
         return ran
 
     # ------------------------------------------------------------------

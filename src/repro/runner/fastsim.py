@@ -27,11 +27,23 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from ..obs import metrics as _metrics
+from ..obs import names as _names
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.priority import PriorityRule
     from .job import SimJob
 
 __all__ = ["FlatSim", "find_steady_cycle"]
+
+
+def _record_steady(mu: int, lam: int) -> None:
+    """Feed the detector's answer to the mu/lam histograms (no-op when
+    metrics are off — one None check per steady job, nothing per clock)."""
+    reg = _metrics.active_metrics()
+    if reg is not None:
+        reg.histogram(_names.FASTSIM_STEADY_MU).observe(mu)
+        reg.histogram(_names.FASTSIM_STEADY_LAM).observe(lam)
 
 #: One full comparable state: positions, priority snapshots, bank
 #: countdowns.  Positions lead because they discriminate fastest.
@@ -625,6 +637,7 @@ def find_steady_cycle(
         mu = _meet_pair(trail, lead, max_cycles - lam)
         if mu < 0:
             raise exhausted()
+        _record_steady(mu, lam)
         return mu, lam, tuple(trail.grants), tuple(lead.grants)
     mu = 0
     while not trail.same_state(lead):
@@ -633,4 +646,5 @@ def find_steady_cycle(
         trail.step()
         lead.step()
         mu += 1
+    _record_steady(mu, lam)
     return mu, lam, tuple(trail.grants), tuple(lead.grants)

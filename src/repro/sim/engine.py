@@ -35,6 +35,9 @@ from ..core.stream import AccessStream
 from ..memory.bank import BankArray
 from ..memory.config import MemoryConfig
 from ..memory.sections import SectionMap, section_map_for
+from ..obs import metrics as _metrics
+from ..obs import names as _names
+from ..obs import trace as _obs_trace
 from .port import Port
 from .priority import PriorityRule, make_priority
 from .stats import ConflictKind, SimStats
@@ -327,12 +330,20 @@ class Engine:
             )
 
         try:
-            mu, lam, _, _ = find_steady_cycle(make, max_cycles - self.cycle)
+            with _obs_trace.span(
+                _names.SPAN_ENGINE_STEADY_DETECT, start_cycle=start_cycle
+            ):
+                mu, lam, _, _ = find_steady_cycle(
+                    make, max_cycles - self.cycle
+                )
         except RuntimeError:
             raise RuntimeError(
                 f"no cyclic state within {max_cycles} cycles "
                 "(state space exhausted the bound)"
             ) from None
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            reg.counter(_names.ENGINE_STEADY_DETECTIONS).inc()
 
         # Replay the detected span on the real engine: contiguous
         # statistics/trace, and ``self.cycle`` ends at transient+period

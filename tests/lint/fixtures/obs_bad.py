@@ -1,0 +1,18 @@
+"""OBS001 fixture: ad-hoc monotonic-clock reads outside repro.obs.trace."""
+
+import time
+from time import perf_counter_ns
+
+
+def naive_timing(fn):
+    start = time.perf_counter()  # line 8: flagged
+    fn()
+    return time.perf_counter() - start  # line 10: flagged
+
+
+def nanosecond_stamp():
+    return perf_counter_ns()  # line 14: flagged (from-import resolves)
+
+
+def cpu_budget():
+    return time.process_time()  # line 18: flagged

@@ -1,0 +1,12 @@
+"""OBS001 fixture: timing rides the sanctioned span boundary."""
+
+from repro.obs import trace
+
+
+def timed_sweep(jobs):
+    with trace.span("executor.run_many", jobs=len(jobs)):
+        return [job for job in jobs]
+
+
+def stamped(recorder):
+    return [s.duration_ns for s in recorder.finished()]

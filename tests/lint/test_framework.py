@@ -13,7 +13,9 @@ from repro.lint import (
 )
 from repro.lint.framework import PARSE_ERROR_CODE, Suppressions
 
-EXPECTED_CODES = {"API001", "DET001", "EXACT001", "FROZEN001", "LAYER001"}
+EXPECTED_CODES = {
+    "API001", "DET001", "EXACT001", "FROZEN001", "LAYER001", "OBS001",
+}
 
 
 class TestRegistry:

@@ -17,12 +17,14 @@ BAD = [
     ("det_bad.py", "DET001", 7),
     ("layer_bad.py", "LAYER001", 3),
     ("frozen_bad.py", "FROZEN001", 2),
+    ("obs_bad.py", "OBS001", 4),
 ]
 CLEAN = [
     ("exact_clean.py", "EXACT001"),
     ("det_clean.py", "DET001"),
     ("layer_clean.py", "LAYER001"),
     ("frozen_clean.py", "FROZEN001"),
+    ("obs_clean.py", "OBS001"),
 ]
 
 

@@ -1,0 +1,124 @@
+"""Exporters: text / JSON / Prometheus rendering of a seeded registry."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    capture_spans,
+    load_json,
+    render_json,
+    render_prometheus,
+    render_spans,
+    span,
+)
+
+
+def seeded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("runner.auto.dispatch", tier="analytic").inc(7)
+    reg.counter("runner.auto.dispatch", tier="fastsim").inc(3)
+    reg.gauge("runner.executor.memo_size").set(42)
+    h = reg.histogram("runner.fastsim.steady_lam", buckets=(2, 8))
+    h.observe(1)
+    h.observe(5)
+    h.observe(100)
+    return reg
+
+
+class TestText:
+    def test_one_line_per_series(self):
+        from repro.obs import render_text
+
+        text = render_text(seeded_registry())
+        assert "runner.auto.dispatch{tier=analytic}" in text
+        assert "runner.auto.dispatch{tier=fastsim}" in text
+        assert "runner.executor.memo_size" in text
+        # exact sum/count mean, never a float
+        assert "count=3 sum=106 mean=106/3" in text
+
+    def test_empty_registry(self):
+        from repro.obs import render_text
+
+        assert render_text(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestJson:
+    def test_roundtrip_equality(self):
+        reg = seeded_registry()
+        back = load_json(render_json(reg))
+        assert back.snapshot() == reg.snapshot()
+
+    def test_document_shape(self):
+        doc = json.loads(render_json(seeded_registry()))
+        assert doc["version"] == 1
+        kinds = {m["kind"] for m in doc["metrics"]}
+        assert kinds == {"counter", "gauge", "histogram"}
+        # every value in the document is an exact int, never a float
+        def ints_only(obj):
+            if isinstance(obj, bool):
+                raise AssertionError("bool in snapshot")
+            if isinstance(obj, float):
+                raise AssertionError(f"float {obj!r} in snapshot")
+            if isinstance(obj, dict):
+                for v in obj.values():
+                    ints_only(v)
+            elif isinstance(obj, list):
+                for v in obj:
+                    ints_only(v)
+        ints_only(doc)
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = render_prometheus(seeded_registry())
+        lines = text.splitlines()
+        assert "# TYPE runner_auto_dispatch counter" in lines
+        assert 'runner_auto_dispatch{tier="analytic"} 7' in lines
+        assert 'runner_auto_dispatch{tier="fastsim"} 3' in lines
+        assert "# TYPE runner_executor_memo_size gauge" in lines
+        assert "runner_executor_memo_size 42" in lines
+        assert "# TYPE runner_fastsim_steady_lam histogram" in lines
+        # cumulative le-buckets with an +Inf overflow series
+        assert 'runner_fastsim_steady_lam_bucket{le="2"} 1' in lines
+        assert 'runner_fastsim_steady_lam_bucket{le="8"} 2' in lines
+        assert 'runner_fastsim_steady_lam_bucket{le="+Inf"} 3' in lines
+        assert "runner_fastsim_steady_lam_sum 106" in lines
+        assert "runner_fastsim_steady_lam_count 3" in lines
+
+    def test_type_header_emitted_once_per_family(self):
+        text = render_prometheus(seeded_registry())
+        assert text.count("# TYPE runner_auto_dispatch counter") == 1
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestSpans:
+    def test_tree_rendering(self):
+        with capture_spans() as rec:
+            with span("outer", jobs=2):
+                with span("inner"):
+                    pass
+        text = render_spans(rec)
+        lines = text.splitlines()
+        assert lines[0] == "span trace"
+        outer = next(ln for ln in lines if ln.startswith("outer"))
+        inner = next(ln for ln in lines if ln.lstrip().startswith("inner"))
+        assert "outer{jobs=2}" in outer
+        assert inner.startswith("  ")  # indented one level
+        assert "ms" in outer and "ms" in inner
+
+    def test_empty_recorder(self):
+        from repro.obs import TraceRecorder
+
+        assert render_spans(TraceRecorder()) == "(no spans recorded)"
+
+    def test_duration_formatting_is_integer_math(self):
+        from repro.obs.export import _format_ns
+
+        assert _format_ns(0) == "0.000 ms"
+        assert _format_ns(1_234_567) == "1.234 ms"
+        assert _format_ns(999) == "0.000 ms"
+        assert _format_ns(12_000_000_000) == "12000.000 ms"

@@ -1,0 +1,157 @@
+"""MetricsRegistry semantics: instruments, identity, snapshots, switch."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    capture_metrics,
+    disable_metrics,
+    enable_metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_default_buckets_are_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert DEFAULT_BUCKETS[-1] == 1 << 20
+        assert all(b == 1 << i for i, b in enumerate(DEFAULT_BUCKETS))
+
+    def test_observation_lands_in_first_covering_bucket(self):
+        h = Histogram("x", buckets=(2, 4, 8))
+        for v in (1, 2, 3, 8, 9):
+            h.observe(v)
+        assert h.counts == [2, 1, 1, 1]  # <=2, <=4, <=8, overflow
+        assert h.count == 5
+        assert h.sum == 23
+
+    def test_exact_mean_as_fraction(self):
+        h = Histogram("x", buckets=(10,))
+        h.observe(1)
+        h.observe(2)
+        assert Fraction(h.sum, h.count) == Fraction(3, 2)
+
+    def test_cumulative_counts(self):
+        h = Histogram("x", buckets=(2, 4))
+        for v in (1, 3, 100):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 2, 3]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("x", buckets=(4, 2))
+
+    def test_rejects_duplicate_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("x", buckets=(2, 2))
+
+    def test_rejects_non_integer_bounds(self):
+        with pytest.raises(TypeError, match="exact integers"):
+            Histogram("x", buckets=(1, 2.5))
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("x", buckets=())
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", tier="x") is reg.counter("a", tier="x")
+        assert reg.counter("a", tier="x") is not reg.counter("a", tier="y")
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", p=1, q=2) is reg.counter("a", q=2, p=1)
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("a")
+
+    def test_collect_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a", z="2")
+        reg.counter("a", z="1")
+        idents = [(m.name, m.labels) for m in reg.collect()]
+        assert idents == sorted(idents)
+
+    def test_get_and_len(self):
+        reg = MetricsRegistry()
+        assert reg.get("a") is None
+        c = reg.counter("a")
+        assert reg.get("a") is c
+        assert len(reg) == 1
+
+    def test_snapshot_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", tier="fast").inc(3)
+        reg.gauge("memo").set(7)
+        h = reg.histogram("lam", buckets=(2, 8))
+        h.observe(1)
+        h.observe(100)
+        back = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert back.snapshot() == reg.snapshot()
+        hist = back.get("lam")
+        assert isinstance(hist, Histogram)
+        assert hist.counts == [1, 0, 1]
+        assert hist.sum == 101
+
+    def test_snapshot_version_guard(self):
+        with pytest.raises(ValueError, match="version"):
+            MetricsRegistry.from_snapshot({"version": 99, "metrics": []})
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert active_metrics() is None
+
+    def test_enable_disable(self):
+        try:
+            reg = enable_metrics()
+            assert active_metrics() is reg
+        finally:
+            disable_metrics()
+        assert active_metrics() is None
+
+    def test_capture_restores_previous_state(self):
+        outer = MetricsRegistry()
+        with capture_metrics(outer):
+            with capture_metrics() as inner:
+                assert active_metrics() is inner
+                assert inner is not outer
+            assert active_metrics() is outer
+        assert active_metrics() is None

@@ -1,0 +1,87 @@
+"""Tracing spans: the null-span fast path, nesting, recorder semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    TraceRecorder,
+    active_trace,
+    capture_spans,
+    disable_tracing,
+    enable_tracing,
+    span,
+)
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert active_trace() is None
+
+    def test_span_returns_the_shared_null_singleton(self):
+        # No allocation when tracing is off: every call hands back the
+        # same do-nothing context manager.
+        a = span("anything", jobs=3)
+        b = span("other")
+        assert a is b is _NULL_SPAN
+        with a:
+            pass  # must be usable
+
+
+class TestRecording:
+    def test_spans_record_name_labels_and_timing(self):
+        with capture_spans() as rec:
+            with span("executor.run_many", jobs=4):
+                pass
+        (s,) = rec.finished()
+        assert s.name == "executor.run_many"
+        assert s.labels == (("jobs", "4"),)
+        assert s.duration_ns >= 0
+        assert s.depth == 0
+
+    def test_nesting_depth(self):
+        with capture_spans() as rec:
+            with span("outer"):
+                with span("inner"):
+                    pass
+            with span("second"):
+                pass
+        depths = {s.name: s.depth for s in rec.finished()}
+        assert depths == {"outer": 0, "inner": 1, "second": 0}
+
+    def test_open_span_raises_on_duration_and_is_not_finished(self):
+        rec = TraceRecorder()
+        live = rec.span("open")
+        live.__enter__()
+        assert rec.finished() == []
+        with pytest.raises(ValueError, match="not finished"):
+            rec.spans[0].duration_ns
+        live.__exit__(None, None, None)
+        assert len(rec.finished()) == 1
+
+    def test_as_dict(self):
+        with capture_spans() as rec:
+            with span("x", a=1):
+                pass
+        d = rec.finished()[0].as_dict()
+        assert d["name"] == "x"
+        assert d["labels"] == {"a": "1"}
+        assert d["depth"] == 0
+        assert d["duration_ns"] >= 0
+
+    def test_enable_disable(self):
+        try:
+            rec = enable_tracing()
+            assert active_trace() is rec
+        finally:
+            disable_tracing()
+        assert active_trace() is None
+
+    def test_capture_restores_previous_state(self):
+        outer = TraceRecorder()
+        with capture_spans(outer):
+            with capture_spans() as inner:
+                assert active_trace() is inner
+            assert active_trace() is outer
+        assert active_trace() is None

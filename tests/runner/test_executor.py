@@ -135,6 +135,32 @@ class TestLruMemo:
         assert len(ex) == 1
 
 
+class TestStats:
+    def test_as_dict_carries_every_counter(self):
+        ex = SweepExecutor(max_memo=3)
+        ex.run_many(jobs_for_offsets(CFG, 1, 7, range(12)))
+        d = ex.stats.as_dict()
+        assert set(d) == {
+            "submitted", "hits", "deduped", "executed", "evictions",
+        }
+        assert d["submitted"] == 12
+        assert d["evictions"] == ex.stats.evictions
+
+    def test_evictions_counted(self):
+        ex = SweepExecutor(max_memo=3)
+        ex.run_many(jobs_for_offsets(CFG, 1, 7, range(12)))
+        unique = ex.stats.executed
+        assert unique > 3
+        assert ex.stats.evictions == unique - 3
+        assert len(ex) == 3
+
+    def test_no_evictions_below_bound(self):
+        ex = SweepExecutor()
+        ex.run_many(jobs_for_offsets(CFG, 1, 7, range(12)))
+        assert ex.stats.evictions == 0
+        assert ex.stats.as_dict()["evictions"] == 0
+
+
 class TestWorkersAndModes:
     def test_parallel_matches_inline(self):
         jobs = jobs_for_offsets(FIG2_CONFIG, 1, 7, range(12))

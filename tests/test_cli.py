@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.cli import _parse_range, _parse_stream, build_parser, main
@@ -160,6 +162,63 @@ class TestCensus:
         assert rc == 0
         assert "conflict-free" in out
         assert "120 pairs" in out
+
+
+class TestObservability:
+    def test_observed_census_with_metrics_report(self, capsys):
+        rc = main(["census", "-m", "12", "-c", "3", "--observed",
+                   "--metrics"])
+        cap = capsys.readouterr()
+        assert rc == 0
+        assert "Observed regime census" in cap.out
+        assert "start-resolved runs" in cap.out
+        assert "metrics report" in cap.out
+        # live cache-hit and tier-dispatch counters must be nonzero
+        hits = re.search(r"runner\.executor\.memo_hits\s+counter\s+(\d+)",
+                         cap.out)
+        assert hits is not None and int(hits.group(1)) > 0
+        dispatch = re.search(
+            r"runner\.auto\.dispatch\{tier=\w+\}\s+counter\s+(\d+)",
+            cap.out,
+        )
+        assert dispatch is not None and int(dispatch.group(1)) > 0
+
+    def test_metrics_json_file(self, tmp_path, capsys):
+        from repro.obs import load_json
+
+        dest = tmp_path / "metrics.json"
+        rc = main(["census", "-m", "8", "-c", "2", "--observed",
+                   f"--metrics={dest}"])
+        cap = capsys.readouterr()
+        assert rc == 0
+        assert f"metrics written to {dest}" in cap.err
+        reg = load_json(dest.read_text())
+        counter = reg.get("runner.executor.submitted")
+        assert counter is not None and counter.value > 0
+
+    def test_metrics_prometheus_file(self, tmp_path, capsys):
+        dest = tmp_path / "metrics.prom"
+        rc = main(["census", "-m", "8", "-c", "2", "--observed",
+                   f"--metrics={dest}"])
+        capsys.readouterr()
+        assert rc == 0
+        text = dest.read_text()
+        assert "# TYPE runner_executor_submitted counter" in text
+
+    def test_trace_spans_output(self, capsys):
+        rc = main(["simulate", "-m", "8", "-c", "2", "--stream", "0:1",
+                   "--stream", "1:3", "--trace-spans"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "span trace" in out
+        assert "cli.command{command=simulate}" in out
+
+    def test_plain_commands_stay_silent(self, capsys):
+        rc = main(["census", "-m", "8", "-c", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "metrics report" not in out
+        assert "span trace" not in out
 
 
 class TestDuel:
