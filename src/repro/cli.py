@@ -25,6 +25,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import RetryPolicy
 
 from .analysis.atlas import stride_atlas
 from .analysis.report import fraction_str, triad_report
@@ -88,6 +92,20 @@ def _add_runner_args(
     if jobs:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the sweep (default 1)")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="enable fault-tolerant execution: retry each "
+                        "failing chunk up to N times, then bisect to "
+                        "isolate the poisoned job (docs/RUNNER.md, "
+                        "Failure semantics)")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="declare a pool chunk lost after SECONDS and "
+                        "retry it (implies --retries; pool execution "
+                        "only)")
+    p.add_argument("--strict-failures", action="store_true",
+                   help="exit non-zero if any job still fails after "
+                        "retries, instead of reporting FailedOutcome "
+                        "stand-ins")
 
 
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
@@ -99,6 +117,27 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                         "text report, PATH writes .json / .prom / text")
     p.add_argument("--trace-spans", action="store_true",
                    help="time the pipeline's phases and print the span tree")
+
+
+def _retry_policy(args: argparse.Namespace) -> "RetryPolicy | None":
+    """Build the executor retry policy from the CLI switches.
+
+    Returns ``None`` (historical fail-fast semantics) unless at least
+    one of ``--retries`` / ``--chunk-timeout`` / ``--strict-failures``
+    was given.
+    """
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "chunk_timeout", None)
+    strict = bool(getattr(args, "strict_failures", False))
+    if retries is None and timeout is None and not strict:
+        return None
+    from .runner import RetryPolicy
+
+    return RetryPolicy(
+        max_retries=retries if retries is not None else 2,
+        chunk_timeout=timeout,
+        strict=strict,
+    )
 
 
 def _memory(args: argparse.Namespace) -> MemoryConfig:
@@ -250,7 +289,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                             show_sections=cfg.sectioned,
                             show_priority=args.show_priority))
         print()
-    from .runner import SimJob, run
+    from .runner import SimJob, SweepExecutor, run
 
     job = SimJob.from_specs(
         cfg,
@@ -258,7 +297,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cpus=cpus,
         priority=args.priority,
     )
-    out = run(job, backend=args.backend)
+    policy = _retry_policy(args)
+    if policy is not None:
+        with SweepExecutor(backend=args.backend, retry=policy) as ex:
+            out = ex.run_one(job)
+        if getattr(out, "failed", False):
+            print(f"error: {out.describe()}", file=sys.stderr)
+            return 1
+    else:
+        out = run(job, backend=args.backend)
     print(f"memory: {cfg.describe()}; priority: {args.priority}")
     print(f"steady b_eff = {fraction_str(out.bandwidth)} "
           f"(period {out.period} clocks, grants {out.grants})")
@@ -299,7 +346,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .viz.profile import render_histogram, render_profile
 
     cfg = _memory(args)
-    with SweepExecutor(backend=args.backend, workers=args.jobs) as ex:
+    with SweepExecutor(
+        backend=args.backend, workers=args.jobs,
+        retry=_retry_policy(args),
+    ) as ex:
         prof = start_space_profile(
             cfg, args.d1, args.d2,
             same_cpu=args.same_cpu, priority=args.priority,
@@ -350,7 +400,8 @@ def _census_observed(cfg: MemoryConfig, args: argparse.Namespace) -> int:
     # The observed census runs on the plain (unsectioned) shape.
     flat = MemoryConfig(banks=cfg.banks, bank_cycle=cfg.bank_cycle)
     with SweepExecutor(
-        backend=args.backend or "auto", workers=args.jobs
+        backend=args.backend or "auto", workers=args.jobs,
+        retry=_retry_policy(args),
     ) as ex:
         counts = observed_regime_census(
             cfg.banks, cfg.bank_cycle, executor=ex
@@ -481,9 +532,19 @@ def _run_command(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    from .runner import FailedJobError, SweepFailureError
+
     args = build_parser().parse_args(argv)
     try:
         return _run_command(args)
+    except SweepFailureError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for failure in exc.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        return 1
+    except FailedJobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -59,6 +59,12 @@ EXECUTOR_MEMO_EVICTIONS = "runner.executor.memo_evictions"
 EXECUTOR_MEMO_SIZE = "runner.executor.memo_size"
 EXECUTOR_DISK_LOADED = "runner.executor.disk_loaded"
 EXECUTOR_CHUNK_JOBS = "runner.executor.chunk_jobs"
+EXECUTOR_RETRIES = "runner.executor.retries"
+EXECUTOR_FAILURES = "runner.executor.failures"
+EXECUTOR_RECOVERED = "runner.executor.recovered"
+EXECUTOR_POOL_REBUILDS = "runner.executor.pool_rebuilds"
+EXECUTOR_AUTOFLUSHES = "runner.executor.autoflushes"
+EXECUTOR_CACHE_QUARANTINED = "runner.executor.cache_quarantined"
 
 AUTO_DISPATCH = "runner.auto.dispatch"
 ANALYTIC_DECIDED = "runner.analytic.decided"
@@ -88,6 +94,18 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         "(analytic closed form vs. fastsim fallback).",
     ),
     MetricSpec(
+        EXECUTOR_AUTOFLUSHES, "counter", (),
+        "repro.runner.executor.SweepExecutor._finish_chunk",
+        "Periodic crash-safety flushes of the on-disk cache (every "
+        "flush_every executed chunks).",
+    ),
+    MetricSpec(
+        EXECUTOR_CACHE_QUARANTINED, "counter", (),
+        "repro.runner.executor.SweepExecutor._quarantine",
+        "Corrupt/version-mismatched on-disk cache files moved aside to "
+        "<path>.corrupt.",
+    ),
+    MetricSpec(
         EXECUTOR_CHUNK_JOBS, "histogram", (),
         "repro.runner.executor.SweepExecutor._execute",
         "Unique jobs per dispatched batch chunk (inline batches count "
@@ -109,6 +127,12 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         "Jobs actually simulated (after dedup and cache hits).",
     ),
     MetricSpec(
+        EXECUTOR_FAILURES, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Jobs that still failed after retries and bisection isolation "
+        "(one FailedOutcome each).",
+    ),
+    MetricSpec(
         EXECUTOR_MEMO_EVICTIONS, "counter", (),
         "repro.runner.executor.SweepExecutor.run_many",
         "Least-recently-used entries evicted from the in-process memo.",
@@ -123,6 +147,24 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         EXECUTOR_MEMO_SIZE, "gauge", (),
         "repro.runner.executor.SweepExecutor.run_many",
         "Entries in the in-process memo after the batch.",
+    ),
+    MetricSpec(
+        EXECUTOR_POOL_REBUILDS, "counter", (),
+        "repro.runner.executor.SweepExecutor._execute_pooled",
+        "Broken or timed-out process pools torn down and rebuilt "
+        "mid-batch.",
+    ),
+    MetricSpec(
+        EXECUTOR_RECOVERED, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Jobs that succeeded only after at least one failed dispatch "
+        "(retry, pool rebuild, or bisection).",
+    ),
+    MetricSpec(
+        EXECUTOR_RETRIES, "counter", (),
+        "repro.runner.executor.SweepExecutor.run_many",
+        "Chunk re-dispatches after a failure (retries and bisected "
+        "halves).",
     ),
     MetricSpec(
         EXECUTOR_SUBMITTED, "counter", (),
@@ -182,6 +224,7 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
 SPAN_CLI = "cli.command"
 SPAN_EXECUTOR_RUN_MANY = "executor.run_many"
 SPAN_EXECUTOR_POOL = "executor.pool"
+SPAN_EXECUTOR_RECOVERY = "executor.recovery"
 SPAN_AUTO_RUN_BATCH = "backend.auto.run_batch"
 SPAN_ENGINE_STEADY_DETECT = "engine.steady_detect"
 
@@ -207,6 +250,12 @@ SPAN_CONTRACT: tuple[SpanSpec, ...] = (
         SPAN_EXECUTOR_POOL, ("chunks", "workers"),
         "repro.runner.executor.SweepExecutor._execute",
         "One process-pool fan-out over the batch's unique jobs.",
+    ),
+    SpanSpec(
+        SPAN_EXECUTOR_RECOVERY, ("jobs", "attempt"),
+        "repro.runner.executor.SweepExecutor._dispatch_inline",
+        "One inline re-dispatch of previously failed work (retry or "
+        "bisected half); emitted only on the failure path.",
     ),
     SpanSpec(
         SPAN_EXECUTOR_RUN_MANY, ("jobs",),

@@ -18,8 +18,17 @@ Every simulation in the repository flows through three layers:
     ``REPRO_SIM_BACKEND`` environment variable.
 ``executor``
     :class:`SweepExecutor` — deduplicates isomorphic jobs, memoizes
-    outcomes in an LRU in-process cache and an on-disk JSON cache, and
-    fans out batched chunks over ``concurrent.futures`` workers.
+    outcomes in an LRU in-process cache and a crash-safe on-disk JSON
+    cache (quarantine-on-corruption, merge-on-flush, periodic
+    auto-flush), and fans out batched chunks over
+    ``concurrent.futures`` workers.
+``resilience``
+    :class:`RetryPolicy` — fault-tolerant sweep execution: bounded
+    retries on a deterministic backoff schedule, pool rebuilds on
+    ``BrokenProcessPool``/timeout, bisection isolation of poisoned
+    jobs (surfaced as :class:`FailedOutcome` or, strictly, as
+    :class:`SweepFailureError`), and graceful degradation to inline
+    execution.
 
 The historical front ends (:func:`repro.sim.pairs.simulate_pair`,
 :func:`repro.sim.multi.simulate_multi`, the statespace detector) are
@@ -41,6 +50,12 @@ from .backends import (
 )
 from .executor import ExecutorStats, SweepExecutor, default_executor
 from .job import SimJob, SimOutcome, jobs_for_offsets
+from .resilience import (
+    FailedJobError,
+    FailedOutcome,
+    RetryPolicy,
+    SweepFailureError,
+)
 from .regime import (
     ObservedRegime,
     full_rate_streams,
@@ -53,13 +68,17 @@ __all__ = [
     "AutoBackend",
     "BACKEND_ENV_VAR",
     "ExecutorStats",
+    "FailedJobError",
+    "FailedOutcome",
     "FastBackend",
     "ObservedRegime",
     "ReferenceBackend",
+    "RetryPolicy",
     "SimBackend",
     "SimJob",
     "SimOutcome",
     "SweepExecutor",
+    "SweepFailureError",
     "available_backends",
     "default_executor",
     "full_rate_streams",

@@ -10,11 +10,22 @@ gives them one shared engine room:
   once;
 * **memoization** — outcomes cache in-process and, optionally, in an
   on-disk JSON file keyed by the canonical job hash (exact ``Fraction``
-  values survive the round trip);
+  values survive the round trip).  The disk cache is crash-safe:
+  corrupt/truncated/version-mismatched files are quarantined to
+  ``<path>.corrupt`` instead of raising, flushes *merge* with the
+  entries already on disk (LRU eviction never deletes persisted
+  results), and with a cache path configured the executor auto-flushes
+  every ``flush_every`` executed chunks, so a killed process loses at
+  most one chunk of work;
 * **fan-out** — with ``workers > 1`` unique jobs spread over a
   ``concurrent.futures`` process pool in per-worker chunks, one
   :meth:`~repro.runner.backends.SimBackend.run_batch` call (and one
-  pickle round trip) per chunk.
+  pickle round trip) per chunk;
+* **fault tolerance** — with a :class:`~repro.runner.resilience.
+  RetryPolicy` attached, crashed pools are rebuilt, failed or timed-out
+  chunks retried on a deterministic backoff schedule and bisected to
+  isolate poisoned jobs, and a repeatedly dying pool degrades to inline
+  execution; see docs/RUNNER.md "Failure semantics".
 
 Outcomes returned by the executor never carry the engine-level
 ``result`` object (stats/trace); use :func:`repro.runner.api.run`
@@ -25,15 +36,23 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, cast
 
 from ..obs import metrics as _metrics
 from ..obs import names as _names
 from ..obs import trace as _trace
 from .api import run
 from .job import SimJob, SimOutcome
+from .resilience import (
+    FailedOutcome,
+    RetryPolicy,
+    SweepFailureError,
+    chaos_crash_point,
+    sleep_ms,
+)
 
 __all__ = ["ExecutorStats", "SweepExecutor", "default_executor"]
 
@@ -53,6 +72,12 @@ class ExecutorStats:
     executed: int = 0
     #: least-recently-used entries dropped from the in-process memo
     evictions: int = 0
+    #: chunk re-dispatches after a failure (retries and bisected halves)
+    retries: int = 0
+    #: jobs that still failed once isolated (one FailedOutcome each)
+    failures: int = 0
+    #: jobs that succeeded only after at least one failed dispatch
+    recovered: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -61,6 +86,9 @@ class ExecutorStats:
             "deduped": self.deduped,
             "executed": self.executed,
             "evictions": self.evictions,
+            "retries": self.retries,
+            "failures": self.failures,
+            "recovered": self.recovered,
         }
 
 
@@ -71,7 +99,26 @@ _STAT_METRICS = (
     ("deduped", _names.EXECUTOR_DEDUPED),
     ("executed", _names.EXECUTOR_EXECUTED),
     ("evictions", _names.EXECUTOR_MEMO_EVICTIONS),
+    ("retries", _names.EXECUTOR_RETRIES),
+    ("failures", _names.EXECUTOR_FAILURES),
+    ("recovered", _names.EXECUTOR_RECOVERED),
 )
+
+#: One unit of dispatchable work: a chunk of (cache_key, job) pairs.
+_Chunk = list[tuple[str, SimJob]]
+
+
+@dataclass
+class _ChunkTask:
+    """One chunk's dispatch state while a batch is being recovered."""
+
+    chunk: _Chunk
+    #: dispatches of this exact chunk so far (0 = not yet dispatched)
+    attempt: int = 0
+    #: True once any dispatch covering these jobs has failed
+    troubled: bool = False
+    #: last failure description (becomes FailedOutcome.error)
+    error: str = ""
 
 
 def _execute_payload(args: tuple[SimJob, str | None]) -> dict:
@@ -88,6 +135,7 @@ def _execute_payload_batch(
     jobs, backend = args
     from .backends import resolve_backend
 
+    chaos_crash_point(jobs)
     return [o.to_payload() for o in resolve_backend(backend).run_batch(jobs)]
 
 
@@ -102,11 +150,24 @@ class SweepExecutor:
     workers:
         Process count for fan-out; ``1`` (default) runs inline.
     cache_path:
-        Optional JSON file for the on-disk outcome cache.  Loaded lazily
-        at construction, written by :meth:`flush` (or on context exit).
+        Optional JSON file for the on-disk outcome cache.  Loaded at
+        construction (corrupt files are quarantined, never fatal),
+        written by :meth:`flush` (or on context exit) and auto-flushed
+        every ``flush_every`` executed chunks.
     max_memo:
         Bound on the in-process cache; least-recently-used entries are
-        evicted first (a hit refreshes recency).
+        evicted first (a hit refreshes recency).  Eviction never
+        removes entries already persisted on disk.
+    retry:
+        Optional :class:`~repro.runner.resilience.RetryPolicy` enabling
+        fault-tolerant execution (retries, pool recovery, bisection
+        isolation, inline degradation).  ``None`` (default) keeps the
+        historical fail-fast behaviour: the first backend/pool error
+        propagates.
+    flush_every:
+        With a ``cache_path``, flush the cache after this many executed
+        chunks (default 1: a killed process loses at most one chunk of
+        results).  ``None`` disables auto-flush.
     """
 
     def __init__(
@@ -114,27 +175,33 @@ class SweepExecutor:
         *,
         backend: str | None = None,
         workers: int = 1,
-        cache_path: str | os.PathLike | None = None,
+        cache_path: str | os.PathLike[str] | None = None,
         max_memo: int = 200_000,
+        retry: RetryPolicy | None = None,
+        flush_every: int | None = 1,
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
         if max_memo < 1:
             raise ValueError("max_memo must be positive")
+        if flush_every is not None and flush_every < 1:
+            raise ValueError("flush_every must be positive (or None)")
         self.backend = backend
         self.workers = workers
         self.max_memo = max_memo
+        self.retry = retry
+        self.flush_every = flush_every
         self.stats = ExecutorStats()
         self._memo: dict[str, dict] = {}
         self._cache_path = Path(cache_path) if cache_path is not None else None
         self._dirty = False
-        if self._cache_path is not None and self._cache_path.exists():
-            data = json.loads(self._cache_path.read_text())
-            if data.get("version") == _CACHE_VERSION:
-                entries = data.get("entries", {})
+        self._chunks_since_flush = 0
+        if self._cache_path is not None:
+            entries = self._read_disk_entries()
+            if entries:
                 self._memo.update(entries)
                 reg = _metrics.active_metrics()
-                if reg is not None and entries:
+                if reg is not None:
                     reg.counter(_names.EXECUTOR_DISK_LOADED).inc(len(entries))
 
     # ------------------------------------------------------------------
@@ -152,6 +219,12 @@ class SweepExecutor:
 
         Trace jobs bypass the cache entirely (their value is the event
         log, which the cache does not carry).
+
+        With a non-strict :class:`RetryPolicy` attached, jobs that
+        still fail after retries and bisection isolation come back as
+        :class:`~repro.runner.resilience.FailedOutcome` stand-ins (check
+        ``outcome.failed``); under a strict policy the batch raises
+        :class:`~repro.runner.resilience.SweepFailureError` instead.
         """
         jobs = list(jobs)
         # Observability is off by default: one None check per *batch*,
@@ -203,88 +276,390 @@ class SweepExecutor:
             else:
                 fresh[key] = job
 
-        ran = self._execute(fresh, backend) if fresh else {}
+        ran, failed = self._execute(fresh, backend) if fresh else ({}, {})
 
         out: list[SimOutcome] = []
         for job, key in zip(jobs, keys):
             if key is None:
                 self.stats.executed += 1
                 out.append(run(job, backend=backend))
+                continue
+            # Explicit membership checks: a falsy-but-present payload
+            # must resolve from its actual source, never fall through.
+            if key in failed:
+                out.append(cast(SimOutcome, replace(failed[key], job=job)))
+            elif key in ran:
+                out.append(SimOutcome.from_payload(job, ran[key]))
+            elif key in held:
+                out.append(SimOutcome.from_payload(job, held[key]))
             else:
-                payload = ran.get(key) or held.get(key) or self._memo[key]
-                out.append(SimOutcome.from_payload(job, payload))
+                out.append(SimOutcome.from_payload(job, self._memo[key]))
         return out
 
     # ------------------------------------------------------------------
+    # Execution: chunking, fan-out, failure recovery
+    # ------------------------------------------------------------------
     def _execute(
         self, fresh: dict[str, SimJob], backend: str | None
-    ) -> dict[str, dict]:
+    ) -> tuple[dict[str, dict], dict[str, FailedOutcome]]:
+        """Run every fresh job, returning payloads and isolated failures."""
         items = list(fresh.items())
         self.stats.executed += len(items)
-        unique = [job for _, job in items]
-        reg = _metrics.active_metrics()
-        if self.workers == 1 or len(items) == 1:
-            if reg is not None:
-                reg.histogram(_names.EXECUTOR_CHUNK_JOBS).observe(len(unique))
-            payloads = _execute_payload_batch((unique, backend))
-        else:
-            from concurrent.futures import ProcessPoolExecutor
-
+        pooled = self.workers > 1 and len(items) > 1
+        if pooled:
             # One batch per worker chunk: ceil division so the tail jobs
             # are spread over the chunks instead of dangling one by one
             # (the old floor division degenerated to chunks of a single
             # job for batches smaller than 4 x workers).
-            size = -(-len(unique) // (4 * self.workers))
-            chunks = [
-                unique[i : i + size] for i in range(0, len(unique), size)
-            ]
-            if reg is not None:
-                hist = reg.histogram(_names.EXECUTOR_CHUNK_JOBS)
-                for chunk in chunks:
-                    hist.observe(len(chunk))
-            with _trace.span(
-                _names.SPAN_EXECUTOR_POOL,
-                chunks=len(chunks),
-                workers=self.workers,
-            ):
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    payloads = [
-                        payload
-                        for chunk_payloads in pool.map(
-                            _execute_payload_batch,
-                            [(chunk, backend) for chunk in chunks],
+            size = -(-len(items) // (4 * self.workers))
+        else:
+            size = len(items)
+        chunks: list[_Chunk] = [
+            items[i : i + size] for i in range(0, len(items), size)
+        ]
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            hist = reg.histogram(_names.EXECUTOR_CHUNK_JOBS)
+            for chunk in chunks:
+                hist.observe(len(chunk))
+
+        ran: dict[str, dict] = {}
+        failed: dict[str, FailedOutcome] = {}
+        if pooled:
+            self._execute_pooled(chunks, backend, ran, failed)
+        else:
+            self._execute_inline(chunks, backend, ran, failed)
+
+        if failed and self.retry is not None and self.retry.strict:
+            self.flush()  # persist the work that did succeed
+            raise SweepFailureError(list(failed.values()))
+        return ran, failed
+
+    def _dispatch_inline(
+        self, task: _ChunkTask, backend: str | None
+    ) -> list[dict]:
+        """One in-process chunk execution (recovery dispatches traced)."""
+        jobs = [job for _, job in task.chunk]
+        if not task.troubled and task.attempt == 0:
+            return _execute_payload_batch((jobs, backend))
+        with _trace.span(
+            _names.SPAN_EXECUTOR_RECOVERY,
+            jobs=len(jobs),
+            attempt=task.attempt,
+        ):
+            return _execute_payload_batch((jobs, backend))
+
+    def _execute_inline(
+        self,
+        chunks: Sequence[_Chunk],
+        backend: str | None,
+        ran: dict[str, dict],
+        failed: dict[str, FailedOutcome],
+        troubled: bool = False,
+    ) -> None:
+        """Run chunks in-process, with retry + bisection under a policy."""
+        policy = self.retry
+        for chunk in chunks:
+            if policy is None:
+                # Historical fail-fast path: errors propagate untouched.
+                jobs = [job for _, job in chunk]
+                payloads = _execute_payload_batch((jobs, backend))
+                self._finish_chunk(chunk, payloads, ran)
+                continue
+            task = _ChunkTask(chunk, troubled=troubled)
+            while True:
+                if task.troubled or task.attempt > 0:
+                    self.stats.retries += 1
+                    sleep_ms(policy.backoff_ms(max(task.attempt, 1)))
+                try:
+                    payloads = self._dispatch_inline(task, backend)
+                except Exception as exc:  # noqa: BLE001 - isolation layer
+                    task.troubled = True
+                    task.error = f"{type(exc).__name__}: {exc}"
+                    if task.attempt < policy.max_retries:
+                        task.attempt += 1
+                        continue
+                    if len(task.chunk) > 1:
+                        mid = len(task.chunk) // 2
+                        halves = [task.chunk[:mid], task.chunk[mid:]]
+                        self._execute_inline(
+                            halves, backend, ran, failed, troubled=True
                         )
-                        for payload in chunk_payloads
-                    ]
-        ran = {key: payload for (key, _), payload in zip(items, payloads)}
+                    else:
+                        self._record_failure(task, failed)
+                    break
+                else:
+                    self._finish_chunk(task.chunk, payloads, ran)
+                    if task.troubled:
+                        self.stats.recovered += len(task.chunk)
+                    break
+
+    def _execute_pooled(
+        self,
+        chunks: Sequence[_Chunk],
+        backend: str | None,
+        ran: dict[str, dict],
+        failed: dict[str, FailedOutcome],
+    ) -> None:
+        """Fan chunks over a process pool, rebuilding it on failure."""
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        policy = self.retry
+        with _trace.span(
+            _names.SPAN_EXECUTOR_POOL,
+            chunks=len(chunks),
+            workers=self.workers,
+        ):
+            if policy is None:
+                # Historical fail-fast path: one map, errors propagate.
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    results = pool.map(
+                        _execute_payload_batch,
+                        [([j for _, j in c], backend) for c in chunks],
+                    )
+                    for chunk, payloads in zip(chunks, results):
+                        self._finish_chunk(chunk, payloads, ran)
+                return
+
+            pending = [_ChunkTask(chunk) for chunk in chunks]
+            rebuilds = 0
+            reg = _metrics.active_metrics()
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            try:
+                while pending:
+                    if rebuilds > policy.degrade_after:
+                        # The pool keeps dying: stop trusting it and run
+                        # the remainder inline (retry/bisection intact).
+                        for task in pending:
+                            self._execute_inline(
+                                [task.chunk], backend, ran, failed,
+                                troubled=task.troubled,
+                            )
+                        return
+                    delay = 0
+                    for task in pending:
+                        if task.troubled or task.attempt > 0:
+                            self.stats.retries += 1
+                            delay = max(
+                                delay, policy.backoff_ms(max(task.attempt, 1))
+                            )
+                    sleep_ms(delay)
+                    futures = []
+                    submit_failed: list[_ChunkTask] = []
+                    for task in pending:
+                        try:
+                            fut = pool.submit(
+                                _execute_payload_batch,
+                                ([j for _, j in task.chunk], backend),
+                            )
+                        except (BrokenExecutor, RuntimeError) as exc:
+                            # The pool died between rounds: requeue the
+                            # rest and rebuild below.
+                            task.error = (
+                                f"worker pool broke at submit: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                            submit_failed.append(task)
+                            continue
+                        futures.append((fut, task))
+                    pending = []
+                    broken_at_submit = bool(submit_failed)
+                    for task in submit_failed:
+                        self._requeue(task, policy, pending, failed)
+                    broken = broken_at_submit
+                    for fut, task in futures:
+                        if broken:
+                            # Pool already condemned: salvage chunks that
+                            # finished cleanly, requeue everything else.
+                            fut.cancel()
+                            payloads = None
+                            if fut.done() and not fut.cancelled():
+                                try:
+                                    payloads = fut.result()
+                                except Exception:  # noqa: BLE001
+                                    payloads = None
+                            if payloads is not None:
+                                self._finish_chunk(task.chunk, payloads, ran)
+                                if task.troubled:
+                                    self.stats.recovered += len(task.chunk)
+                            else:
+                                task.error = task.error or "lost with broken pool"
+                                self._requeue(task, policy, pending, failed)
+                            continue
+                        try:
+                            payloads = fut.result(timeout=policy.chunk_timeout)
+                        except FuturesTimeout:
+                            broken = True
+                            task.error = (
+                                f"chunk timed out after "
+                                f"{policy.chunk_timeout}s"
+                            )
+                            self._requeue(task, policy, pending, failed)
+                        except BrokenExecutor as exc:
+                            broken = True
+                            task.error = (
+                                f"worker pool broke: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                            self._requeue(task, policy, pending, failed)
+                        except Exception as exc:  # noqa: BLE001 - job error
+                            # The chunk itself raised inside a healthy
+                            # worker: retry/bisect just this chunk.
+                            task.error = f"{type(exc).__name__}: {exc}"
+                            self._requeue(task, policy, pending, failed)
+                        else:
+                            self._finish_chunk(task.chunk, payloads, ran)
+                            if task.troubled:
+                                self.stats.recovered += len(task.chunk)
+                    if broken:
+                        rebuilds += 1
+                        if reg is not None:
+                            reg.counter(_names.EXECUTOR_POOL_REBUILDS).inc()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=self.workers)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _requeue(
+        self,
+        task: _ChunkTask,
+        policy: RetryPolicy,
+        pending: list[_ChunkTask],
+        failed: dict[str, FailedOutcome],
+    ) -> None:
+        """Route a failed chunk: retry, bisect, or record the failure."""
+        task.troubled = True
+        if task.attempt < policy.max_retries:
+            task.attempt += 1
+            pending.append(task)
+        elif len(task.chunk) > 1:
+            # Retry budget exhausted for the whole chunk: split it to
+            # corner the poisoned job(s); each half gets a fresh budget.
+            mid = len(task.chunk) // 2
+            for half in (task.chunk[:mid], task.chunk[mid:]):
+                pending.append(
+                    _ChunkTask(half, troubled=True, error=task.error)
+                )
+        else:
+            self._record_failure(task, failed)
+
+    def _record_failure(
+        self, task: _ChunkTask, failed: dict[str, FailedOutcome]
+    ) -> None:
+        """An isolated singleton chunk is out of options: record it."""
+        key, job = task.chunk[0]
+        self.stats.failures += 1
+        failed[key] = FailedOutcome(
+            job=job,
+            error=task.error or "unknown failure",
+            attempts=task.attempt + 1,
+        )
+
+    def _finish_chunk(
+        self,
+        chunk: _Chunk,
+        payloads: list[dict],
+        ran: dict[str, dict] | None = None,
+    ) -> None:
+        """Bank one completed chunk: memoize, account, maybe auto-flush."""
+        chunk_map = {key: payload for (key, _), payload in zip(chunk, payloads)}
+        if ran is not None:
+            ran.update(chunk_map)
         self._dirty = True
-        # LRU eviction, oldest first, *before* inserting: fresh results
-        # must land at the MRU end and survive their own batch.
-        room = max(self.max_memo - len(ran), 0)
+        self._insert(chunk_map)
+        self._chunks_since_flush += 1
+        if (
+            self._cache_path is not None
+            and self.flush_every is not None
+            and self._chunks_since_flush >= self.flush_every
+        ):
+            self.flush()
+            reg = _metrics.active_metrics()
+            if reg is not None:
+                reg.counter(_names.EXECUTOR_AUTOFLUSHES).inc()
+
+    def _insert(self, payloads: dict[str, dict]) -> None:
+        """Insert fresh payloads with LRU eviction, oldest first,
+        *before* inserting: fresh results must land at the MRU end and
+        survive their own chunk."""
+        room = max(self.max_memo - len(payloads), 0)
         while len(self._memo) > room:
             self._memo.pop(next(iter(self._memo)))
             self.stats.evictions += 1
-        self._memo.update(ran)
+        self._memo.update(payloads)
         while len(self._memo) > self.max_memo:
             self._memo.pop(next(iter(self._memo)))
             self.stats.evictions += 1
-        return ran
 
     # ------------------------------------------------------------------
+    # The on-disk cache: crash-safe load, merge-on-flush
+    # ------------------------------------------------------------------
+    def _read_disk_entries(self) -> dict[str, dict]:
+        """Entries currently on disk; corrupt files quarantine to
+        ``<path>.corrupt`` (with a warning) and read as empty."""
+        path = self._cache_path
+        if path is None or not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            self._quarantine(f"unreadable cache file ({exc})")
+            return {}
+        if not isinstance(data, dict) or data.get("version") != _CACHE_VERSION:
+            version = data.get("version") if isinstance(data, dict) else None
+            self._quarantine(
+                f"cache version {version!r} does not match {_CACHE_VERSION}"
+            )
+            return {}
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            self._quarantine("cache entries are not an object")
+            return {}
+        return entries
+
+    def _quarantine(self, reason: str) -> None:
+        """Move a bad cache file aside; the executor starts empty."""
+        path = self._cache_path
+        assert path is not None
+        target = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            path.replace(target)
+            where = f"quarantined to {target}"
+        except OSError as exc:
+            where = f"could not quarantine ({exc})"
+        warnings.warn(
+            f"on-disk outcome cache {path}: {reason}; {where}; "
+            "starting with an empty cache",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            reg.counter(_names.EXECUTOR_CACHE_QUARANTINED).inc()
+
     def flush(self) -> None:
-        """Write the on-disk cache (no-op without ``cache_path``)."""
+        """Write the on-disk cache (no-op without ``cache_path``).
+
+        Merges with the entries already on disk before the atomic
+        replace: entries evicted from the in-process memo (or written
+        by another executor) are never clobbered.
+        """
         if self._cache_path is None or not self._dirty:
             return
         self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        entries = self._read_disk_entries()
+        entries.update(self._memo)
         tmp = self._cache_path.with_suffix(self._cache_path.suffix + ".tmp")
         tmp.write_text(
             json.dumps(
-                {"version": _CACHE_VERSION, "entries": self._memo},
+                {"version": _CACHE_VERSION, "entries": entries},
                 separators=(",", ":"),
             )
         )
         tmp.replace(self._cache_path)
         self._dirty = False
+        self._chunks_since_flush = 0
 
     def clear(self) -> None:
         """Drop the in-process cache (the disk file is untouched)."""

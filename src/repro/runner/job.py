@@ -266,6 +266,13 @@ class SimOutcome:
 
     # ------------------------------------------------------------------
     @property
+    def failed(self) -> bool:
+        """Executor failure discriminator — always ``False`` on a real
+        outcome; ``True`` on the :class:`~repro.runner.resilience.
+        FailedOutcome` stand-in a non-strict retry policy returns."""
+        return False
+
+    @property
     def bandwidth_float(self) -> float:
         return float(self.bandwidth)
 

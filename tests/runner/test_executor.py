@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.memory.config import FIG2_CONFIG, MemoryConfig
 from repro.runner import (
     SimJob,
@@ -75,11 +77,14 @@ class TestDiskCache:
         assert out.grants == first.grants
         assert out.backend.startswith("cache:")
 
-    def test_version_mismatch_ignored(self, tmp_path):
+    def test_version_mismatch_quarantined(self, tmp_path):
         path = tmp_path / "outcomes.json"
         path.write_text(json.dumps({"version": 0, "entries": {"x": {}}}))
-        ex = SweepExecutor(cache_path=path)
+        with pytest.warns(RuntimeWarning, match="cache version"):
+            ex = SweepExecutor(cache_path=path)
         assert len(ex) == 0
+        assert not path.exists()
+        assert path.with_suffix(".json.corrupt").exists()
 
     def test_flush_without_path_is_noop(self):
         ex = SweepExecutor()
@@ -142,6 +147,7 @@ class TestStats:
         d = ex.stats.as_dict()
         assert set(d) == {
             "submitted", "hits", "deduped", "executed", "evictions",
+            "retries", "failures", "recovered",
         }
         assert d["submitted"] == 12
         assert d["evictions"] == ex.stats.evictions

@@ -1,0 +1,473 @@
+"""Fault-tolerant sweep execution: retry, bisection, pool recovery,
+crash-safe caching.  Companion to docs/RUNNER.md "Failure semantics"."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.obs import capture_metrics, metric_names
+from repro.obs import names as obs_names
+from repro.runner import (
+    FailedJobError,
+    FailedOutcome,
+    RetryPolicy,
+    SweepExecutor,
+    SweepFailureError,
+    jobs_for_offsets,
+)
+from repro.runner import backends as backends_mod
+from repro.runner import executor as executor_mod
+from repro.runner.backends import FastBackend
+from repro.runner.resilience import (
+    CHAOS_HANG_MS_ENV,
+    CHAOS_HANG_ONCE_DIR_ENV,
+    CHAOS_ONCE_DIR_ENV,
+    CHAOS_RATE_ENV,
+)
+
+CFG = MemoryConfig(banks=12, bank_cycle=3)
+
+#: A retry policy that never sleeps (tests should not wait on backoff).
+FAST = RetryPolicy(max_retries=2, backoff_base_ms=0)
+
+
+def _jobs():
+    return jobs_for_offsets(CFG, 1, 7, range(12))
+
+
+def _clean_outcomes():
+    return SweepExecutor(backend="fast").run_many(_jobs())
+
+
+def _install_backend(monkeypatch, backend):
+    """Register an ad-hoc backend instance under its ``name``."""
+    monkeypatch.setitem(backends_mod._INSTANCES, backend.name, backend)
+
+
+class FlakyBackend(FastBackend):
+    """Raises on the first ``fail_first`` run_batch calls, then works."""
+
+    name = "flaky"
+
+    def __init__(self, fail_first: int = 2) -> None:
+        super().__init__()
+        self.fail_first = fail_first
+        self.calls = 0
+
+    def run_batch(self, jobs):
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise RuntimeError("transient worker failure")
+        return super().run_batch(jobs)
+
+
+class PoisonBackend(FastBackend):
+    """Raises whenever a specific poisoned job is in the batch."""
+
+    name = "poison"
+
+    def __init__(self, poison_key: str) -> None:
+        super().__init__()
+        self.poison_key = poison_key
+        self.armed = True
+
+    def run_batch(self, jobs):
+        if self.armed and any(
+            j.cache_key() == self.poison_key for j in jobs
+        ):
+            raise RuntimeError("poisoned job")
+        return super().run_batch(jobs)
+
+
+# ----------------------------------------------------------------------
+# Policy object
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_schedule_is_deterministic_doubling(self):
+        p = RetryPolicy(max_retries=4, backoff_base_ms=10)
+        assert p.schedule_ms() == (10, 20, 40, 80)
+        assert p.backoff_ms(1) == 10
+        assert p.backoff_ms(3) == 40
+
+    def test_zero_base_disables_waiting(self):
+        assert RetryPolicy(backoff_base_ms=0).schedule_ms() == (0, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_ms": -1},
+            {"chunk_timeout": 0},
+            {"chunk_timeout": -1.0},
+            {"degrade_after": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_attempts_count_from_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ms(0)
+
+
+class TestFailedOutcome:
+    def test_numeric_access_raises(self):
+        out = FailedOutcome(job=_jobs()[0], error="boom", attempts=3)
+        assert out.failed is True
+        for prop in (
+            "bandwidth", "period", "grants", "steady_start", "cycles",
+            "result", "bandwidth_float", "full_rate_streams",
+            "conflict_free", "pair_regime",
+        ):
+            with pytest.raises(FailedJobError, match="boom"):
+                getattr(out, prop)
+
+    def test_real_outcomes_report_not_failed(self):
+        out = SweepExecutor(backend="fast").run_one(_jobs()[0])
+        assert out.failed is False
+
+    def test_describe_mentions_error_and_attempts(self):
+        out = FailedOutcome(job=_jobs()[0], error="boom", attempts=3)
+        assert "boom" in out.describe()
+        assert "3 attempt(s)" in out.describe()
+
+
+# ----------------------------------------------------------------------
+# Inline recovery (workers=1)
+# ----------------------------------------------------------------------
+class TestInlineRecovery:
+    def test_transient_failure_retried_to_success(self, monkeypatch):
+        _install_backend(monkeypatch, FlakyBackend(fail_first=2))
+        ex = SweepExecutor(backend="flaky", retry=FAST)
+        outs = ex.run_many(_jobs())
+        clean = _clean_outcomes()
+        assert [o.bandwidth for o in outs] == [o.bandwidth for o in clean]
+        assert ex.stats.retries == 2
+        assert ex.stats.failures == 0
+        assert ex.stats.recovered == ex.stats.executed
+
+    def test_without_policy_first_error_propagates(self, monkeypatch):
+        _install_backend(monkeypatch, FlakyBackend(fail_first=1))
+        ex = SweepExecutor(backend="flaky")
+        with pytest.raises(RuntimeError, match="transient"):
+            ex.run_many(_jobs())
+
+    def test_bisection_isolates_the_poisoned_job(self, monkeypatch):
+        jobs = _jobs()
+        # The representative actually dispatched for each canonical key.
+        fresh: dict[str, object] = {}
+        for job in jobs:
+            fresh.setdefault(job.cache_key(), job)
+        poison_key = sorted(fresh)[len(fresh) // 2]
+        _install_backend(monkeypatch, PoisonBackend(poison_key))
+        ex = SweepExecutor(backend="poison", retry=FAST)
+        outs = ex.run_many(jobs)
+        clean = _clean_outcomes()
+        assert ex.stats.failures == 1
+        for out, ref, job in zip(outs, clean, jobs):
+            if job.cache_key() == poison_key:
+                assert out.failed is True
+                assert out.job is job
+                with pytest.raises(FailedJobError):
+                    out.bandwidth
+            else:
+                assert out.failed is False
+                assert out.bandwidth == ref.bandwidth
+                assert out.grants == ref.grants
+
+    def test_failed_jobs_are_not_memoized(self, monkeypatch):
+        job = _jobs()[0]
+        backend = PoisonBackend(job.cache_key())
+        _install_backend(monkeypatch, backend)
+        ex = SweepExecutor(backend="poison", retry=FAST)
+        assert ex.run_one(job).failed is True
+        executed = ex.stats.executed
+        backend.armed = False  # the poison clears: a re-run must re-try
+        out = ex.run_one(job)
+        assert out.failed is False
+        assert ex.stats.executed == executed + 1
+
+    def test_strict_policy_raises_and_persists_survivors(
+        self, monkeypatch, tmp_path
+    ):
+        jobs = _jobs()
+        fresh: dict[str, object] = {}
+        for job in jobs:
+            fresh.setdefault(job.cache_key(), job)
+        poison_key = sorted(fresh)[0]
+        _install_backend(monkeypatch, PoisonBackend(poison_key))
+        path = tmp_path / "outcomes.json"
+        ex = SweepExecutor(
+            backend="poison", cache_path=path,
+            retry=RetryPolicy(max_retries=1, backoff_base_ms=0, strict=True),
+        )
+        with pytest.raises(SweepFailureError) as info:
+            ex.run_many(jobs)
+        assert len(info.value.failures) == 1
+        assert info.value.failures[0].job.cache_key() == poison_key
+        # The healthy work of the batch reached the disk cache.
+        entries = json.loads(path.read_text())["entries"]
+        assert len(entries) == len(fresh) - 1
+        assert poison_key not in entries
+
+
+# ----------------------------------------------------------------------
+# Process-pool recovery (workers > 1, chaos-injected crashes)
+# ----------------------------------------------------------------------
+class TestPoolRecovery:
+    def test_worker_crash_recovers_bit_identical(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(CHAOS_ONCE_DIR_ENV, str(tmp_path / "once"))
+        (tmp_path / "once").mkdir()
+        ex = SweepExecutor(backend="fast", workers=2, retry=FAST)
+        outs = ex.run_many(_jobs())
+        clean = _clean_outcomes()
+        assert [o.bandwidth for o in outs] == [o.bandwidth for o in clean]
+        assert [o.grants for o in outs] == [o.grants for o in clean]
+        assert ex.stats.failures == 0
+        assert ex.stats.retries > 0
+        assert ex.stats.recovered > 0
+
+    def test_persistent_crashes_degrade_to_inline(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_RATE_ENV, "1.0")
+        ex = SweepExecutor(
+            backend="fast", workers=2,
+            retry=RetryPolicy(
+                max_retries=1, backoff_base_ms=0, degrade_after=1
+            ),
+        )
+        outs = ex.run_many(_jobs())
+        clean = _clean_outcomes()
+        assert [o.bandwidth for o in outs] == [o.bandwidth for o in clean]
+        assert ex.stats.failures == 0
+
+    def test_hung_chunk_times_out_and_recovers(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CHAOS_HANG_ONCE_DIR_ENV, str(tmp_path / "hang"))
+        monkeypatch.setenv(CHAOS_HANG_MS_ENV, "30000")
+        (tmp_path / "hang").mkdir()
+        ex = SweepExecutor(
+            backend="fast", workers=2,
+            retry=RetryPolicy(
+                max_retries=2, backoff_base_ms=0, chunk_timeout=0.25
+            ),
+        )
+        outs = ex.run_many(_jobs())
+        clean = _clean_outcomes()
+        assert [o.bandwidth for o in outs] == [o.bandwidth for o in clean]
+        assert ex.stats.failures == 0
+        assert ex.stats.retries > 0
+
+    def test_chaos_never_fires_in_the_orchestrator(self, monkeypatch):
+        # Inline execution with a 100% crash rate must be unaffected:
+        # the hook only fires inside multiprocessing workers.
+        monkeypatch.setenv(CHAOS_RATE_ENV, "1.0")
+        ex = SweepExecutor(backend="fast")
+        outs = ex.run_many(_jobs())
+        assert len(outs) == len(_jobs())
+
+
+# ----------------------------------------------------------------------
+# Crash-safe on-disk cache
+# ----------------------------------------------------------------------
+class TestCrashSafeCache:
+    def _quarantined(self, path):
+        return path.with_suffix(path.suffix + ".corrupt")
+
+    def test_corrupt_json_quarantined(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        path.write_text("{not json at all")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            ex = SweepExecutor(cache_path=path)
+        assert len(ex) == 0
+        assert not path.exists()
+        assert self._quarantined(path).exists()
+
+    def test_truncated_file_quarantined(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        with SweepExecutor(backend="fast", cache_path=path) as ex:
+            ex.run_many(_jobs())
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.warns(RuntimeWarning):
+            ex = SweepExecutor(cache_path=path)
+        assert len(ex) == 0
+        assert self._quarantined(path).exists()
+
+    def test_non_object_entries_quarantined(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        path.write_text(json.dumps({"version": 1, "entries": [1, 2]}))
+        with pytest.warns(RuntimeWarning, match="entries"):
+            ex = SweepExecutor(cache_path=path)
+        assert len(ex) == 0
+        assert self._quarantined(path).exists()
+
+    def test_quarantine_then_rebuild_roundtrips(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        path.write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            with SweepExecutor(backend="fast", cache_path=path) as ex:
+                ex.run_many(_jobs())
+        warm = SweepExecutor(backend="fast", cache_path=path)
+        warm.run_many(_jobs())
+        assert warm.stats.executed == 0
+        assert warm.stats.hits > 0
+
+    def test_flush_preserves_evicted_entries(self, tmp_path):
+        # Regression: flush() used to write the memo alone, deleting
+        # every LRU-evicted entry from disk.
+        path = tmp_path / "outcomes.json"
+        jobs = _jobs()
+        ex = SweepExecutor(
+            backend="fast", cache_path=path, max_memo=2, flush_every=None
+        )
+        first = ex.run_one(jobs[0])
+        ex.flush()
+        ex.run_many(jobs[1:])  # evicts jobs[0] from the tiny memo
+        ex.flush()
+        entries = json.loads(path.read_text())["entries"]
+        assert jobs[0].cache_key() in entries
+        warm = SweepExecutor(backend="fast", cache_path=path)
+        out = warm.run_one(jobs[0])
+        assert warm.stats.executed == 0
+        assert out.bandwidth == first.bandwidth
+
+    def test_flush_merges_sibling_executor_work(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        jobs = _jobs()
+        a = SweepExecutor(backend="fast", cache_path=path, flush_every=None)
+        b = SweepExecutor(backend="fast", cache_path=path, flush_every=None)
+        a.run_one(jobs[0])
+        b.run_one(jobs[5])
+        a.flush()
+        b.flush()  # must union with a's entry, not clobber it
+        warm = SweepExecutor(backend="fast", cache_path=path)
+        warm.run_many([jobs[0], jobs[5]])
+        assert warm.stats.executed == 0
+
+    def test_auto_flush_is_on_by_default(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        ex = SweepExecutor(backend="fast", cache_path=path)
+        ex.run_many(_jobs())
+        # No flush()/context exit — the chunk auto-flushed on completion.
+        entries = json.loads(path.read_text())["entries"]
+        assert len(entries) == len(ex)
+
+    def test_flush_every_validation(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(flush_every=0)
+
+    def test_kill_mid_sweep_loses_at_most_one_chunk(self, tmp_path):
+        # A subprocess sweeps batch 1 (auto-flushed chunk by chunk),
+        # then dies hard mid-batch-2 with no chance to flush or exit
+        # cleanly.  The cache must come back loadable with batch 1.
+        cache = tmp_path / "outcomes.json"
+        script = textwrap.dedent(
+            f"""
+            import os
+            from repro.memory.config import MemoryConfig
+            from repro.runner import SweepExecutor, jobs_for_offsets
+            from repro.runner import backends
+
+            cfg = MemoryConfig(banks=12, bank_cycle=3)
+
+            class DyingBackend(backends.FastBackend):
+                name = "dying"
+                def run_batch(self, jobs):
+                    if any(j.streams[1][1] == 11 for j in jobs):
+                        os._exit(9)  # simulated power cut, no cleanup
+                    return super().run_batch(jobs)
+
+            backends._INSTANCES["dying"] = DyingBackend()
+            ex = SweepExecutor(backend="dying", cache_path={str(cache)!r})
+            ex.run_many(jobs_for_offsets(cfg, 1, 7, range(12)))
+            ex.run_many(jobs_for_offsets(cfg, 1, 11, range(12)))
+            os._exit(7)  # unreachable: the batch above dies
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 9
+        warm = SweepExecutor(backend="fast", cache_path=cache)
+        warm.run_many(jobs_for_offsets(CFG, 1, 7, range(12)))
+        assert warm.stats.executed == 0  # batch 1 fully recovered
+        assert warm.stats.hits == 12
+
+
+# ----------------------------------------------------------------------
+# The executor's sharp-edge regressions
+# ----------------------------------------------------------------------
+class TestFalsyPayloadRegression:
+    def test_empty_payload_resolves_from_its_source(self, monkeypatch):
+        # `ran.get(key) or held.get(key) or memo[key]` used to fall
+        # through on a falsy-but-present payload and KeyError on the
+        # memo.  Membership checks must resolve {} from `ran`.
+        job = _jobs()[0]
+        seen: list[dict] = []
+
+        class StubOutcome:
+            @staticmethod
+            def from_payload(job, payload):
+                seen.append(payload)
+                return payload
+
+        ex = SweepExecutor(backend="fast", max_memo=1)
+        monkeypatch.setattr(
+            ex, "_execute",
+            lambda fresh, backend: ({k: {} for k in fresh}, {}),
+        )
+        monkeypatch.setattr(executor_mod, "SimOutcome", StubOutcome)
+        outs = ex.run_many([job])
+        assert outs == [{}]
+        assert seen == [{}]
+
+
+# ----------------------------------------------------------------------
+# Instrumentation of the failure path
+# ----------------------------------------------------------------------
+class TestFailureMetrics:
+    def test_flaky_run_emits_only_contract_names(self, monkeypatch):
+        _install_backend(monkeypatch, FlakyBackend(fail_first=2))
+        ex = SweepExecutor(backend="flaky", retry=FAST)
+        with capture_metrics() as reg:
+            ex.run_many(_jobs())
+        emitted = {m.name for m in reg.collect()}
+        assert emitted <= metric_names(), emitted - metric_names()
+        retries = reg.get(obs_names.EXECUTOR_RETRIES)
+        assert retries is not None and retries.value == ex.stats.retries
+        recovered = reg.get(obs_names.EXECUTOR_RECOVERED)
+        assert recovered is not None
+        assert recovered.value == ex.stats.recovered
+
+    def test_quarantine_counter(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        path.write_text("garbage")
+        with capture_metrics() as reg:
+            with pytest.warns(RuntimeWarning):
+                SweepExecutor(cache_path=path)
+        quarantined = reg.get(obs_names.EXECUTOR_CACHE_QUARANTINED)
+        assert quarantined is not None and quarantined.value == 1
+
+    def test_failure_counter(self, monkeypatch):
+        job = _jobs()[0]
+        _install_backend(monkeypatch, PoisonBackend(job.cache_key()))
+        ex = SweepExecutor(backend="poison", retry=FAST)
+        with capture_metrics() as reg:
+            ex.run_one(job)
+        failures = reg.get(obs_names.EXECUTOR_FAILURES)
+        assert failures is not None and failures.value == 1

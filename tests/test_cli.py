@@ -221,6 +221,71 @@ class TestObservability:
         assert "span trace" not in out
 
 
+class TestResilienceFlags:
+    def test_retry_policy_built_from_flags(self):
+        from repro.cli import _retry_policy
+
+        args = build_parser().parse_args([
+            "census", "-m", "12", "-c", "3", "--observed",
+            "--retries", "3", "--chunk-timeout", "5.0",
+            "--strict-failures",
+        ])
+        policy = _retry_policy(args)
+        assert policy is not None
+        assert policy.max_retries == 3
+        assert policy.chunk_timeout == 5.0
+        assert policy.strict is True
+
+    def test_no_flags_means_no_policy(self):
+        from repro.cli import _retry_policy
+
+        args = build_parser().parse_args([
+            "census", "-m", "12", "-c", "3", "--observed",
+        ])
+        assert _retry_policy(args) is None
+
+    def test_timeout_alone_enables_default_retries(self):
+        from repro.cli import _retry_policy
+
+        args = build_parser().parse_args([
+            "profile", "-m", "13", "-c", "4", "1", "3",
+            "--chunk-timeout", "60",
+        ])
+        policy = _retry_policy(args)
+        assert policy is not None
+        assert policy.max_retries == 2
+        assert policy.chunk_timeout == 60.0
+
+    def test_census_runs_with_retries(self, capsys):
+        rc = main(["census", "-m", "12", "-c", "3", "--observed",
+                   "--retries", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Observed regime census" in out
+
+    def test_simulate_runs_through_executor_with_retries(self, capsys):
+        rc = main([
+            "simulate", "-m", "13", "-c", "6",
+            "--stream", "0:1", "--stream", "0:6", "--retries", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "7/6" in out
+
+    def test_profile_runs_with_strict_failures(self, capsys):
+        rc = main(["profile", "-m", "13", "-c", "4", "1", "3",
+                   "--strict-failures"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "start(s)" in out
+
+    def test_invalid_policy_is_clean_error(self, capsys):
+        rc = main(["census", "-m", "12", "-c", "3", "--observed",
+                   "--retries", "-1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestDuel:
     def test_output(self, capsys):
         rc = main(["duel", "1", "3", "--n", "128"])
