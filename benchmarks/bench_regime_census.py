@@ -3,17 +3,85 @@
 Classifies every stride pair on a family of memory shapes and prints
 the regime distribution — the "how worried should a programmer be"
 table.  The counts regression-lock the classifier.
+
+``test_census_population`` is the lockstep-core gate workload: the full
+cyclic-priority pair census on the doubled X-MP shape (m=32), every
+stride pair at four start phases, pushed through one ``run_batch`` call
+on the backend named by ``$REPRO_BENCH_BACKEND`` (default ``batch``).
+An exact ``Fraction`` checksum locks the results bit-for-bit, so the
+committed ``BENCH_before.json`` (``fast``) / ``BENCH_after.json``
+(``batch``) pair times two backends computing *provably identical*
+numbers.
 """
 
 from __future__ import annotations
 
+import os
+from fractions import Fraction
+
 from repro.analysis.census import regime_census
 from repro.core.classify import PairRegime
+from repro.memory.config import MemoryConfig
+from repro.runner import SimJob, get_backend
 from repro.viz.tables import format_table
 
 from conftest import print_header
 
 SHAPES = [(16, 4), (12, 3), (13, 4), (32, 4), (64, 4)]
+
+#: The lockstep-gate population shape: every cyclic-priority stride
+#: pair on (m=32, n_c=4), four start phases — 4096 steady jobs.
+POPULATION_SHAPE = (32, 4)
+POPULATION_PHASES = 4
+
+#: Exact checksums of that population, identical on every backend
+#: (verified fast vs. batch; the property suite carries the general
+#: bit-identity claim).
+CENSUS_POPULATION_BANDWIDTH_SUM = Fraction(9937168993, 1616615)
+CENSUS_POPULATION_PERIOD_SUM = 221280
+CENSUS_POPULATION_TRANSIENT_SUM = 31966
+
+
+def _census_population() -> list[SimJob]:
+    m, n_c = POPULATION_SHAPE
+    cfg = MemoryConfig(banks=m, bank_cycle=n_c)
+    return [
+        SimJob.from_specs(
+            cfg, [(0, d1), (phase, d2)], cpus=[0, 1],
+            priority="cyclic", steady=True,
+        )
+        for d1 in range(1, m + 1)
+        for d2 in range(1, m + 1)
+        for phase in range(POPULATION_PHASES)
+    ]
+
+
+def test_census_population(benchmark):
+    backend = get_backend(os.environ.get("REPRO_BENCH_BACKEND") or "batch")
+    population = _census_population()
+    outs = benchmark.pedantic(
+        lambda: backend.run_batch(population), rounds=1, iterations=1
+    )
+
+    print_header(
+        f"Census population: {len(population)} cyclic-priority pair jobs "
+        f"on m={POPULATION_SHAPE[0]} via the {backend.name!r} backend"
+    )
+    total = sum((o.bandwidth for o in outs), Fraction(0))
+    periods = sum(o.period for o in outs)
+    transients = sum(o.steady_start for o in outs)
+    print(f"sum(b_eff) = {total}  sum(period) = {periods}  "
+          f"sum(transient) = {transients}")
+
+    # Bit-exact checksums: every backend must produce these same
+    # Fractions/integers or the 5x gate is comparing different work.
+    assert len(outs) == 4096
+    assert total == CENSUS_POPULATION_BANDWIDTH_SUM
+    assert periods == CENSUS_POPULATION_PERIOD_SUM
+    assert transients == CENSUS_POPULATION_TRANSIENT_SUM
+
+    benchmark.extra_info["backend"] = backend.name
+    benchmark.extra_info["jobs"] = len(population)
 
 
 def _run():

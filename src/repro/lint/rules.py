@@ -8,9 +8,14 @@ Each rule guards one invariant of the reproduction (see DESIGN.md §7):
     ``repro.analysis``) must not introduce floats — no float literals, no
     ``float()``/``complex()`` conversions, no true division (``/``
     silently produces a float on integers; write ``Fraction(a, b)`` or
-    ``a // b``).  Presentation helpers whose *name* ends in ``_float``
-    are the blessed boundary where exact values become floats for
-    display, and are exempt.
+    ``a // b``).  The same discipline extends to NumPy state arrays
+    (the ``runner.batchsim`` SoA core): array constructors must pin an
+    exact dtype (``np.int64`` / ``np.bool_`` / ``np.intp``) so nothing
+    silently lands in ``float64`` or a platform-narrow integer that can
+    overflow, float dtypes never appear, and ``np.divide`` /
+    ``np.true_divide`` are forbidden outright.  Presentation helpers
+    whose *name* ends in ``_float`` are the blessed boundary where
+    exact values become floats for display, and are exempt.
 ``DET001``
     Results must be reproducible run-to-run and identical across the
     in-process and process-pool execution paths: no module-level
@@ -137,6 +142,26 @@ class _ScopedVisitor(ast.NodeVisitor):
 # ----------------------------------------------------------------------
 # EXACT001
 # ----------------------------------------------------------------------
+#: NumPy constructors whose default dtype is float64 or a
+#: platform-dependent integer — silent overflow / precision hazards on
+#: the exact int64 state arrays of the batch core.
+_NP_CONSTRUCTORS = frozenset({
+    "zeros", "ones", "empty", "full", "arange", "array", "asarray",
+})
+#: The exact dtypes the state arrays may pin.
+_NP_EXACT_DTYPES = frozenset({
+    "numpy.int64", "numpy.bool_", "numpy.intp",
+})
+#: Float dtypes: forbidden anywhere on an exact path.
+_NP_FLOAT_DTYPES = frozenset({
+    "numpy.float16", "numpy.float32", "numpy.float64", "numpy.float128",
+    "numpy.half", "numpy.single", "numpy.double", "numpy.longdouble",
+    "numpy.floating",
+})
+#: ufuncs that produce floats from integer input.
+_NP_FLOAT_CALLS = frozenset({"numpy.divide", "numpy.true_divide"})
+
+
 @register_rule
 class ExactnessRule(Rule):
     code = "EXACT001"
@@ -144,7 +169,9 @@ class ExactnessRule(Rule):
     description = (
         "No float literals, float()/complex() conversions, or true "
         "division in the exactness layers (repro.core, repro.runner, "
-        "repro.analysis, repro.obs); *_float helpers are the blessed "
+        "repro.analysis, repro.obs); NumPy state arrays pin exact "
+        "dtypes (np.int64/np.bool_/np.intp) and never touch float "
+        "dtypes or np.divide; *_float helpers are the blessed "
         "presentation boundary."
     )
 
@@ -155,6 +182,7 @@ class ExactnessRule(Rule):
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         rule = self
+        imports = build_import_map(ctx)
 
         class V(_ScopedVisitor):
             def __init__(self) -> None:
@@ -179,6 +207,67 @@ class ExactnessRule(Rule):
                         f"complex literal {node.value!r} on an exact path",
                     ))
 
+            def visit_Attribute(self, node: ast.Attribute) -> None:
+                chain = dotted_name(node)
+                if chain is not None:
+                    head = imports.get(chain[0], chain[0])
+                    origin = ".".join([head, *chain[1:]])
+                    if origin in _NP_FLOAT_DTYPES:
+                        self.found.append(rule.finding(
+                            ctx, node,
+                            f"float dtype {origin} on an exact path; the "
+                            "state arrays stay np.int64/np.bool_ and "
+                            "bandwidth stays Fraction at the boundary",
+                        ))
+                self.generic_visit(node)
+
+            def _check_numpy_call(self, node: ast.Call) -> None:
+                origin = resolve_call_origin(node, imports)
+                if origin is None:
+                    return
+                if origin in _NP_FLOAT_CALLS:
+                    self.found.append(rule.finding(
+                        ctx, node,
+                        f"{origin}() produces floats from integer "
+                        "arrays; use Fraction(a, b) or // at the "
+                        "boundary",
+                    ))
+                    return
+                parts = origin.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] == "numpy"
+                    and parts[1] in _NP_CONSTRUCTORS
+                ):
+                    dtype = next(
+                        (k.value for k in node.keywords if k.arg == "dtype"),
+                        None,
+                    )
+                    if dtype is None:
+                        self.found.append(rule.finding(
+                            ctx, node,
+                            f"numpy.{parts[1]}() without an explicit "
+                            "dtype defaults to float64 or a "
+                            "platform-dependent integer; pin "
+                            "dtype=np.int64 (or np.bool_/np.intp)",
+                        ))
+                        return
+                    chain = dotted_name(dtype)
+                    resolved = None
+                    if chain is not None:
+                        head = imports.get(chain[0], chain[0])
+                        resolved = ".".join([head, *chain[1:]])
+                    if resolved in _NP_FLOAT_DTYPES:
+                        return  # visit_Attribute already flags it
+                    if resolved not in _NP_EXACT_DTYPES:
+                        self.found.append(rule.finding(
+                            ctx, node,
+                            f"numpy.{parts[1]}() dtype is not an exact "
+                            "dtype; pin dtype=np.int64 (or "
+                            "np.bool_/np.intp) so state arrays cannot "
+                            "silently overflow or go float",
+                        ))
+
             def visit_Call(self, node: ast.Call) -> None:
                 if isinstance(node.func, ast.Name) and node.func.id in (
                     "float", "complex",
@@ -189,6 +278,7 @@ class ExactnessRule(Rule):
                         "keep Fraction, or rename the enclosing helper "
                         "to *_float",
                     ))
+                self._check_numpy_call(node)
                 self.generic_visit(node)
 
             def visit_BinOp(self, node: ast.BinOp) -> None:
@@ -380,10 +470,12 @@ class RunnerLayerRule(Rule):
     #: shims (kept for PriorityRule *instances*, which cannot ride in a
     #: hashable SimJob).  ``repro.runner.fastsim`` is the flat-array
     #: core the fast backend runs on — an engine primitive in its own
-    #: right, blessed for the same reason ``repro.sim.engine`` is.
+    #: right, blessed for the same reason ``repro.sim.engine`` is —
+    #: and ``repro.runner.batchsim`` is its structure-of-arrays twin.
     BLESSED = frozenset({
         "repro.runner.backends",
         "repro.runner.fastsim",
+        "repro.runner.batchsim",
         "repro.sim.engine",
         "repro.sim.port",
         "repro.sim.pairs",
@@ -395,13 +487,18 @@ class RunnerLayerRule(Rule):
     #: relative imports resolve identically).  The fastsim core joins
     #: the historical engine primitives: calling ``FlatSim`` or the
     #: steady-cycle detector directly skips backend checking and the
-    #: executor's cache, exactly like constructing an ``Engine``.
+    #: executor's cache, exactly like constructing an ``Engine``.  The
+    #: batch core's entry points bypass the same way — and additionally
+    #: skip the error/fallback bookkeeping only ``BatchBackend`` does.
     TARGET_SUFFIXES = (
         "sim.engine.Engine",
         "sim.engine.simulate_streams",
         "sim.port.Port",
         "runner.fastsim.FlatSim",
         "runner.fastsim.find_steady_cycle",
+        "runner.batchsim.BatchSim",
+        "runner.batchsim.run_steady_batch",
+        "runner.batchsim.run_span_batch",
     )
 
     def applies_to(self, ctx: LintContext) -> bool:

@@ -69,6 +69,13 @@ EXECUTOR_CACHE_QUARANTINED = "runner.executor.cache_quarantined"
 AUTO_DISPATCH = "runner.auto.dispatch"
 ANALYTIC_DECIDED = "runner.analytic.decided"
 
+BATCH_JOBS = "runner.batchsim.jobs"
+BATCH_STEPS = "runner.batchsim.steps"
+BATCH_POPULATION = "runner.batchsim.population"
+BATCH_WAVES = "runner.batchsim.retirement_waves"
+BATCH_OCCUPANCY = "runner.batchsim.mask_occupancy"
+BATCH_FALLBACK = "runner.batchsim.fallback"
+
 FASTSIM_STEADY_MU = "runner.fastsim.steady_mu"
 FASTSIM_STEADY_LAM = "runner.fastsim.steady_lam"
 FAST_JOBS = "runner.fast.jobs"
@@ -91,7 +98,44 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         AUTO_DISPATCH, "counter", ("tier",),
         "repro.runner.analytic.AutoBackend",
         "Jobs the auto backend sent to each tier "
-        "(analytic closed form vs. fastsim fallback).",
+        "(analytic closed form vs. batch lockstep vs. fastsim "
+        "fallback).",
+    ),
+    MetricSpec(
+        BATCH_FALLBACK, "counter", ("reason",),
+        "repro.runner.backends.BatchBackend",
+        "Lanes the batch core handed back to the scalar fast engine "
+        "(tail: sparse survivor wavefronts).",
+    ),
+    MetricSpec(
+        BATCH_JOBS, "counter", ("mode",),
+        "repro.runner.batchsim.run_steady_batch/run_span_batch",
+        "Lanes advanced in lockstep by the batch core, split steady "
+        "vs. fixed-horizon span.",
+    ),
+    MetricSpec(
+        BATCH_OCCUPANCY, "histogram", (),
+        "repro.runner.batchsim._drive_steady",
+        "Active-lane mask occupancy (percent of the current SoA "
+        "population) sampled at each Brent anchor.",
+    ),
+    MetricSpec(
+        BATCH_POPULATION, "histogram", (),
+        "repro.runner.batchsim.run_steady_batch/run_span_batch",
+        "Lanes per structure-of-arrays kernel group (pair-fixed and "
+        "generic groups observe separately).",
+    ),
+    MetricSpec(
+        BATCH_WAVES, "histogram", (),
+        "repro.runner.batchsim._drive_steady",
+        "Size of each retirement wave: lanes leaving the stepped "
+        "population together (converged or bound-exhausted).",
+    ),
+    MetricSpec(
+        BATCH_STEPS, "counter", ("mode",),
+        "repro.runner.batchsim.run_steady_batch/run_span_batch",
+        "Vectorized wavefronts executed (one per lockstep clock per "
+        "walker).",
     ),
     MetricSpec(
         EXECUTOR_AUTOFLUSHES, "counter", (),
@@ -191,14 +235,17 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
     ),
     MetricSpec(
         FASTSIM_STEADY_LAM, "histogram", (),
-        "repro.runner.fastsim.find_steady_cycle",
+        "repro.runner.fastsim.find_steady_cycle / "
+        "repro.runner.backends.BatchBackend",
         "Minimal steady-period lengths (Brent lambda) found by the "
-        "cycle detector.",
+        "cycle detector (scalar and batch lanes alike).",
     ),
     MetricSpec(
         FASTSIM_STEADY_MU, "histogram", (),
-        "repro.runner.fastsim.find_steady_cycle",
-        "Transient lengths (Brent mu) found by the cycle detector.",
+        "repro.runner.fastsim.find_steady_cycle / "
+        "repro.runner.backends.BatchBackend",
+        "Transient lengths (Brent mu) found by the cycle detector "
+        "(scalar and batch lanes alike).",
     ),
     MetricSpec(
         ENGINE_CLOCKS, "counter", (),

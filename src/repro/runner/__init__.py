@@ -12,10 +12,13 @@ Every simulation in the repository flows through three layers:
     ``reference`` object-per-port engine (ground truth, stats, traces),
     the ``fast`` flat-array engine with Brent steady-cycle detection
     (bit-identical steady results, orders of magnitude the throughput),
-    the strict ``analytic`` closed-form solver (Tier A: theorem-decided
-    jobs only), and ``auto`` — closed form when the theory decides,
-    fast simulation otherwise.  Select per call or via the
-    ``REPRO_SIM_BACKEND`` environment variable.
+    the ``batch`` structure-of-arrays engine (whole populations stepped
+    in NumPy lockstep, bit-identical to ``fast``), the strict
+    ``analytic`` closed-form solver (Tier A: theorem-decided jobs
+    only), and ``auto`` — closed form when the theory decides, the
+    batch core for large undecided populations, fast simulation
+    otherwise.  Select per call or via the ``REPRO_SIM_BACKEND``
+    environment variable.
 ``executor``
     :class:`SweepExecutor` — deduplicates isomorphic jobs, memoizes
     outcomes in an LRU in-process cache and a crash-safe on-disk JSON
@@ -41,6 +44,7 @@ from .backends import (
     BACKEND_ENV_VAR,
     AnalyticBackend,
     AutoBackend,
+    BatchBackend,
     FastBackend,
     ReferenceBackend,
     SimBackend,
@@ -67,6 +71,7 @@ __all__ = [
     "AnalyticBackend",
     "AutoBackend",
     "BACKEND_ENV_VAR",
+    "BatchBackend",
     "ExecutorStats",
     "FailedJobError",
     "FailedOutcome",

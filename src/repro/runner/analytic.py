@@ -194,6 +194,9 @@ class AnalyticBackend:
     """
 
     name = "analytic"
+    #: Closed forms cost microseconds per job; big chunks amortise the
+    #: dispatch overhead.
+    preferred_chunk = 1024
 
     def run(self, job: SimJob) -> SimOutcome:
         out = solve(job)
@@ -209,9 +212,13 @@ class AnalyticBackend:
 
 
 class AutoBackend:
-    """Tier dispatch: closed form when the theory decides, else fast sim."""
+    """Tier dispatch: closed form when the theory decides, then the
+    lockstep batch core for large undecided populations, scalar fast
+    simulation for the rest."""
 
     name = "auto"
+    #: Large chunks keep the batch tier's lockstep populations wide.
+    preferred_chunk = 2048
 
     def run(self, job: SimJob) -> SimOutcome:
         out = solve(job)
@@ -227,7 +234,13 @@ class AutoBackend:
         return get_backend("fast").run(job)
 
     def run_batch(self, jobs: Sequence[SimJob]) -> list[SimOutcome]:
-        """Solve what the theory decides; batch the rest through fast."""
+        """Solve what the theory decides; the undecided rest goes to the
+        lockstep batch core when the population is large enough to
+        amortise its array setup, to scalar fast simulation otherwise.
+        Trace jobs always run scalar (the batch core keeps no trace)."""
+        from .backends import get_backend
+        from .batchsim import BATCH_MIN_POPULATION
+
         with _trace.span(_names.SPAN_AUTO_RUN_BATCH, jobs=len(jobs)):
             out: list[SimOutcome | None] = []
             rest: list[int] = []
@@ -236,6 +249,10 @@ class AutoBackend:
                 out.append(o)
                 if o is None:
                     rest.append(i)
+            batched = (
+                len(rest) >= BATCH_MIN_POPULATION
+                and not any(jobs[i].trace for i in rest)
+            )
             reg = _metrics.active_metrics()
             if reg is not None:
                 decided = len(jobs) - len(rest)
@@ -244,14 +261,13 @@ class AutoBackend:
                         _names.AUTO_DISPATCH, tier="analytic"
                     ).inc(decided)
                 if rest:
+                    tier = "batch" if batched else "fastsim"
                     reg.counter(
-                        _names.AUTO_DISPATCH, tier="fastsim"
+                        _names.AUTO_DISPATCH, tier=tier
                     ).inc(len(rest))
             if rest:
-                from .backends import get_backend
-
-                fast = get_backend("fast")
-                ran = fast.run_batch([jobs[i] for i in rest])
+                sim = get_backend("batch" if batched else "fast")
+                ran = sim.run_batch([jobs[i] for i in rest])
                 for i, o in zip(rest, ran):
                     out[i] = o
             assert all(o is not None for o in out)

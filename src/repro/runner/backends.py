@@ -15,13 +15,22 @@
 ``analytic``
     The closed-form solver of :mod:`repro.runner.analytic` as a strict
     backend — raises on jobs the theory does not decide.
+``batch``
+    The lockstep structure-of-arrays core of
+    :mod:`repro.runner.batchsim` — whole populations advanced as NumPy
+    int64 state, bit-identical per job to the fast backend (which stays
+    on as the scalar bit-exactness oracle and the tail fallback).
 ``auto``
     The production tier dispatch: closed form when a theorem certifies
-    the outcome, fast simulation otherwise.
+    the outcome, batch lockstep for large undecided populations, fast
+    simulation otherwise.
 
 All backends also answer :meth:`SimBackend.run_batch`, which amortises
 per-job setup (shared section tables, one dispatch) across a sweep
-chunk — the executor's workers call it once per chunk.
+chunk — the executor's workers call it once per chunk.  Each backend
+advertises a ``preferred_chunk`` hint: the chunk size below which
+splitting a batch further stops paying (the executor sizes its worker
+chunks with it).
 
 Backend selection: pass ``backend=`` to :func:`repro.runner.api.run`, or
 set the ``REPRO_SIM_BACKEND`` environment variable.  Jobs that request a
@@ -32,6 +41,7 @@ event log.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from fractions import Fraction
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -39,6 +49,7 @@ from ..memory.config import MemoryConfig
 from ..obs import metrics as _metrics
 from ..obs import names as _names
 from .analytic import AnalyticBackend, AutoBackend
+from .batchsim import SectCache, run_span_batch, run_steady_batch
 from .fastsim import FlatSim, find_steady_cycle
 from .job import SimJob, SimOutcome
 
@@ -46,6 +57,7 @@ __all__ = [
     "SimBackend",
     "ReferenceBackend",
     "FastBackend",
+    "BatchBackend",
     "AnalyticBackend",
     "AutoBackend",
     "BACKEND_ENV_VAR",
@@ -63,6 +75,10 @@ class SimBackend(Protocol):
     """Anything that can turn a :class:`SimJob` into a :class:`SimOutcome`."""
 
     name: str
+    #: Chunk-size hint for the executor: the largest chunk this backend
+    #: still benefits from receiving whole (1 = per-job dispatch is
+    #: as good as it gets).
+    preferred_chunk: int
 
     def run(self, job: SimJob) -> SimOutcome:  # pragma: no cover - protocol
         ...
@@ -78,6 +94,7 @@ class ReferenceBackend:
     """The original object-per-port engine (semantic ground truth)."""
 
     name = "reference"
+    preferred_chunk = 1
 
     def run(self, job: SimJob) -> SimOutcome:
         # Imported lazily: the runner is a lower layer than repro.sim's
@@ -146,6 +163,9 @@ class FastBackend:
     """
 
     name = "fast"
+    #: Shared section tables amortise across a few dozen jobs; beyond
+    #: that the per-job Python stepping dominates either way.
+    preferred_chunk = 32
 
     def run(self, job: SimJob) -> SimOutcome:
         return self._run_with_sect(job, None)
@@ -218,10 +238,122 @@ class FastBackend:
         )
 
 
+class BatchBackend:
+    """Lockstep structure-of-arrays engine over whole populations.
+
+    The chunk handed to :meth:`run_batch` advances as one NumPy
+    structure-of-arrays population (:mod:`repro.runner.batchsim`);
+    converged lanes retire behind an active mask, and sparse survivor
+    tails hand off to the scalar fast engine (which is also the
+    bit-exactness oracle: per-job outcomes are identical by the
+    property suite).  Error behaviour matches the sequential fast
+    backend observably — the exception reported is the one the
+    lowest-indexed failing job would have raised.
+    """
+
+    name = "batch"
+    #: The SoA core amortises setup across the whole chunk; give it
+    #: everything a worker can hold.
+    preferred_chunk = 4096
+
+    def run(self, job: SimJob) -> SimOutcome:
+        return self.run_batch([job])[0]
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimOutcome]:
+        out: list[SimOutcome | None] = [None] * len(jobs)
+        errors: dict[int, Exception] = {}
+        steady_idx: list[int] = []
+        span_idx: list[int] = []
+        for i, job in enumerate(jobs):
+            if job.trace:
+                errors[i] = ValueError(
+                    "the batch backend keeps no trace; run trace jobs on "
+                    "the reference backend"
+                )
+            elif job.steady:
+                steady_idx.append(i)
+            else:
+                span_idx.append(i)
+        sect_tables: SectCache = {}
+        reg = _metrics.active_metrics()
+        if steady_idx:
+            results, exceeded, fallback, _stats = run_steady_batch(
+                [jobs[i] for i in steady_idx], sect_tables
+            )
+            for k in exceeded:
+                i = steady_idx[k]
+                errors[i] = RuntimeError(
+                    f"no cyclic state within {jobs[i].max_cycles} cycles "
+                    "(state space exhausted the bound)"
+                )
+            if fallback:
+                if reg is not None:
+                    reg.counter(_names.BATCH_FALLBACK, reason="tail").inc(
+                        len(fallback)
+                    )
+                fast = get_backend(FastBackend.name)
+                assert isinstance(fast, FastBackend)
+                for k in fallback:
+                    i = steady_idx[k]
+                    try:
+                        solo = fast._run_with_sect(jobs[i], None)
+                    except RuntimeError as exc:
+                        errors[i] = exc
+                    else:
+                        out[i] = replace(solo, backend=self.name)
+            for k, res in enumerate(results):
+                if res is None:
+                    continue
+                i = steady_idx[k]
+                per_port = tuple(
+                    g1 - g0 for g0, g1 in zip(res.grants0, res.grants1)
+                )
+                if reg is not None:
+                    reg.histogram(_names.FASTSIM_STEADY_MU).observe(res.mu)
+                    reg.histogram(_names.FASTSIM_STEADY_LAM).observe(res.lam)
+                out[i] = SimOutcome(
+                    job=jobs[i],
+                    backend=self.name,
+                    bandwidth=Fraction(sum(per_port), res.lam),
+                    period=res.lam,
+                    grants=per_port,
+                    steady_start=res.mu,
+                    cycles=res.mu + res.lam,
+                )
+        if span_idx:
+            grants_list, _span_stats = run_span_batch(
+                [jobs[i] for i in span_idx], sect_tables
+            )
+            for k, grants in enumerate(grants_list):
+                i = span_idx[k]
+                cycles = jobs[i].cycles
+                assert cycles is not None
+                total = sum(grants)
+                out[i] = SimOutcome(
+                    job=jobs[i],
+                    backend=self.name,
+                    bandwidth=(
+                        Fraction(total, cycles) if cycles else Fraction(0)
+                    ),
+                    period=None,
+                    grants=grants,
+                    steady_start=None,
+                    cycles=cycles,
+                )
+        if errors:
+            raise errors[min(errors)]
+        done: list[SimOutcome] = []
+        for o in out:
+            assert o is not None
+            done.append(o)
+        return done
+
+
 _INSTANCES: dict[str, SimBackend] = {}
 _CLASSES: dict[str, type] = {
     ReferenceBackend.name: ReferenceBackend,
     FastBackend.name: FastBackend,
+    BatchBackend.name: BatchBackend,
     AnalyticBackend.name: AnalyticBackend,
     AutoBackend.name: AutoBackend,
 }

@@ -121,6 +121,29 @@ class _ChunkTask:
     error: str = ""
 
 
+def _preferred_chunk(backend: str | None) -> int:
+    """The dispatched backend's advertised chunk-size hint (``1`` when
+    the backend does not advertise one)."""
+    from .backends import resolve_backend
+
+    return getattr(resolve_backend(backend), "preferred_chunk", 1)
+
+
+def _chunk_size(n_items: int, workers: int, preferred: int) -> int:
+    """Pooled chunk size honouring the backend's ``preferred_chunk``.
+
+    The base split (ceil of four chunks per worker) balances per-job
+    Python dispatch against pool latency hiding.  Backends that batch
+    internally — the SoA ``batch`` core above all — advertise a larger
+    ``preferred_chunk``; the split then widens up to that hint, but
+    never past one chunk per worker (all workers stay busy).
+    """
+    base = -(-n_items // (4 * workers))
+    if preferred > base:
+        return min(preferred, -(-n_items // workers))
+    return base
+
+
 def _execute_payload(args: tuple[SimJob, str | None]) -> dict:
     """Process-pool worker: run one job, return its JSON-safe payload."""
     job, backend = args
@@ -307,11 +330,9 @@ class SweepExecutor:
         self.stats.executed += len(items)
         pooled = self.workers > 1 and len(items) > 1
         if pooled:
-            # One batch per worker chunk: ceil division so the tail jobs
-            # are spread over the chunks instead of dangling one by one
-            # (the old floor division degenerated to chunks of a single
-            # job for batches smaller than 4 x workers).
-            size = -(-len(items) // (4 * self.workers))
+            size = _chunk_size(
+                len(items), self.workers, _preferred_chunk(backend)
+            )
         else:
             size = len(items)
         chunks: list[_Chunk] = [

@@ -1,0 +1,18 @@
+"""EXACT001 fixture: NumPy state arrays drifting off the exact dtypes."""
+
+import numpy as np
+
+
+def build_state(jobs: int):
+    busy = np.zeros(jobs)  # missing dtype -> float64
+    clocks = np.arange(jobs, dtype=int)  # platform int can overflow
+    weights = np.array([1, 2], dtype=np.float64)  # float dtype
+    return busy, clocks, weights
+
+
+def bandwidth(grants, period):
+    return np.true_divide(grants, period)  # float-producing ufunc
+
+
+def downcast(x):
+    return x.astype(np.float32)  # float dtype attribute

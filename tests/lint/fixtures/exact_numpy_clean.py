@@ -1,0 +1,17 @@
+"""EXACT001 fixture: NumPy state arrays pinned to the exact dtypes."""
+
+import numpy as np
+
+
+def build_state(jobs: int, banks: int):
+    busy = np.zeros(jobs * banks, dtype=np.int64)
+    active = np.ones(jobs, dtype=np.bool_)
+    cols = np.arange(jobs, dtype=np.intp)
+    grants = np.array([0] * jobs, dtype=np.int64)
+    return busy, active, cols, grants
+
+
+def advance(busy, active, until):
+    mask = np.zeros_like(active)  # *_like inherits the exact dtype
+    np.maximum(busy, until, out=busy, where=mask)
+    return busy // 2

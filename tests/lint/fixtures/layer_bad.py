@@ -1,5 +1,6 @@
 """LAYER001 fixture: engine primitives invoked outside the blessed layer."""
 
+from repro.runner.batchsim import BatchSim, run_span_batch, run_steady_batch
 from repro.sim.engine import Engine, simulate_streams
 from repro.sim.port import Port
 
@@ -9,3 +10,10 @@ def direct(config, streams):
     engine = Engine(config, ports)  # direct engine construction
     res = simulate_streams(config, streams)  # bypasses run(job)
     return engine, res
+
+
+def direct_batch(jobs):
+    sim = BatchSim(jobs)  # direct SoA core construction
+    steady = run_steady_batch(jobs)  # bypasses BatchBackend bookkeeping
+    span = run_span_batch(jobs)  # likewise
+    return sim, steady, span

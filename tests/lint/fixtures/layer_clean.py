@@ -14,5 +14,12 @@ def sweep(jobs) -> list:
         return ex.run_many(jobs)
 
 
+def population(jobs) -> list:
+    from repro.runner import get_backend
+
+    # The batch core is reached through its backend, never directly.
+    return get_backend("batch").run_batch(jobs)
+
+
 def annotate(res: SimulationResult) -> int:
     return res.cycles

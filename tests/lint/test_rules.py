@@ -14,13 +14,15 @@ FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 #: (fixture file, rule, expected finding count)
 BAD = [
     ("exact_bad.py", "EXACT001", 4),
+    ("exact_numpy_bad.py", "EXACT001", 5),
     ("det_bad.py", "DET001", 7),
-    ("layer_bad.py", "LAYER001", 3),
+    ("layer_bad.py", "LAYER001", 6),
     ("frozen_bad.py", "FROZEN001", 2),
     ("obs_bad.py", "OBS001", 4),
 ]
 CLEAN = [
     ("exact_clean.py", "EXACT001"),
+    ("exact_numpy_clean.py", "EXACT001"),
     ("det_clean.py", "DET001"),
     ("layer_clean.py", "LAYER001"),
     ("frozen_clean.py", "FROZEN001"),
@@ -62,6 +64,29 @@ class TestExactDetails:
         assert "true division" in messages[9]
         assert "float() conversion" in messages[13]
         assert "in-place true division" in messages[17]
+
+    def test_numpy_flags_point_at_the_right_lines(self):
+        findings = lint_file(
+            FIXTURES / "exact_numpy_bad.py", rules=get_rules(["EXACT001"])
+        )
+        messages = {f.line: f.message for f in findings}
+        assert "without an explicit dtype" in messages[7]
+        assert "not an exact dtype" in messages[8]
+        assert "float dtype numpy.float64" in messages[9]
+        assert "numpy.true_divide() produces floats" in messages[14]
+        assert "float dtype numpy.float32" in messages[18]
+
+    def test_batchsim_is_exact_clean(self):
+        # The SoA core is the very module the NumPy extension guards.
+        import pathlib
+
+        src = pathlib.Path(__file__).parents[2] / "src"
+        findings = lint_file(
+            src / "repro" / "runner" / "batchsim.py",
+            rules=get_rules(["EXACT001"]),
+            module="repro.runner.batchsim",
+        )
+        assert findings == [], [f.render() for f in findings]
 
 
 class TestLayerDetails:

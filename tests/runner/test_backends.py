@@ -19,7 +19,9 @@ from repro.runner.backends import (
 
 class TestRegistry:
     def test_available(self):
-        assert available_backends() == ("analytic", "auto", "fast", "reference")
+        assert available_backends() == (
+            "analytic", "auto", "batch", "fast", "reference"
+        )
 
     def test_instances_are_shared(self):
         assert get_backend("fast") is get_backend("fast")
@@ -145,6 +147,65 @@ class TestRunBatch:
         outs = get_backend("reference").run_batch(AGREEMENT_JOBS[:2])
         for job, out in zip(AGREEMENT_JOBS[:2], outs):
             assert out.bandwidth == run(job, backend="reference").bandwidth
+
+
+class TestBatchBackend:
+    def test_batch_matches_fast_per_job(self):
+        jobs = AGREEMENT_JOBS + [
+            SimJob.from_specs(FIG2_CONFIG, [(0, 1), (5, 7)]),
+            SimJob.from_specs(FIG3_CONFIG, [(0, 1)], steady=False, cycles=40),
+        ]
+        outs = get_backend("batch").run_batch(jobs)
+        for job, out in zip(jobs, outs):
+            solo = get_backend("fast").run(job)
+            assert out.backend == "batch"
+            assert out.bandwidth == solo.bandwidth
+            assert out.period == solo.period
+            assert out.grants == solo.grants
+            assert out.steady_start == solo.steady_start
+            assert out.cycles == solo.cycles
+
+    def test_single_run_entry_point(self):
+        job = SimJob.from_specs(FIG3_CONFIG, [(0, 1), (0, 6)])
+        out = get_backend("batch").run(job)
+        fast = get_backend("fast").run(job)
+        assert (out.bandwidth, out.period, out.grants) == (
+            fast.bandwidth, fast.period, fast.grants
+        )
+
+    def test_rejects_trace_jobs(self):
+        job = SimJob.from_specs(
+            FIG3_CONFIG, [(0, 1)], steady=False, cycles=10, trace=True
+        )
+        with pytest.raises(ValueError, match="no trace"):
+            get_backend("batch").run(job)
+
+    def test_max_cycles_error_matches_fast(self):
+        job = SimJob.from_specs(FIG3_CONFIG, [(0, 1), (0, 6)], max_cycles=2)
+        with pytest.raises(RuntimeError) as fast_err:
+            get_backend("fast").run(job)
+        with pytest.raises(RuntimeError) as batch_err:
+            get_backend("batch").run_batch([job])
+        assert str(batch_err.value) == str(fast_err.value)
+
+    def test_auto_routes_large_populations_to_batch(self):
+        from repro.runner.batchsim import BATCH_MIN_POPULATION
+
+        undecided = SimJob.from_specs(FIG3_CONFIG, [(0, 1), (0, 6)])
+        small = get_backend("auto").run_batch([undecided] * 3)
+        assert {o.backend for o in small} == {"fast"}
+        large = get_backend("auto").run_batch(
+            [undecided] * BATCH_MIN_POPULATION
+        )
+        assert {o.backend for o in large} == {"batch"}
+        assert {(o.bandwidth, o.period) for o in large} == {
+            (small[0].bandwidth, small[0].period)
+        }
+
+    def test_preferred_chunk_hints(self):
+        assert get_backend("batch").preferred_chunk >= 1024
+        assert get_backend("fast").preferred_chunk < 256
+        assert get_backend("reference").preferred_chunk == 1
 
 
 class TestOutcomeViews:

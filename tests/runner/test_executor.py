@@ -227,6 +227,40 @@ class TestWorkersAndModes:
         assert all(o.result is not None for o in out)
         assert len(ex) == 0
 
+
+class TestChunkSize:
+    def test_base_split_is_four_chunks_per_worker(self):
+        from repro.runner.executor import _chunk_size
+
+        assert _chunk_size(100, 4, 1) == 7  # ceil(100 / 16)
+        assert _chunk_size(3, 4, 1) == 1  # never zero
+
+    def test_preferred_chunk_widens_the_split(self):
+        from repro.runner.executor import _chunk_size
+
+        # A batching backend asks for big chunks and gets them...
+        assert _chunk_size(100, 4, 4096) == 25  # ceil(100 / 4)
+        # ...capped at one chunk per worker (all workers stay busy).
+        assert _chunk_size(8192, 4, 4096) == 2048
+        # A huge batch already exceeds the hint: the base split stands.
+        assert _chunk_size(100_000, 4, 4096) == 6250
+        # A modest hint below the base split changes nothing.
+        assert _chunk_size(100, 4, 2) == 7
+
+    def test_backend_hint_resolution(self):
+        from repro.runner.executor import _preferred_chunk
+
+        assert _preferred_chunk("batch") >= 1024
+        assert _preferred_chunk("reference") == 1
+
+    def test_batch_backend_pooled_sweep_matches_inline(self):
+        jobs = jobs_for_offsets(FIG2_CONFIG, 1, 7, range(12))
+        inline = SweepExecutor(backend="batch", workers=1).run_many(jobs)
+        pooled = SweepExecutor(backend="batch", workers=2).run_many(jobs)
+        direct = [run(j) for j in jobs]
+        assert [o.bandwidth for o in inline] == [o.bandwidth for o in direct]
+        assert [o.grants for o in pooled] == [o.grants for o in direct]
+
     def test_clear(self):
         ex = SweepExecutor()
         ex.run_one(_job())

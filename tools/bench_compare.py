@@ -11,19 +11,24 @@ backends and reports simulated clocks per second::
 
     PYTHONPATH=src python tools/bench_compare.py [--clocks N] [--repeat K]
 
-**Sweep wall-clock** (``--sweeps``) — times the two tier-sensitive
-sweep workloads (the regime census and the start-space profiles of the
-paper's figure pairs) through the tiered executor, best-of ``--repeat``,
-and writes the wall-clock JSON (``--json PATH``) whose schema matches
-the benchmark timing artifacts (``BENCH_*.json``)::
+**Sweep wall-clock** (``--sweeps``) — times the tier-sensitive sweep
+workloads (the regime census, the lockstep census population and the
+start-space profiles of the paper's figure pairs) through the tiered
+executor, best-of ``--repeat``, and writes the wall-clock JSON
+(``--json PATH``) whose schema matches the benchmark timing artifacts
+(``BENCH_*.json``).  ``--backend NAME`` pins ``$REPRO_BENCH_BACKEND``
+for the backend-parametrized benches (the census population)::
 
-    PYTHONPATH=src python tools/bench_compare.py --sweeps --json BENCH_after.json
+    PYTHONPATH=src python tools/bench_compare.py --sweeps --backend batch \
+        --json BENCH_after.json
 
 **Artifact comparison** (``--compare BEFORE AFTER``) — reads two such
 wall-clock artifacts (same-machine captures) and reports per-benchmark
-speedups; CI runs this on the committed ``BENCH_before.json`` /
-``BENCH_after.json`` pair with ``--min-speedup 5`` to pin the tiered
-pipeline's reason to exist.
+speedups; ``--keys SUBSTR [SUBSTR ...]`` restricts the comparison to
+matching benchmark keys.  CI runs this on the committed
+``BENCH_before.json`` / ``BENCH_after.json`` pair with
+``--keys census_population --min-speedup 5`` to pin the lockstep batch
+core's reason to exist.
 """
 
 from __future__ import annotations
@@ -80,12 +85,14 @@ SWEEP_BENCHES = (
 )
 
 
-def _run_sweeps(repeat: int) -> dict:
+def _run_sweeps(repeat: int, backend: str | None = None) -> dict:
     """Best-of-``repeat`` wall-clock of the sweep benchmarks.
 
     Each repetition is a fresh pytest process so in-process caches
     (executor memo, classifier lru_caches) start cold — the same
-    methodology as the committed ``BENCH_*.json`` captures.
+    methodology as the committed ``BENCH_*.json`` captures.  A
+    ``backend`` pins ``$REPRO_BENCH_BACKEND`` for the
+    backend-parametrized benches.
     """
     import os
     import subprocess
@@ -99,6 +106,8 @@ def _run_sweeps(repeat: int) -> dict:
             env = dict(os.environ)
             env["REPRO_BENCH_TIMINGS"] = str(timings)
             env["PYTHONPATH"] = str(root / "src")
+            if backend is not None:
+                env["REPRO_BENCH_BACKEND"] = backend
             subprocess.run(
                 [sys.executable, "-m", "pytest", *SWEEP_BENCHES, "-q"],
                 check=True,
@@ -118,15 +127,23 @@ def _run_sweeps(repeat: int) -> dict:
 
 
 def _compare_artifacts(
-    before_path: str, after_path: str, min_speedup: float
+    before_path: str,
+    after_path: str,
+    min_speedup: float,
+    keys: list[str] | None = None,
 ) -> dict:
-    """Per-benchmark speedups between two wall-clock artifacts."""
+    """Per-benchmark speedups between two wall-clock artifacts,
+    optionally restricted to benchmark keys containing a ``keys``
+    substring."""
     before = json.loads(pathlib.Path(before_path).read_text())["benchmarks"]
     after = json.loads(pathlib.Path(after_path).read_text())["benchmarks"]
     shared = sorted(set(before) & set(after))
+    if keys:
+        shared = [k for k in shared if any(sub in k for sub in keys)]
     if not shared:
         raise SystemExit(
             f"no shared benchmarks between {before_path} and {after_path}"
+            + (f" matching {keys}" if keys else "")
         )
     rows = {}
     ok = True
@@ -160,15 +177,23 @@ def main(argv: list[str] | None = None) -> int:
                          "instead of backend throughput")
     ap.add_argument("--compare", nargs=2, metavar=("BEFORE", "AFTER"),
                     help="compare two wall-clock JSON artifacts")
+    ap.add_argument("--keys", nargs="+", metavar="SUBSTR",
+                    help="restrict --compare to benchmark keys "
+                         "containing any of these substrings")
+    ap.add_argument("--backend",
+                    help="with --sweeps, pin $REPRO_BENCH_BACKEND for "
+                         "the backend-parametrized benches")
     ap.add_argument("--json", dest="json_path",
                     help="also write the report to this path")
     args = ap.parse_args(argv)
 
     if args.compare:
-        report = _compare_artifacts(*args.compare, args.min_speedup)
+        report = _compare_artifacts(
+            *args.compare, args.min_speedup, args.keys
+        )
         ok = report["pass"]
     elif args.sweeps:
-        report = _run_sweeps(args.repeat)
+        report = _run_sweeps(args.repeat, args.backend)
         ok = True  # absolute timings carry no pass/fail by themselves
     else:
         report = {
