@@ -1,0 +1,433 @@
+"""The whole-program :class:`ProjectIndex`: one parse pass over the tree.
+
+Per-file AST rules cannot see an upward import, a worker closure that
+will not survive the pickle boundary, or a metric name minted outside
+``repro.obs.names`` — the invariants PRs 5-6 moved across process and
+module boundaries.  The index is the shared substrate every
+cross-file rule (IMPORT001, PAR001, OBS002, DEAD001, API001) runs on:
+it parses each Python file in the repository tree exactly once and
+records, per module,
+
+* the dotted module name, top-level package and *role* (``src`` /
+  ``tests`` / ``tools`` / ``benchmarks`` / ``examples``),
+* the module-level symbol table and ``__all__`` export list,
+* every import edge, alias-resolved and tagged *eager* (executes at
+  import time) or *lazy* (function-scoped or ``TYPE_CHECKING``-guarded
+  — the sanctioned cycle-breaking idiom),
+* a coarse use map: every dotted name the module references, expanded
+  to all prefixes so ``names.FOO.bit_length`` counts as a use of both
+  ``repro.obs.names`` and ``repro.obs.names.FOO``,
+* the suppression directives, so project-rule findings honour the same
+  waivers file rules do.
+
+The index is deliberately *not* cached on disk — only its
+:attr:`ProjectIndex.digest` is.  A warm lint run recomputes the cheap
+content digest, sees it unchanged, and replays the cached project
+findings without parsing anything (see ``framework.lint_paths``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .framework import Suppressions, module_name_for_path
+
+__all__ = [
+    "ImportEdge",
+    "ModuleInfo",
+    "ProjectIndex",
+    "TREE_DIRS",
+    "iter_tree_files",
+    "role_for_path",
+]
+
+#: Directories under the project root that make up the indexed tree.
+TREE_DIRS = ("src", "tests", "tools", "benchmarks", "examples")
+
+#: Path components that are never indexed or linted: bytecode caches
+#: and lint fixtures (fixtures are *data* — intentionally-bad sources
+#: that would otherwise pollute the import graph with fake modules).
+EXCLUDED_PARTS = frozenset({"__pycache__", "fixtures"})
+
+
+def role_for_path(path: str | Path) -> str:
+    """Coarse tree role of a file: which top-level dir it lives under.
+
+    Used for rule scoping: engine-bypass discipline (LAYER001) extends
+    to ``tools`` (they write committed artifacts) but not to ``tests``
+    (which must construct engines to test them).
+    """
+    parts = Path(path).parts
+    for role in ("tests", "tools", "benchmarks", "examples"):
+        if role in parts:
+            return role
+    return "src"
+
+
+def iter_tree_files(root: Path) -> Iterator[Path]:
+    """Every indexable Python file under the project tree, sorted."""
+    seen: list[Path] = []
+    for name in TREE_DIRS:
+        top = root / name
+        if not top.is_dir():
+            continue
+        for sub in top.rglob("*.py"):
+            # Exclusion is *root-relative*: a fixture project tree used
+            # as a lint root in the test suite lives under a directory
+            # named "fixtures" itself, and must still index.
+            if not EXCLUDED_PARTS.intersection(sub.relative_to(root).parts):
+                seen.append(sub)
+    for loose in root.glob("*.py"):
+        seen.append(loose)
+    return iter(sorted(seen))
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, alias-resolved to a dotted origin."""
+
+    origin: str  #: dotted module (or module.symbol) being imported
+    lineno: int
+    #: function-scoped or TYPE_CHECKING-guarded: does not execute at
+    #: import time, so it cannot participate in an import cycle.
+    lazy: bool
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project rules may consult about one module."""
+
+    path: str  #: root-relative posix path
+    module: str  #: dotted name, "" when outside a repro tree
+    package: str  #: top-level repro subpackage ("core", ...; "" = root)
+    role: str  #: src | tests | tools | benchmarks | examples
+    is_package: bool
+    digest: str  #: sha256 of the source bytes
+    tree: ast.Module
+    suppressions: Suppressions
+    import_map: dict[str, str]  #: local name -> dotted origin
+    imports: tuple[ImportEdge, ...]
+    exports: tuple[str, ...] | None  #: __all__, None when absent
+    export_lines: dict[str, int] = field(default_factory=dict)
+    symbols: frozenset[str] = frozenset()  #: module-level bindings
+    nested_functions: frozenset[str] = frozenset()
+    #: module-level functions whose body declares ``global``
+    global_mutators: frozenset[str] = frozenset()
+    #: every dotted name referenced, expanded to all prefixes
+    uses: frozenset[str] = frozenset()
+    #: modules star-imported (``from m import *``)
+    star_imports: frozenset[str] = frozenset()
+
+
+def _iter_eager_lazy(tree: ast.Module) -> Iterator[tuple[ast.stmt, bool]]:
+    """Yield import statements tagged lazy (not run at import time)."""
+
+    def visit(body: Iterable[ast.stmt], lazy: bool) -> Iterator[
+        tuple[ast.stmt, bool]
+    ]:
+        for node in body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield node, lazy
+            elif isinstance(node, ast.If):
+                test = node.test
+                guarded = lazy or (
+                    isinstance(test, ast.Name)
+                    and test.id == "TYPE_CHECKING"
+                ) or (
+                    isinstance(test, ast.Attribute)
+                    and test.attr == "TYPE_CHECKING"
+                )
+                yield from visit(node.body, guarded)
+                yield from visit(node.orelse, guarded)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from visit(node.body, True)
+            elif isinstance(node, ast.ClassDef):
+                # Class bodies execute at import time.
+                yield from visit(node.body, lazy)
+            elif isinstance(node, ast.Try):
+                for block in (node.body, node.orelse, node.finalbody):
+                    yield from visit(block, lazy)
+                for handler in node.handlers:
+                    yield from visit(handler.body, lazy)
+            elif isinstance(node, (ast.With, ast.AsyncWith, ast.For,
+                                   ast.AsyncFor, ast.While)):
+                yield from visit(node.body, lazy)
+
+    yield from visit(tree.body, False)
+
+
+def _resolve_base(
+    base: str, level: int, pkg_parts: list[str]
+) -> str:
+    """Anchor a relative import against the enclosing package."""
+    if not level:
+        return base
+    anchor = pkg_parts[: len(pkg_parts) - (level - 1)]
+    return ".".join(anchor + ([base] if base else []))
+
+
+def _collect_exports(
+    tree: ast.Module,
+) -> tuple[tuple[str, ...] | None, dict[str, int]]:
+    """``__all__`` entries with the line each entry sits on."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "__all__"
+                and isinstance(value, (ast.List, ast.Tuple))
+            ):
+                names: list[str] = []
+                lines: dict[str, int] = {}
+                for elt in value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str
+                    ):
+                        names.append(elt.value)
+                        lines.setdefault(elt.value, elt.lineno)
+                return tuple(names), lines
+    return None, {}
+
+
+def _dotted_chain(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _prefixes(dotted: str) -> Iterator[str]:
+    parts = dotted.split(".")
+    for k in range(2, len(parts) + 1):
+        yield ".".join(parts[:k])
+
+
+def build_module_info(
+    path: Path,
+    rel_path: str,
+    source: str,
+    tree: ast.Module,
+    *,
+    digest: str | None = None,
+) -> ModuleInfo:
+    """Index one parsed module (shared with the lint driver)."""
+    module = module_name_for_path(rel_path)
+    mod_parts = module.split(".") if module else []
+    package = mod_parts[1] if len(mod_parts) > 1 else ""
+    is_package = path.name == "__init__.py"
+    pkg_parts = mod_parts if is_package else mod_parts[:-1]
+
+    import_map: dict[str, str] = {}
+    edges: list[ImportEdge] = []
+    star: set[str] = set()
+    uses: set[str] = set()
+    for node, lazy in _iter_eager_lazy(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                import_map[bound] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                edges.append(ImportEdge(alias.name, node.lineno, lazy))
+                uses.update(_prefixes(alias.name))
+        else:
+            assert isinstance(node, ast.ImportFrom)
+            base = _resolve_base(node.module or "", node.level, pkg_parts)
+            for alias in node.names:
+                if alias.name == "*":
+                    if base:
+                        star.add(base)
+                        edges.append(ImportEdge(base, node.lineno, lazy))
+                        uses.update(_prefixes(base))
+                    continue
+                origin = f"{base}.{alias.name}" if base else alias.name
+                import_map[alias.asname or alias.name] = origin
+                edges.append(ImportEdge(origin, node.lineno, lazy))
+                uses.update(_prefixes(origin))
+
+    symbols: set[str] = set()
+    nested: set[str] = set()
+    mutators: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols.add(node.name)
+            if any(isinstance(n, ast.Global) for n in ast.walk(node)):
+                mutators.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            symbols.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    symbols.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                symbols.add(node.target.id)
+    symbols.update(import_map)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name not in symbols:
+                nested.add(node.name)
+        elif isinstance(node, ast.Attribute):
+            chain = _dotted_chain(node)
+            if chain is not None:
+                head = import_map.get(chain[0], chain[0])
+                uses.update(_prefixes(".".join([head, *chain[1:]])))
+
+    exports, export_lines = _collect_exports(tree)
+    return ModuleInfo(
+        path=rel_path,
+        module=module,
+        package=package,
+        role=role_for_path(rel_path),
+        is_package=is_package,
+        digest=digest
+        if digest is not None
+        else hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        tree=tree,
+        suppressions=Suppressions.parse(source),
+        import_map=import_map,
+        imports=tuple(edges),
+        exports=exports,
+        export_lines=export_lines,
+        symbols=frozenset(symbols),
+        nested_functions=frozenset(nested),
+        global_mutators=frozenset(mutators),
+        uses=frozenset(uses),
+        star_imports=frozenset(star),
+    )
+
+
+def _script_uses(root: Path) -> frozenset[str]:
+    """Console-script entry points from ``pyproject.toml`` count as
+    uses (``repro.cli:main`` keeps ``main`` alive for DEAD001)."""
+    pyproject = root / "pyproject.toml"
+    if not pyproject.exists():
+        return frozenset()
+    try:
+        import tomllib
+
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except Exception:  # noqa: BLE001 - malformed toml: no script roots
+        return frozenset()
+    out: set[str] = set()
+    scripts = data.get("project", {}).get("scripts", {})
+    if isinstance(scripts, dict):
+        for target in scripts.values():
+            if isinstance(target, str) and ":" in target:
+                mod, _, func = target.partition(":")
+                out.update(_prefixes(f"{mod}.{func}"))
+    return frozenset(out)
+
+
+@dataclass
+class ProjectIndex:
+    """The one-pass whole-program index project rules share."""
+
+    root: Path
+    #: root-relative posix path -> module info
+    files: dict[str, ModuleInfo]
+    #: dotted module name -> info (modules inside a repro tree only)
+    by_module: dict[str, ModuleInfo]
+    #: dotted-name uses rooted outside the tree (console scripts)
+    script_uses: frozenset[str]
+    #: sha256 over (path, content digest) of every tree file
+    digest: str
+
+    @staticmethod
+    def content_digest(root: Path) -> str:
+        """Digest of the tree *content* — computable without parsing,
+        so a warm cache hit never pays for an AST."""
+        h = hashlib.sha256()
+        for path in iter_tree_files(Path(root)):
+            rel = path.relative_to(root).as_posix()
+            h.update(rel.encode("utf-8"))
+            h.update(b"\0")
+            h.update(hashlib.sha256(path.read_bytes()).digest())
+        return h.hexdigest()
+
+    @classmethod
+    def build(cls, root: str | Path) -> "ProjectIndex":
+        root = Path(root)
+        files: dict[str, ModuleInfo] = {}
+        by_module: dict[str, ModuleInfo] = {}
+        h = hashlib.sha256()
+        for path in iter_tree_files(root):
+            rel = path.relative_to(root).as_posix()
+            raw = path.read_bytes()
+            digest = hashlib.sha256(raw).hexdigest()
+            h.update(rel.encode("utf-8"))
+            h.update(b"\0")
+            h.update(hashlib.sha256(raw).digest())
+            try:
+                source = raw.decode("utf-8")
+                tree = ast.parse(source)
+            except (SyntaxError, ValueError, UnicodeDecodeError):
+                continue  # unparsable files are PARSE001's business
+            info = build_module_info(
+                path, rel, source, tree, digest=digest
+            )
+            files[rel] = info
+            if info.module:
+                by_module[info.module] = info
+        return cls(
+            root=root,
+            files=files,
+            by_module=by_module,
+            script_uses=_script_uses(root),
+            digest=h.hexdigest(),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries shared by the project rules
+    # ------------------------------------------------------------------
+    def repro_modules(self) -> Iterator[ModuleInfo]:
+        """Every module inside a ``repro`` tree, in dotted order."""
+        for name in sorted(self.by_module):
+            yield self.by_module[name]
+
+    def resolve_module(self, origin: str) -> ModuleInfo | None:
+        """The indexed module an import origin lands in.
+
+        ``repro.runner.backends.FastBackend`` resolves to the
+        ``repro.runner.backends`` module by progressively stripping
+        trailing symbol components.
+        """
+        probe = origin
+        while probe:
+            info = self.by_module.get(probe)
+            if info is not None:
+                return info
+            if "." not in probe:
+                return None
+            probe = probe.rsplit(".", 1)[0]
+        return None
+
+    def is_used_elsewhere(self, module: str, symbol: str) -> bool:
+        """Whether ``module.symbol`` is referenced by any *other* file
+        in the project (import, attribute chain, star import, or a
+        console-script entry point)."""
+        target = f"{module}.{symbol}"
+        if target in self.script_uses:
+            return True
+        owner = self.by_module.get(module)
+        owner_path = owner.path if owner is not None else None
+        for info in self.files.values():
+            if info.path == owner_path:
+                continue
+            if target in info.uses or module in info.star_imports:
+                return True
+        return False

@@ -1,8 +1,9 @@
 """Reporters: render a :class:`~repro.lint.framework.LintReport`.
 
-Two formats: a compact human one (``path:line:col: CODE message``, one
-per line, plus a summary) and a JSON document for CI artifacts.  The
-JSON schema is versioned so downstream tooling can detect changes.
+Three formats: a compact human one (``path:line:col: CODE message``,
+one per line, plus a summary), a JSON document for CI artifacts, and
+SARIF 2.1.0 for code-scanning upload (see :mod:`repro.lint.sarif`).
+The JSON schema is versioned so downstream tooling can detect changes.
 """
 
 from __future__ import annotations
@@ -14,15 +15,27 @@ from .framework import LintReport
 __all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text", "to_json_dict"]
 
 #: Bump when the JSON report layout changes incompatibly.
-JSON_SCHEMA_VERSION = 1
+#: v2: adds files_linted / files_cached / baselined (incremental cache
+#: and baseline accounting).
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(report: LintReport) -> str:
     """Human-readable findings plus a one-line summary."""
     lines = [f.render() for f in report.findings]
+    cache_note = ""
+    if report.files_cached:
+        cache_note = (
+            f" ({report.files_linted} linted, "
+            f"{report.files_cached} from cache)"
+        )
+    baseline_note = (
+        f", {report.baselined} baselined" if report.baselined else ""
+    )
     if report.clean:
         lines.append(
-            f"reprolint: {report.files_checked} files checked, clean"
+            f"reprolint: {report.files_checked} files checked"
+            f"{cache_note}, clean{baseline_note}"
         )
     else:
         by_rule = ", ".join(
@@ -30,7 +43,8 @@ def render_text(report: LintReport) -> str:
         )
         lines.append(
             f"reprolint: {len(report.findings)} finding(s) in "
-            f"{report.files_checked} files ({by_rule})"
+            f"{report.files_checked} files{cache_note} "
+            f"({by_rule}){baseline_note}"
         )
     return "\n".join(lines)
 
@@ -42,6 +56,9 @@ def to_json_dict(report: LintReport) -> dict[str, object]:
         "tool": "reprolint",
         "root": report.root,
         "files_checked": report.files_checked,
+        "files_linted": report.files_linted,
+        "files_cached": report.files_cached,
+        "baselined": report.baselined,
         "clean": report.clean,
         "counts": report.counts(),
         "findings": [f.as_dict() for f in report.findings],

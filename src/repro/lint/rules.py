@@ -40,20 +40,57 @@ Each rule guards one invariant of the reproduction (see DESIGN.md §7):
     sanctioned timing boundary, off by default, whose readings can
     never flow into result values.  Benchmarks and tools outside the
     package time things however they like.
+
+Three *project* rules (whole-program, run once per invocation on the
+shared :class:`~repro.lint.index.ProjectIndex`) live here too:
+
+``PAR001``
+    Anything handed to a process pool (``.submit``/``.map`` in a module
+    importing ``concurrent.futures`` or ``multiprocessing``) must be a
+    module-level picklable callable — no lambdas, no bound methods, no
+    nested functions, no call results, and no workers that mutate
+    module globals (each pool process gets its own copy; mutations
+    silently diverge).  ``REPRO_CHAOS_*`` env literals are confined to
+    ``repro.runner.resilience``, the worker-side chaos boundary.
+``OBS002``
+    Metric/span names at instrumentation call sites must be
+    ``repro.obs.names`` constants — the static complement to the
+    runtime contract test, enforced even on never-executed paths.
+``DEAD001``
+    ``__all__`` entries of leaf modules that no other file references
+    are dead surface: drop the export or the symbol.  Package
+    ``__init__`` re-export lists are the curated public API and are
+    exempt.
+
+File rules scope themselves by the module's dotted name (fixture files
+declare theirs with a ``# reprolint: module=`` directive); project
+rules additionally consult the file's tree role.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from .framework import Finding, LintContext, Rule, register_rule
+from .framework import (
+    Finding,
+    LintContext,
+    ProjectRule,
+    Rule,
+    register_rule,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import ModuleInfo, ProjectIndex
 
 __all__ = [
     "ClockBoundaryRule",
+    "DeadExportRule",
     "DeterminismRule",
     "ExactnessRule",
     "FrozenMutationRule",
+    "MetricNameRule",
+    "PoolSafetyRule",
     "RunnerLayerRule",
 ]
 
@@ -178,7 +215,7 @@ class ExactnessRule(Rule):
     SCOPES = ("repro.core", "repro.runner", "repro.analysis", "repro.obs")
 
     def applies_to(self, ctx: LintContext) -> bool:
-        return not ctx.module or ctx.in_package(*self.SCOPES)
+        return ctx.in_package(*self.SCOPES)
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         rule = self
@@ -343,6 +380,11 @@ class DeterminismRule(Rule):
         "set-iteration-order leaking into ordered results."
     )
 
+    def applies_to(self, ctx: LintContext) -> bool:
+        # Result determinism is a repro-package invariant; tests and
+        # tools may read clocks and roll dice however they like.
+        return ctx.in_package("repro")
+
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         imports = build_import_map(ctx)
         rule = self
@@ -502,7 +544,11 @@ class RunnerLayerRule(Rule):
     )
 
     def applies_to(self, ctx: LintContext) -> bool:
-        return ctx.module not in self.BLESSED
+        if ctx.module in self.BLESSED:
+            return False
+        # tools/ write committed artifacts, so they ride the runner
+        # like package code; tests must construct engines to test them.
+        return ctx.in_package("repro") or ctx.role == "tools"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         imports = build_import_map(ctx)
@@ -554,9 +600,7 @@ class ClockBoundaryRule(Rule):
     def applies_to(self, ctx: LintContext) -> bool:
         if ctx.module in self.BLESSED:
             return False
-        # Unknown modules are linted too (fixture files, loose scripts
-        # under src); tools/ and benchmarks/ fall outside "repro".
-        return not ctx.module or ctx.in_package("repro")
+        return ctx.in_package("repro")
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         imports = build_import_map(ctx)
@@ -622,3 +666,281 @@ class FrozenMutationRule(Rule):
         v = V()
         v.visit(ctx.tree)
         yield from v.found
+
+
+# ----------------------------------------------------------------------
+# PAR001
+# ----------------------------------------------------------------------
+@register_rule
+class PoolSafetyRule(ProjectRule):
+    code = "PAR001"
+    name = "process-pool-safety"
+    description = (
+        "Callables handed to a process pool (.submit/.map) must be "
+        "module-level picklable functions that mutate no module "
+        "globals; REPRO_CHAOS_* env literals are confined to "
+        "repro.runner.resilience."
+    )
+
+    #: Executor/pool dispatch methods whose first argument crosses the
+    #: pickle boundary.
+    POOL_METHODS = frozenset({"submit", "map"})
+    #: The one worker-side module allowed to spell chaos env names.
+    CHAOS_HOME = "repro.runner.resilience"
+    CHAOS_PREFIX = "REPRO_CHAOS"
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        for info in project.repro_modules():
+            if info.role != "src":
+                continue
+            yield from self._check_chaos_literals(info)
+            if self._imports_pools(info):
+                yield from self._check_dispatch_sites(project, info)
+
+    def _imports_pools(self, info: "ModuleInfo") -> bool:
+        for edge in info.imports:
+            if edge.origin == "multiprocessing" or edge.origin.startswith(
+                ("multiprocessing.", "concurrent.futures")
+            ):
+                return True
+        return False
+
+    def _check_chaos_literals(
+        self, info: "ModuleInfo"
+    ) -> Iterator[Finding]:
+        if info.module == self.CHAOS_HOME or info.package == "lint":
+            return  # the analyzer itself spells the pattern it detects
+        for node in ast.walk(info.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value.startswith(self.CHAOS_PREFIX)
+            ):
+                yield Finding(
+                    path=info.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.code,
+                    message=(
+                        f"chaos env literal {node.value!r} outside "
+                        f"{self.CHAOS_HOME}; import the named constant "
+                        "so fault injection stays confined to the "
+                        "worker-side boundary"
+                    ),
+                )
+
+    def _check_dispatch_sites(
+        self, project: "ProjectIndex", info: "ModuleInfo"
+    ) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in self.POOL_METHODS
+                or not node.args
+            ):
+                continue
+            message = self._worker_problem(project, info, node.args[0])
+            if message is not None:
+                yield Finding(
+                    path=info.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.code,
+                    message=message,
+                )
+
+    def _worker_problem(
+        self,
+        project: "ProjectIndex",
+        info: "ModuleInfo",
+        arg: ast.expr,
+    ) -> str | None:
+        if isinstance(arg, ast.Lambda):
+            return (
+                "lambda submitted to a process pool is not picklable; "
+                "define a module-level worker function"
+            )
+        if isinstance(arg, ast.Call):
+            return (
+                "call-result worker (e.g. partial(...)) submitted to a "
+                "process pool; submit a module-level function and pass "
+                "its arguments through the pool instead"
+            )
+        if isinstance(arg, ast.Attribute):
+            chain = dotted_name(arg)
+            if chain is None:
+                return None
+            if chain[0] in ("self", "cls"):
+                return (
+                    "bound-method worker is not picklable across the "
+                    "pool boundary; hoist the work into a module-level "
+                    "function"
+                )
+            head = info.import_map.get(chain[0], chain[0])
+            return self._resolved_problem(
+                project, ".".join([head, *chain[1:]])
+            )
+        if isinstance(arg, ast.Name):
+            origin = info.import_map.get(arg.id)
+            if origin is not None:
+                return self._resolved_problem(project, origin)
+            return self._symbol_problem(info, arg.id)
+        return None
+
+    def _resolved_problem(
+        self, project: "ProjectIndex", origin: str
+    ) -> str | None:
+        target = project.resolve_module(origin)
+        if target is None or origin == target.module:
+            return None  # external or whole-module reference
+        symbol = origin[len(target.module) + 1 :].split(".")[0]
+        return self._symbol_problem(target, symbol)
+
+    def _symbol_problem(
+        self, info: "ModuleInfo", symbol: str
+    ) -> str | None:
+        if symbol in info.global_mutators:
+            return (
+                f"worker {symbol}() mutates module globals via "
+                "`global`; each pool process gets its own copy, so the "
+                "mutation silently diverges — thread state through "
+                "arguments and return values"
+            )
+        if symbol in info.symbols:
+            return None
+        if symbol in info.nested_functions:
+            return (
+                f"nested function {symbol}() is not picklable across "
+                "the pool boundary; hoist it to module level"
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# OBS002
+# ----------------------------------------------------------------------
+@register_rule
+class MetricNameRule(ProjectRule):
+    code = "OBS002"
+    name = "metric-name-constants"
+    description = (
+        "Metric/span names at instrumentation call sites "
+        "(.counter/.gauge/.histogram/.span) must be repro.obs.names "
+        "constants, not inline strings — the static complement to the "
+        "runtime metrics contract test."
+    )
+
+    METHODS = frozenset({"counter", "gauge", "histogram", "span"})
+    NAMES_MODULE = "repro.obs.names"
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        names_info = project.by_module.get(self.NAMES_MODULE)
+        known = names_info.symbols if names_info is not None else None
+        for info in project.repro_modules():
+            if info.role != "src" or info.module.startswith("repro.obs"):
+                continue
+            yield from self._check_imports(info, known)
+            yield from self._check_call_sites(info, known)
+
+    def _check_imports(
+        self, info: "ModuleInfo", known: frozenset[str] | None
+    ) -> Iterator[Finding]:
+        if known is None:
+            return
+        prefix = self.NAMES_MODULE + "."
+        for edge in info.imports:
+            if not edge.origin.startswith(prefix):
+                continue
+            symbol = edge.origin[len(prefix) :]
+            if "." not in symbol and symbol not in known:
+                yield Finding(
+                    path=info.path,
+                    line=edge.lineno,
+                    col=0,
+                    rule=self.code,
+                    message=(
+                        f"{self.NAMES_MODULE}.{symbol} does not exist; "
+                        "instrumentation names come from the contract "
+                        "in repro.obs.names"
+                    ),
+                )
+
+    def _check_call_sites(
+        self, info: "ModuleInfo", known: frozenset[str] | None
+    ) -> Iterator[Finding]:
+        prefix = self.NAMES_MODULE + "."
+        for node in ast.walk(info.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in self.METHODS
+                or not node.args
+            ):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                yield Finding(
+                    path=info.path,
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    rule=self.code,
+                    message=(
+                        f"inline instrumentation name {arg.value!r}; "
+                        "add a constant to repro.obs.names and use it "
+                        "so the metrics contract test can see the name"
+                    ),
+                )
+                continue
+            chain = dotted_name(arg) if isinstance(arg, ast.Attribute) else None
+            if chain is None or known is None:
+                continue  # bare names: the runtime contract test's job
+            head = info.import_map.get(chain[0], chain[0])
+            origin = ".".join([head, *chain[1:]])
+            if origin.startswith(prefix):
+                symbol = origin[len(prefix) :]
+                if "." not in symbol and symbol not in known:
+                    yield Finding(
+                        path=info.path,
+                        line=arg.lineno,
+                        col=arg.col_offset,
+                        rule=self.code,
+                        message=(
+                            f"{origin} does not exist in "
+                            "repro.obs.names; instrumentation names "
+                            "come from the contract module"
+                        ),
+                    )
+
+
+# ----------------------------------------------------------------------
+# DEAD001
+# ----------------------------------------------------------------------
+@register_rule
+class DeadExportRule(ProjectRule):
+    code = "DEAD001"
+    name = "dead-exports"
+    description = (
+        "__all__ entries of leaf modules referenced nowhere else in "
+        "the project are dead public surface; drop the export or the "
+        "symbol (package __init__ re-export lists are the curated API "
+        "and are exempt)."
+    )
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        for info in project.repro_modules():
+            if info.role != "src" or info.is_package or info.exports is None:
+                continue
+            for symbol in info.exports:
+                if not project.is_used_elsewhere(info.module, symbol):
+                    yield Finding(
+                        path=info.path,
+                        line=info.export_lines.get(symbol, 1),
+                        col=0,
+                        rule=self.code,
+                        message=(
+                            f"{info.module}.{symbol} is in __all__ but "
+                            "referenced nowhere else in the project; "
+                            "drop the export or delete the symbol"
+                        ),
+                    )

@@ -1,0 +1,136 @@
+"""SARIF 2.1.0 renderer for reprolint reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning ingests: emitting it turns every reprolint
+finding into an annotated line in the PR diff.  The document shape is
+the minimal conforming subset — one ``run``, the full rule catalog in
+``tool.driver.rules``, one ``result`` per finding with a physical
+location — validated structurally by ``tests/lint/test_sarif.py``
+against a vendored slice of the 2.1.0 schema.
+
+Columns: reprolint stores 0-based columns (CPython ``col_offset``);
+SARIF columns are 1-based, so ``startColumn = col + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .framework import (
+    PARSE_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    LintReport,
+    ProjectRule,
+    Rule,
+    all_rules,
+)
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "to_sarif_dict"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Pseudo-rules the driver emits without a registered Rule instance.
+_PSEUDO_RULES: tuple[tuple[str, str], ...] = (
+    (PARSE_ERROR_CODE, "file does not parse"),
+    (UNUSED_SUPPRESSION_CODE, "suppression waives nothing"),
+)
+
+
+def _rule_catalog(
+    rules: Sequence[Rule | ProjectRule] | None,
+) -> list[dict[str, object]]:
+    active = list(rules) if rules is not None else list(all_rules())
+    catalog: list[dict[str, object]] = []
+    for rule in active:
+        catalog.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+            }
+        )
+    for code, text in _PSEUDO_RULES:
+        catalog.append(
+            {
+                "id": code,
+                "name": code.lower(),
+                "shortDescription": {"text": text},
+            }
+        )
+    return catalog
+
+
+def _artifact_uri(path: str, root: str | None) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            return p.resolve().relative_to(Path(root).resolve()).as_posix()
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def to_sarif_dict(
+    report: LintReport,
+    *,
+    rules: Sequence[Rule | ProjectRule] | None = None,
+) -> dict[str, object]:
+    """SARIF 2.1.0 document for one lint run."""
+    rule_catalog = _rule_catalog(rules)
+    rule_index = {r["id"]: i for i, r in enumerate(rule_catalog)}
+    results: list[dict[str, object]] = []
+    for f in report.findings:
+        result: dict[str, object] = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(f.path, report.root),
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rule_catalog,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: LintReport,
+    *,
+    rules: Sequence[Rule | ProjectRule] | None = None,
+) -> str:
+    return (
+        json.dumps(to_sarif_dict(report, rules=rules), indent=2, sort_keys=True)
+        + "\n"
+    )

@@ -31,6 +31,9 @@ __all__ = [
     "sum_program",
     "daxpy_program",
     "matrix_sweep_program",
+    # triad_program moved to repro.machine.workloads; the re-export here
+    # keeps old imports working.
+    # reprolint: disable-next=DEAD001 -- legacy alias
     "triad_program",
 ]
 

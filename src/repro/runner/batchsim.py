@@ -51,9 +51,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BATCH_MIN_POPULATION",
-    "BatchSim",
-    "BatchStats",
-    "LaneSteady",
     "run_span_batch",
     "run_steady_batch",
 ]

@@ -28,3 +28,5 @@ def ordered(items):
     for x in {3, 1, 2}:  # iterating a set literal
         out.append(x)
     return out
+
+# reprolint: module=repro.viz.det_fixture

@@ -27,3 +27,5 @@ def ordered(items):
 
 def distinct(items) -> int:
     return len(set(items))  # order-free consumers are fine
+
+# reprolint: module=repro.viz.det_fixture

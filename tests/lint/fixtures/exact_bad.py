@@ -16,3 +16,5 @@ def echo(x: Fraction):
 def scale(x):
     x /= 3  # in-place true division
     return x
+
+# reprolint: module=repro.core.exact_fixture

@@ -19,3 +19,5 @@ class Outcome:
     def bandwidth_float(self) -> float:
         # Presentation helpers named *_float are the blessed boundary.
         return float(self.bandwidth)
+
+# reprolint: module=repro.core.exact_fixture

@@ -16,3 +16,5 @@ def bandwidth(grants, period):
 
 def downcast(x):
     return x.astype(np.float32)  # float dtype attribute
+
+# reprolint: module=repro.runner.numpy_fixture

@@ -15,3 +15,5 @@ def advance(busy, active, until):
     mask = np.zeros_like(active)  # *_like inherits the exact dtype
     np.maximum(busy, until, out=busy, where=mask)
     return busy // 2
+
+# reprolint: module=repro.runner.numpy_fixture

@@ -17,3 +17,5 @@ def direct_batch(jobs):
     steady = run_steady_batch(jobs)  # bypasses BatchBackend bookkeeping
     span = run_span_batch(jobs)  # likewise
     return sim, steady, span
+
+# reprolint: module=repro.viz.layer_fixture

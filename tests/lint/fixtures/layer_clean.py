@@ -23,3 +23,5 @@ def population(jobs) -> list:
 
 def annotate(res: SimulationResult) -> int:
     return res.cycles
+
+# reprolint: module=repro.viz.layer_fixture

@@ -16,3 +16,5 @@ def nanosecond_stamp():
 
 def cpu_budget():
     return time.process_time()  # line 18: flagged
+
+# reprolint: module=repro.viz.obs_fixture

@@ -10,3 +10,5 @@ def timed_sweep(jobs):
 
 def stamped(recorder):
     return [s.duration_ns for s in recorder.finished()]
+
+# reprolint: module=repro.viz.obs_fixture

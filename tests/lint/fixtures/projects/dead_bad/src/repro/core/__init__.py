@@ -1,0 +1,3 @@
+from repro.core.util import used
+
+CORE = used

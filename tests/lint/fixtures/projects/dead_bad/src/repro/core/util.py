@@ -1,0 +1,9 @@
+__all__ = ["used", "unused"]
+
+
+def used():
+    return 1
+
+
+def unused():
+    return 2

@@ -1,0 +1,5 @@
+__all__ = ["main"]
+
+
+def main() -> int:
+    return 0

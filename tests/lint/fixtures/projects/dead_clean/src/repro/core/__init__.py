@@ -1,0 +1,3 @@
+from repro.core.util import both, used
+
+CORE = (used, both)

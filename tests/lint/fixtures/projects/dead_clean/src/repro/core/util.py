@@ -1,0 +1,9 @@
+__all__ = ["both", "used"]
+
+
+def used():
+    return 1
+
+
+def both():
+    return 2

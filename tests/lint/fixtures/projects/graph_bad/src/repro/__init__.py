@@ -1,0 +1,1 @@
+"""IMPORT001 bad fixture tree: three layering violations."""

@@ -1,0 +1,2 @@
+def main() -> int:
+    return 0

@@ -1,0 +1,3 @@
+import repro.sim  # eager other half of the cycle
+
+MACHINE = 1

@@ -1,0 +1,3 @@
+from repro.core import CORE  # leaf: obs imports another repro package
+
+OBS = CORE

@@ -1,0 +1,3 @@
+import repro.machine  # eager half of the sim <-> machine cycle
+
+SIM = 1

@@ -1,0 +1,1 @@
+"""IMPORT001 clean fixture tree: the layer DAG, respected."""

@@ -1,0 +1,6 @@
+from repro.runner import RUNNER
+from repro.sim import SIM
+
+
+def main() -> int:
+    return RUNNER + SIM

@@ -1,0 +1,3 @@
+from repro.obs import OBS  # downward: core -> obs
+
+CORE = OBS

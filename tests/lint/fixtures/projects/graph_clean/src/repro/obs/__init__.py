@@ -1,0 +1,1 @@
+OBS = 1

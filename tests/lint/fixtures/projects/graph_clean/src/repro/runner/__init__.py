@@ -1,0 +1,3 @@
+from repro.core import CORE  # downward: runner -> core
+
+RUNNER = CORE

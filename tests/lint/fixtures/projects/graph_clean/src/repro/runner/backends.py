@@ -1,0 +1,5 @@
+from repro.sim.engine import Engine  # blessed engine-primitive boundary
+
+
+def run(cfg):
+    return Engine(cfg)

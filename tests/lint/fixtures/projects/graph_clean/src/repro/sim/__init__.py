@@ -1,0 +1,1 @@
+SIM = 1

@@ -1,0 +1,14 @@
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # lazy: sanctioned cycle-breaker
+    from repro.runner import RUNNER  # noqa: F401
+
+
+class Engine:
+    def __init__(self, cfg):
+        self.cfg = cfg
+
+    def job_of(self):
+        from repro.runner import RUNNER  # lazy, function-scoped
+
+        return RUNNER

@@ -1,0 +1,1 @@
+EXECUTOR_RUNS = "repro.executor.runs"

@@ -1,0 +1,10 @@
+from repro.obs import names
+from repro.obs.names import MISSING  # constant does not exist
+
+
+def record(reg, dynamic_name):
+    reg.counter("repro.executor.runs")  # inline name
+    reg.gauge(names.NOPE)  # unknown names constant
+    reg.counter(names.EXECUTOR_RUNS)  # fine
+    reg.histogram(dynamic_name)  # bare name: runtime contract's job
+    return MISSING

@@ -1,0 +1,2 @@
+EXECUTOR_RUNS = "repro.executor.runs"
+SPAN_RUN = "repro.run"

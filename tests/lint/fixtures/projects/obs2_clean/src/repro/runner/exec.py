@@ -1,0 +1,8 @@
+from repro.obs import names
+from repro.obs.names import SPAN_RUN
+
+
+def record(reg, tracer, dynamic_name):
+    reg.counter(names.EXECUTOR_RUNS)
+    tracer.span(SPAN_RUN)
+    reg.histogram(dynamic_name)

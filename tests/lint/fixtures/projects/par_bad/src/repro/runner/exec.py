@@ -1,0 +1,33 @@
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+from repro.runner.workers import helper
+
+COUNT = 0
+
+
+def _bump(job):
+    global COUNT
+    COUNT += 1
+    return job
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        pool.submit(lambda j: j, jobs[0])  # lambda: not picklable
+        pool.submit(partial(helper, 1))  # call-result worker
+        pool.map(_bump, jobs)  # worker mutates module globals
+
+        def local(j):
+            return j
+
+        pool.submit(local, jobs[0])  # nested function
+        return pool
+
+
+class Runner:
+    def go(self, pool, job):
+        pool.submit(self.work, job)  # bound method
+
+    def work(self, job):
+        return job

@@ -1,0 +1,3 @@
+import os
+
+RATE = os.environ.get("REPRO_CHAOS_RATE", "0")  # literal outside resilience

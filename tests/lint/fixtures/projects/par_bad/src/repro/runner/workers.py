@@ -1,0 +1,2 @@
+def helper(x):
+    return x

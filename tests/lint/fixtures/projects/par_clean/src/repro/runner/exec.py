@@ -1,0 +1,14 @@
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runner.workers import helper
+
+
+def _worker(job):
+    return job
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        pool.submit(_worker, jobs[0])
+        pool.submit(helper, jobs[0])
+        return list(pool.map(_worker, jobs))

@@ -1,0 +1,1 @@
+CHAOS_RATE_ENV = "REPRO_CHAOS_RATE"  # the one module allowed to spell it

@@ -14,3 +14,5 @@ def ratio_next(a: int, b: int) -> float:
 
 def several(x: Fraction) -> float:
     return float(x) / 2.0  # reprolint: disable=all
+
+# reprolint: module=repro.core.suppressed_fixture

@@ -1,0 +1,80 @@
+"""Committed-baseline mode: land a strict rule without a big-bang cleanup."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.lint import lint_paths, load_baseline, write_baseline
+from repro.lint.framework import Finding
+
+
+def make_tree(tmp_path: pathlib.Path) -> pathlib.Path:
+    (tmp_path / "pyproject.toml").write_text("")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "legacy.py").write_text("def f(a, b):\n    return a / b\n")
+    return tmp_path
+
+
+def run(tree, **kw):
+    return lint_paths([tree / "src"], root=tree, cache=None, **kw)
+
+
+class TestRoundTrip:
+    def test_write_then_load_counts_fingerprints(self, tmp_path):
+        f = Finding(path="a.py", line=3, col=0, rule="X001", message="m")
+        g = Finding(path="a.py", line=9, col=0, rule="X001", message="m")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [f, g])
+        loaded = load_baseline(path)
+        assert loaded == {("a.py", "X001", "m"): 2}
+        doc = json.loads(path.read_text())
+        assert doc["tool"] == "reprolint"
+
+
+class TestDriver:
+    def test_update_baseline_snapshots_and_reports_clean(self, tmp_path):
+        tree = make_tree(tmp_path)
+        baseline = tree / "baseline.json"
+        report = run(tree, baseline=baseline, update_baseline=True)
+        assert report.clean
+        assert report.baselined > 0
+        assert baseline.exists()
+
+    def test_baselined_findings_are_filtered(self, tmp_path):
+        tree = make_tree(tmp_path)
+        baseline = tree / "baseline.json"
+        run(tree, baseline=baseline, update_baseline=True)
+        report = run(tree, baseline=baseline)
+        assert report.clean
+        assert report.baselined > 0
+
+    def test_new_findings_still_fail(self, tmp_path):
+        tree = make_tree(tmp_path)
+        baseline = tree / "baseline.json"
+        run(tree, baseline=baseline, update_baseline=True)
+        (tree / "src" / "repro" / "core" / "fresh.py").write_text(
+            "Y = 0.5\n"
+        )
+        report = run(tree, baseline=baseline)
+        assert not report.clean
+        assert all(f.path.endswith("fresh.py") for f in report.findings)
+
+    def test_baseline_is_line_drift_tolerant(self, tmp_path):
+        # Fingerprints are (path, rule, message): moving the offending
+        # line does not un-baseline it.
+        tree = make_tree(tmp_path)
+        baseline = tree / "baseline.json"
+        run(tree, baseline=baseline, update_baseline=True)
+        legacy = tree / "src" / "repro" / "core" / "legacy.py"
+        legacy.write_text("# shifted\n" + legacy.read_text())
+        report = run(tree, baseline=baseline)
+        assert report.clean
+
+    def test_missing_baseline_file_filters_nothing(self, tmp_path):
+        tree = make_tree(tmp_path)
+        report = run(tree, baseline=tree / "never-written.json")
+        assert not report.clean

@@ -1,0 +1,106 @@
+"""Incremental cache: digest-keyed replay, invalidation, pooled linting."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.lint import LintCache, get_rules, lint_paths, rules_digest
+
+
+def make_tree(tmp_path: pathlib.Path) -> pathlib.Path:
+    (tmp_path / "pyproject.toml").write_text("")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "bad.py").write_text("def f(a, b):\n    return a / b\n")
+    (pkg / "ok.py").write_text("X = 1\n")
+    return tmp_path
+
+
+def run(tree, **kw):
+    kw.setdefault("cache", tree / ".reprolint-cache.json")
+    return lint_paths([tree / "src"], root=tree, **kw)
+
+
+class TestWarmCache:
+    def test_warm_rerun_lints_zero_files(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cold = run(tree)
+        assert cold.files_linted == cold.files_checked > 0
+        assert cold.files_cached == 0
+        warm = run(tree)
+        assert warm.files_linted == 0
+        assert warm.files_cached == warm.files_checked
+        assert warm.findings == cold.findings
+
+    def test_edited_file_relints_alone(self, tmp_path):
+        tree = make_tree(tmp_path)
+        run(tree)
+        (tree / "src" / "repro" / "core" / "ok.py").write_text("X = 2\n")
+        after = run(tree)
+        assert after.files_linted == 1
+        assert after.files_cached == after.files_checked - 1
+
+    def test_project_findings_replay_from_index_digest(self, tmp_path):
+        tree = make_tree(tmp_path)
+        (tree / "src" / "repro" / "core" / "dead.py").write_text(
+            '__all__ = ["nope"]\n\n\ndef nope():\n    return 0\n'
+        )
+        cold = run(tree)
+        warm = run(tree)
+        assert any(f.rule == "DEAD001" for f in warm.findings)
+        assert warm.findings == cold.findings
+        assert warm.files_linted == 0
+
+
+class TestInvalidation:
+    def test_rule_set_change_discards_everything(self, tmp_path):
+        tree = make_tree(tmp_path)
+        first = run(tree, rules=get_rules(["EXACT001"]))
+        assert first.files_linted > 0
+        # Same tree, different active rules: the ruleset digest differs,
+        # so nothing replays from cache.
+        second = run(tree, rules=get_rules(["EXACT001", "DET001"]))
+        assert second.files_linted == second.files_checked
+        assert second.files_cached == 0
+
+    def test_rules_digest_depends_on_active_codes(self):
+        one = rules_digest(get_rules(["EXACT001"]))
+        two = rules_digest(get_rules(["EXACT001", "DET001"]))
+        assert one != two
+        assert one == rules_digest(get_rules(["EXACT001"]))
+
+    def test_corrupt_cache_file_means_cold_start(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_file = tree / ".reprolint-cache.json"
+        run(tree)
+        cache_file.write_text("{not json")
+        report = run(tree)
+        assert report.files_linted == report.files_checked
+
+    def test_stale_ruleset_not_loaded(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_file = tree / ".reprolint-cache.json"
+        run(tree)
+        doc = json.loads(cache_file.read_text())
+        doc["ruleset"] = "0" * 64
+        cache_file.write_text(json.dumps(doc))
+        cache = LintCache.load(cache_file, rules_digest(get_rules()))
+        assert not cache.loaded
+
+
+class TestJobs:
+    def test_pooled_linting_matches_serial(self, tmp_path):
+        tree = make_tree(tmp_path)
+        serial = lint_paths([tree / "src"], root=tree, cache=None)
+        pooled = lint_paths([tree / "src"], root=tree, cache=None, jobs=2)
+        assert pooled.findings == serial.findings
+        assert pooled.files_linted == serial.files_linted
+
+    def test_pooled_results_populate_the_cache(self, tmp_path):
+        tree = make_tree(tmp_path)
+        run(tree, jobs=2)
+        warm = run(tree)
+        assert warm.files_linted == 0

@@ -16,6 +16,8 @@ import pytest
 
 from repro.cli import main as repro_main
 from repro.lint import lint_paths
+from repro.lint.cli import build_parser
+from repro.lint.report import JSON_SCHEMA_VERSION
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
 TOOL = ROOT / "tools" / "run_reprolint.py"
@@ -35,6 +37,16 @@ class TestSelfClean:
         report = lint_paths([ROOT / "src"], root=ROOT)
         assert report.clean, "\n".join(f.render() for f in report.findings)
         assert report.files_checked > 50
+
+    def test_whole_tree_is_clean_in_process(self):
+        # The acceptance gate: src, tests AND tools carry zero
+        # unsuppressed findings, stale waivers included.
+        report = lint_paths(
+            [ROOT / "src", ROOT / "tests", ROOT / "tools"],
+            root=ROOT,
+            report_unused_suppressions=True,
+        )
+        assert report.clean, "\n".join(f.render() for f in report.findings)
 
     def test_tool_exits_zero_on_src(self):
         proc = run_tool("src")
@@ -87,12 +99,75 @@ class TestJsonReport:
         file_doc = json.loads(out.read_text())
         assert stdout_doc == file_doc
         for key in (
-            "schema_version", "tool", "files_checked", "clean",
-            "counts", "findings", "root",
+            "schema_version", "tool", "files_checked", "files_linted",
+            "files_cached", "baselined", "clean", "counts", "findings",
+            "root",
         ):
             assert key in file_doc
         assert file_doc["tool"] == "reprolint"
-        assert file_doc["schema_version"] == 1
+        assert file_doc["schema_version"] == JSON_SCHEMA_VERSION == 2
+
+
+class TestNewFlags:
+    def test_parser_knows_the_production_flags(self):
+        args = build_parser().parse_args(
+            ["src", "--jobs", "4", "--format", "sarif", "--no-cache",
+             "--baseline", "b.json", "--report-unused-suppressions"]
+        )
+        assert args.jobs == 4
+        assert args.output_format == "sarif"
+        assert args.no_cache
+        assert args.baseline == "b.json"
+        assert args.report_unused_suppressions
+
+    def test_sarif_output_to_file(self, tmp_path):
+        out = tmp_path / "lint.sarif"
+        proc = run_tool(
+            "src", "--format", "sarif", "--output", out, "--no-cache"
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+        assert json.loads(proc.stdout) == doc
+
+    def test_jobs_flag_matches_serial(self, tmp_path):
+        tree = _tree_with(tmp_path, "def f(a, b):\n    return a / b\n")
+        serial = run_tool(str(tree / "src"), "--no-cache", cwd=tmp_path)
+        pooled = run_tool(
+            str(tree / "src"), "--no-cache", "--jobs", "2", cwd=tmp_path
+        )
+        assert serial.returncode == pooled.returncode == 1
+        assert serial.stdout == pooled.stdout
+
+    def test_warm_cache_relints_zero_files(self, tmp_path):
+        tree = _tree_with(tmp_path, "X = 1\n")
+        run_tool(str(tree / "src"), cwd=tmp_path)
+        assert (tmp_path / ".reprolint-cache.json").exists()
+        out = tmp_path / "warm.json"
+        proc = run_tool(
+            str(tree / "src"), "--format", "json", "--output", out,
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 0
+        warm = json.loads(out.read_text())
+        assert warm["files_linted"] == 0
+        assert warm["files_cached"] == warm["files_checked"]
+
+    def test_baseline_flags_roundtrip(self, tmp_path):
+        tree = _tree_with(tmp_path, "def f(a, b):\n    return a / b\n")
+        baseline = tmp_path / "baseline.json"
+        first = run_tool(
+            str(tree / "src"), "--baseline", baseline,
+            "--update-baseline", "--no-cache", cwd=tmp_path,
+        )
+        assert first.returncode == 0, first.stdout + first.stderr
+        second = run_tool(
+            str(tree / "src"), "--baseline", baseline, "--no-cache",
+            cwd=tmp_path,
+        )
+        assert second.returncode == 0
+        assert "baselined" in second.stdout
 
 
 class TestCliErrors:
@@ -100,6 +175,15 @@ class TestCliErrors:
         proc = run_tool("src", "--rules", "BOGUS001")
         assert proc.returncode == 2
         assert "unknown rule" in proc.stderr
+
+    def test_update_baseline_requires_baseline(self):
+        proc = run_tool("src", "--update-baseline")
+        assert proc.returncode == 2
+        assert "--baseline" in proc.stderr
+
+    def test_zero_jobs_is_usage_error(self):
+        proc = run_tool("src", "--jobs", "0")
+        assert proc.returncode == 2
 
     def test_missing_path_is_usage_error(self):
         proc = run_tool("definitely/not/here")

@@ -1,0 +1,44 @@
+"""docs/LINT.md is diffed against the live rule registry.
+
+Mirrors the docs/OBSERVABILITY.md name-contract test: a rule that is
+registered but undocumented fails, and so does a documented code that
+no longer exists in the registry.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.lint import all_rules
+from repro.lint.framework import PARSE_ERROR_CODE, UNUSED_SUPPRESSION_CODE
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "LINT.md"
+
+# Codes are documented as `CODE001` table cells.
+_CODE = re.compile(r"`([A-Z]+[0-9]{3})`")
+
+
+def documented_codes() -> set[str]:
+    return set(_CODE.findall(DOC.read_text()))
+
+
+class TestCatalogSync:
+    def test_every_registered_rule_documented(self):
+        doc = DOC.read_text()
+        missing = [r.code for r in all_rules() if f"`{r.code}`" not in doc]
+        assert not missing, f"rules missing from docs/LINT.md: {missing}"
+
+    def test_every_rule_name_documented(self):
+        doc = DOC.read_text()
+        missing = [r.name for r in all_rules() if f"`{r.name}`" not in doc]
+        assert not missing, f"rule names missing from docs/LINT.md: {missing}"
+
+    def test_no_phantom_codes_documented(self):
+        live = {r.code for r in all_rules()}
+        live |= {PARSE_ERROR_CODE, UNUSED_SUPPRESSION_CODE}
+        phantom = documented_codes() - live
+        assert not phantom, f"docs/LINT.md documents unknown codes: {phantom}"
+
+    def test_pseudo_rules_documented(self):
+        assert {PARSE_ERROR_CODE, UNUSED_SUPPRESSION_CODE} <= documented_codes()

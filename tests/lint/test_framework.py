@@ -11,10 +11,16 @@ from repro.lint import (
     lint_source,
     module_name_for_path,
 )
-from repro.lint.framework import PARSE_ERROR_CODE, Suppressions
+from repro.lint.framework import (
+    PARSE_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    Suppressions,
+    find_project_root,
+)
 
 EXPECTED_CODES = {
-    "API001", "DET001", "EXACT001", "FROZEN001", "LAYER001", "OBS001",
+    "API001", "DEAD001", "DET001", "EXACT001", "FROZEN001", "IMPORT001",
+    "LAYER001", "OBS001", "OBS002", "PAR001",
 }
 
 
@@ -47,6 +53,46 @@ class TestModuleMapping:
 
     def test_outside_repro_tree(self):
         assert module_name_for_path("tests/lint/fixtures/exact_bad.py") == ""
+
+    def test_repro_root_init(self):
+        assert module_name_for_path("src/repro/__init__.py") == "repro"
+
+    def test_last_repro_component_wins(self):
+        # Vendored or nested checkouts anchor at the innermost tree.
+        assert (
+            module_name_for_path("vendor/repro/stuff/repro/core/x.py")
+            == "repro.core.x"
+        )
+
+    def test_bare_repro_directory(self):
+        assert module_name_for_path("repro/obs/trace.py") == "repro.obs.trace"
+
+
+class TestFindProjectRoot:
+    def test_walks_up_to_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        deep = tmp_path / "src" / "repro" / "core"
+        deep.mkdir(parents=True)
+        assert find_project_root(deep) == tmp_path
+
+    def test_accepts_a_file_start(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        target = tmp_path / "src"
+        target.mkdir()
+        (target / "x.py").write_text("")
+        assert find_project_root(target / "x.py") == tmp_path
+
+    def test_root_itself_wins_over_ancestors(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        nested = tmp_path / "inner"
+        nested.mkdir()
+        (nested / "pyproject.toml").write_text("")
+        assert find_project_root(nested) == nested
+
+    def test_none_without_pyproject(self, tmp_path):
+        deep = tmp_path / "a" / "b"
+        deep.mkdir(parents=True)
+        assert find_project_root(deep) is None
 
 
 class TestSuppressions:
@@ -83,6 +129,51 @@ class TestSuppressions:
         )
         assert findings == []
 
+    def test_multiple_directives_on_one_line(self):
+        # The parser honours every directive, not just the first match.
+        s = Suppressions.parse(
+            "x = y  "
+            "# reprolint: disable=EXACT001  # reprolint: disable=DET001\n"
+        )
+        assert s.is_suppressed("EXACT001", 1)
+        assert s.is_suppressed("DET001", 1)
+        assert not s.is_suppressed("LAYER001", 1)
+
+    def test_multiple_directives_drop_both_findings(self):
+        src = (
+            "import time\n"
+            "x = time.time() / 3  "
+            "# reprolint: disable=EXACT001  # reprolint: disable=DET001\n"
+        )
+        assert lint_source(src, module="repro.core.fixture") == []
+
+    def test_precedence_is_union_not_override(self):
+        # disable-file, disable-next and disable all apply
+        # independently; any matching waiver suppresses.
+        src = (
+            "# reprolint: disable-file=EXACT001\n"
+            "# reprolint: disable-next=DET001\n"
+            "x = 1\n"
+        )
+        s = Suppressions.parse(src)
+        assert s.is_suppressed("EXACT001", 99)   # file-wide
+        assert s.is_suppressed("DET001", 3)      # next line only
+        assert not s.is_suppressed("DET001", 4)
+        assert not s.is_suppressed("LAYER001", 3)
+
+    def test_unused_tracking(self):
+        s = Suppressions.parse(
+            "a = 1  # reprolint: disable=EXACT001,DET001\n"
+        )
+        s.is_suppressed("EXACT001", 1)
+        stale = s.unused({"EXACT001", "DET001"})
+        assert stale == [(1, "DET001")]
+
+    def test_unused_ignores_inactive_rules(self):
+        s = Suppressions.parse("a = 1  # reprolint: disable=DET001\n")
+        # DET001 did not run this invocation: its waiver is not stale.
+        assert s.unused({"EXACT001"}) == []
+
 
 class TestDriver:
     def test_module_override_controls_scope(self):
@@ -96,6 +187,20 @@ class TestDriver:
         assert finding.rule == PARSE_ERROR_CODE
         assert "does not parse" in finding.message
 
+    def test_null_byte_reported_as_finding(self):
+        # ast.parse raises bare ValueError (not SyntaxError) on null
+        # bytes; the driver must report, not crash.
+        (finding,) = lint_source("x = 1\x00\n", path="hostile.py")
+        assert finding.rule == PARSE_ERROR_CODE
+        assert "does not parse" in finding.message
+
+    def test_null_byte_file_on_disk(self, tmp_path):
+        hostile = tmp_path / "src"
+        hostile.mkdir()
+        (hostile / "h.py").write_bytes(b"x = 1\x00\n")
+        report = lint_paths([hostile], root=tmp_path)
+        assert [f.rule for f in report.findings] == [PARSE_ERROR_CODE]
+
     def test_findings_sorted_by_location(self):
         src = "y = 2.0\nx = 1 / 3\n"
         findings = lint_source(src, module="repro.core.fixture")
@@ -106,4 +211,54 @@ class TestDriver:
         (tmp_path / "b.py").write_text("y = 2\n")
         report = lint_paths([tmp_path], root=tmp_path)
         assert report.files_checked == 2
+        assert report.clean
+
+
+class TestUnusedSuppressionReport:
+    def _tree(self, tmp_path, source):
+        (tmp_path / "pyproject.toml").write_text("")
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(source)
+        return tmp_path
+
+    def test_stale_waiver_flagged(self, tmp_path):
+        tree = self._tree(tmp_path, "x = 1  # reprolint: disable=EXACT001\n")
+        report = lint_paths(
+            [tree / "src"], root=tree, report_unused_suppressions=True
+        )
+        (finding,) = report.findings
+        assert finding.rule == UNUSED_SUPPRESSION_CODE
+        assert "EXACT001" in finding.message
+        assert finding.line == 1
+
+    def test_live_waiver_not_flagged(self, tmp_path):
+        tree = self._tree(
+            tmp_path, "x = 1 / 3  # reprolint: disable=EXACT001\n"
+        )
+        report = lint_paths(
+            [tree / "src"], root=tree, report_unused_suppressions=True
+        )
+        assert report.clean, [f.render() for f in report.findings]
+
+    def test_live_waiver_accounted_from_cache(self, tmp_path):
+        # The waived finding is replayed from the cache on a warm run,
+        # so the directive still counts as used without re-linting.
+        tree = self._tree(
+            tmp_path, "x = 1 / 3  # reprolint: disable=EXACT001\n"
+        )
+        cache = tree / ".reprolint-cache.json"
+        for _ in range(2):
+            report = lint_paths(
+                [tree / "src"], root=tree, cache=cache,
+                report_unused_suppressions=True,
+            )
+            assert report.clean, [f.render() for f in report.findings]
+        assert report.files_linted == 0
+
+    def test_off_by_default(self, tmp_path):
+        tree = self._tree(tmp_path, "x = 1  # reprolint: disable=EXACT001\n")
+        report = lint_paths([tree / "src"], root=tree)
         assert report.clean

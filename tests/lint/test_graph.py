@@ -1,0 +1,73 @@
+"""IMPORT001: layer DAG, leaf packages, blessed edges, eager cycles."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import ProjectIndex, get_rules
+from repro.lint.graph import (
+    BLESSED_EDGES,
+    LAYER_RANKS,
+    ImportGraphRule,
+    layer_rank,
+)
+
+PROJECTS = pathlib.Path(__file__).parent / "fixtures" / "projects"
+
+
+def check(tree: pathlib.Path):
+    (rule,) = get_rules(["IMPORT001"])
+    assert isinstance(rule, ImportGraphRule)
+    return sorted(rule.check_project(ProjectIndex.build(tree)))
+
+
+class TestRanks:
+    def test_leaves_below_core_below_runner_below_engines(self):
+        assert layer_rank("obs") == layer_rank("lint") == 0
+        assert layer_rank("obs") < layer_rank("core")
+        assert layer_rank("core") < layer_rank("memory")
+        assert layer_rank("memory") < layer_rank("runner")
+        assert layer_rank("runner") < layer_rank("sim")
+        assert layer_rank("sim") < layer_rank("cli")
+
+    def test_unknown_packages_default_to_engine_tier(self):
+        assert layer_rank("brand_new_pkg") == layer_rank("sim")
+        assert "brand_new_pkg" not in LAYER_RANKS
+
+    def test_blessed_edges_mirror_the_runner_boundary(self):
+        assert ("repro.runner.backends", "repro.sim.engine") in BLESSED_EDGES
+        for importer, _ in BLESSED_EDGES:
+            assert importer.startswith("repro.runner.")
+
+
+class TestBadTree:
+    def test_flags_all_three_violation_kinds(self):
+        findings = check(PROJECTS / "graph_bad")
+        assert len(findings) == 3, [f.render() for f in findings]
+        by_path = {f.path: f.message for f in findings}
+        assert "upward import" in by_path["src/repro/core/__init__.py"]
+        assert "leaf package" in by_path["src/repro/obs/__init__.py"]
+        assert "eager import cycle" in by_path["src/repro/machine/__init__.py"]
+
+    def test_cycle_message_names_both_members(self):
+        findings = check(PROJECTS / "graph_bad")
+        (cycle,) = [f for f in findings if "cycle" in f.message]
+        assert "repro.machine" in cycle.message
+        assert "repro.sim" in cycle.message
+
+    def test_findings_carry_the_import_line(self):
+        findings = check(PROJECTS / "graph_bad")
+        upward = next(f for f in findings if "upward" in f.message)
+        assert upward.line == 1  # the `from repro.cli import main` line
+
+
+class TestCleanTree:
+    def test_layered_tree_with_lazy_breakers_is_clean(self):
+        # graph_clean exercises: downward imports, a blessed upward
+        # edge (backends -> sim.engine), a TYPE_CHECKING import, and a
+        # function-scoped import — all sanctioned.
+        assert check(PROJECTS / "graph_clean") == []
+
+    def test_real_repository_holds_the_dag(self):
+        root = pathlib.Path(__file__).resolve().parents[2]
+        assert check(root) == []

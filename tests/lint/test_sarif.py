@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 output: structure, schema validation, CLI surface."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint import lint_paths, render_sarif, to_sarif_dict
+from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+
+SCHEMA = pathlib.Path(__file__).parent / "fixtures" / "sarif-2.1.0-subset.schema.json"
+
+
+def make_report(tmp_path: pathlib.Path):
+    (tmp_path / "pyproject.toml").write_text("")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "bad.py").write_text("import random\n\nx = random.random() / 2\n")
+    return lint_paths([tmp_path / "src"], root=tmp_path, cache=None)
+
+
+class TestStructure:
+    def test_document_shape(self, tmp_path):
+        doc = to_sarif_dict(make_report(tmp_path))
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        # The full registry plus the driver's pseudo-rules.
+        assert {"EXACT001", "DET001", "IMPORT001", "PAR001", "OBS002",
+                "DEAD001", "PARSE001", "SUPPRESS001"} <= rule_ids
+        assert run["results"], "expected findings from the bad tree"
+
+    def test_results_carry_locations_and_rule_index(self, tmp_path):
+        doc = to_sarif_dict(make_report(tmp_path))
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            (loc,) = result["locations"]
+            phys = loc["physicalLocation"]
+            assert phys["artifactLocation"]["uri"].endswith("bad.py")
+            assert "\\" not in phys["artifactLocation"]["uri"]
+            assert phys["region"]["startLine"] >= 1
+            assert phys["region"]["startColumn"] >= 1
+
+    def test_columns_are_one_based(self, tmp_path):
+        report = make_report(tmp_path)
+        doc = to_sarif_dict(report)
+        by_rule = {
+            r["ruleId"]: r["locations"][0]["physicalLocation"]["region"]
+            for r in doc["runs"][0]["results"]
+        }
+        finding = next(f for f in report.findings if f.rule == "EXACT001")
+        assert by_rule["EXACT001"]["startColumn"] == finding.col + 1
+
+    def test_render_is_stable_json(self, tmp_path):
+        report = make_report(tmp_path)
+        assert json.loads(render_sarif(report)) == to_sarif_dict(report)
+
+
+class TestSchemaValidation:
+    def test_validates_against_vendored_subset_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SCHEMA.read_text())
+        doc = to_sarif_dict(make_report(tmp_path))
+        jsonschema.validate(doc, schema)
+
+    def test_clean_report_also_validates(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        (tmp_path / "pyproject.toml").write_text("")
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "ok.py").write_text("X = 1\n")
+        report = lint_paths([tmp_path / "src"], root=tmp_path, cache=None)
+        assert report.clean
+        jsonschema.validate(
+            to_sarif_dict(report), json.loads(SCHEMA.read_text())
+        )
