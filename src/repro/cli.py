@@ -90,8 +90,18 @@ def _add_runner_args(
                    help="simulation backend (default: $REPRO_SIM_BACKEND "
                         "or reference)")
     if jobs:
-        p.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes for the sweep (default 1)")
+        p.add_argument("--jobs", "--workers", type=int, default=1,
+                       metavar="N", dest="jobs",
+                       help="worker processes for the sweep (default 1; "
+                            "--workers is an alias)")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="hash-partition the sweep over N shard workers "
+                            "exchanging results through a shared store "
+                            "(docs/RUNNER.md, Scheduling)")
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="content-addressed shared result-store "
+                            "directory: probed before execution, populated "
+                            "by every scheduler, reusable across sweeps")
     p.add_argument("--retries", type=int, default=None, metavar="N",
                    help="enable fault-tolerant execution: retry each "
                         "failing chunk up to N times, then bisect to "
@@ -138,6 +148,22 @@ def _retry_policy(args: argparse.Namespace) -> "RetryPolicy | None":
         chunk_timeout=timeout,
         strict=strict,
     )
+
+
+def _executor_kwargs(args: argparse.Namespace) -> dict:
+    """SweepExecutor construction kwargs from the runner CLI switches
+    (worker count, retry policy, shard/store placement)."""
+    kwargs: dict = {
+        "workers": getattr(args, "jobs", 1),
+        "retry": _retry_policy(args),
+    }
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        kwargs["shards"] = shards
+    store = getattr(args, "store", None)
+    if store is not None:
+        kwargs["store_path"] = store
+    return kwargs
 
 
 def _memory(args: argparse.Namespace) -> MemoryConfig:
@@ -347,8 +373,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     cfg = _memory(args)
     with SweepExecutor(
-        backend=args.backend, workers=args.jobs,
-        retry=_retry_policy(args),
+        backend=args.backend, **_executor_kwargs(args)
     ) as ex:
         prof = start_space_profile(
             cfg, args.d1, args.d2,
@@ -400,8 +425,7 @@ def _census_observed(cfg: MemoryConfig, args: argparse.Namespace) -> int:
     # The observed census runs on the plain (unsectioned) shape.
     flat = MemoryConfig(banks=cfg.banks, bank_cycle=cfg.bank_cycle)
     with SweepExecutor(
-        backend=args.backend or "auto", workers=args.jobs,
-        retry=_retry_policy(args),
+        backend=args.backend or "auto", **_executor_kwargs(args)
     ) as ex:
         counts = observed_regime_census(
             cfg.banks, cfg.bank_cycle, executor=ex

@@ -82,6 +82,15 @@ FAST_JOBS = "runner.fast.jobs"
 FAST_CLOCKS = "runner.fast.clocks"
 FAST_GRANTS = "runner.fast.grants"
 
+SCHED_CHUNKS = "runner.scheduler.chunks"
+SCHED_SHARD_JOBS = "runner.scheduler.shard_jobs"
+SCHED_STEALS = "runner.scheduler.steals"
+
+STORE_HITS = "runner.store.hits"
+STORE_MISSES = "runner.store.misses"
+STORE_QUARANTINED = "runner.store.quarantined"
+STORE_WRITES = "runner.store.writes"
+
 ENGINE_JOBS = "sim.engine.jobs"
 ENGINE_CLOCKS = "sim.engine.clocks"
 ENGINE_STEADY_DETECTIONS = "sim.engine.steady_detections"
@@ -151,7 +160,7 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
     ),
     MetricSpec(
         EXECUTOR_CHUNK_JOBS, "histogram", (),
-        "repro.runner.executor.SweepExecutor._execute",
+        "repro.runner.scheduling.ChunkRunner.observe_chunk",
         "Unique jobs per dispatched batch chunk (inline batches count "
         "as one chunk).",
     ),
@@ -194,7 +203,8 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
     ),
     MetricSpec(
         EXECUTOR_POOL_REBUILDS, "counter", (),
-        "repro.runner.executor.SweepExecutor._execute_pooled",
+        "repro.runner.scheduling.PoolScheduler / "
+        "repro.runner.sharding.ShardScheduler",
         "Broken or timed-out process pools torn down and rebuilt "
         "mid-batch.",
     ),
@@ -248,6 +258,47 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         "(scalar and batch lanes alike).",
     ),
     MetricSpec(
+        SCHED_CHUNKS, "counter", ("scheduler",),
+        "repro.runner.scheduling.ChunkRunner.observe_chunk",
+        "Chunks dispatched by each scheduler (inline / pool / shard), "
+        "stolen splits included.",
+    ),
+    MetricSpec(
+        SCHED_SHARD_JOBS, "histogram", (),
+        "repro.runner.sharding.ShardScheduler.execute",
+        "Jobs hashed onto each shard's queue by the stable job-key "
+        "partition (one observation per shard per batch).",
+    ),
+    MetricSpec(
+        SCHED_STEALS, "counter", ("scheduler",),
+        "repro.runner.scheduling.PoolScheduler / "
+        "repro.runner.sharding.ShardScheduler",
+        "Straggler chunks split (pool) or re-queued (shard) onto idle "
+        "workers by the work-stealing scheduler.",
+    ),
+    MetricSpec(
+        STORE_HITS, "counter", (),
+        "repro.runner.store.ResultStore.get/get_many",
+        "Result-store lookups served from a per-key payload file.",
+    ),
+    MetricSpec(
+        STORE_MISSES, "counter", (),
+        "repro.runner.store.ResultStore.get/get_many",
+        "Result-store lookups that found no payload file.",
+    ),
+    MetricSpec(
+        STORE_QUARANTINED, "counter", (),
+        "repro.runner.store.ResultStore._load",
+        "Corrupt result-store payload files moved aside to "
+        "<file>.corrupt and treated as misses.",
+    ),
+    MetricSpec(
+        STORE_WRITES, "counter", (),
+        "repro.runner.store.ResultStore.put/put_many",
+        "Payload files written to the result store (atomic temp-file "
+        "plus os.replace).",
+    ),
+    MetricSpec(
         ENGINE_CLOCKS, "counter", (),
         "repro.runner.backends.ReferenceBackend",
         "Clocks simulated by the reference engine through the runner.",
@@ -272,6 +323,8 @@ SPAN_CLI = "cli.command"
 SPAN_EXECUTOR_RUN_MANY = "executor.run_many"
 SPAN_EXECUTOR_POOL = "executor.pool"
 SPAN_EXECUTOR_RECOVERY = "executor.recovery"
+SPAN_EXECUTOR_SHARD = "executor.shard"
+SPAN_EXECUTOR_STEAL = "executor.steal"
 SPAN_AUTO_RUN_BATCH = "backend.auto.run_batch"
 SPAN_ENGINE_STEADY_DETECT = "engine.steady_detect"
 
@@ -295,12 +348,12 @@ SPAN_CONTRACT: tuple[SpanSpec, ...] = (
     ),
     SpanSpec(
         SPAN_EXECUTOR_POOL, ("chunks", "workers"),
-        "repro.runner.executor.SweepExecutor._execute",
+        "repro.runner.scheduling.PoolScheduler.execute",
         "One process-pool fan-out over the batch's unique jobs.",
     ),
     SpanSpec(
         SPAN_EXECUTOR_RECOVERY, ("jobs", "attempt"),
-        "repro.runner.executor.SweepExecutor._dispatch_inline",
+        "repro.runner.scheduling.ChunkRunner.dispatch_inline",
         "One inline re-dispatch of previously failed work (retry or "
         "bisected half); emitted only on the failure path.",
     ),
@@ -308,6 +361,19 @@ SPAN_CONTRACT: tuple[SpanSpec, ...] = (
         SPAN_EXECUTOR_RUN_MANY, ("jobs",),
         "repro.runner.executor.SweepExecutor.run_many",
         "One executor batch: dedup, cache lookups, execution.",
+    ),
+    SpanSpec(
+        SPAN_EXECUTOR_SHARD, ("chunks", "shards"),
+        "repro.runner.sharding.ShardScheduler.execute",
+        "One sharded fan-out: hash-partitioned queues drained by one "
+        "worker process per shard over the shared result store.",
+    ),
+    SpanSpec(
+        SPAN_EXECUTOR_STEAL, ("jobs", "scheduler"),
+        "repro.runner.scheduling.PoolScheduler / "
+        "repro.runner.sharding.ShardScheduler",
+        "One work-stealing event: a queued straggler chunk split "
+        "(pool) or migrated to an idle shard (shard).",
     ),
 )
 

@@ -23,8 +23,15 @@ Every simulation in the repository flows through three layers:
     :class:`SweepExecutor` — deduplicates isomorphic jobs, memoizes
     outcomes in an LRU in-process cache and a crash-safe on-disk JSON
     cache (quarantine-on-corruption, merge-on-flush, periodic
-    auto-flush), and fans out batched chunks over
-    ``concurrent.futures`` workers.
+    auto-flush), and hands placement to a scheduler.
+``scheduling`` / ``sharding`` / ``store``
+    The scheduler split: :class:`ChunkRunner` is the execution core;
+    :class:`InlineScheduler`, :class:`PoolScheduler` (shared work queue
+    with straggler-splitting work stealing) and :class:`ShardScheduler`
+    (hash-partitioned workers exchanging results through a
+    content-addressed :class:`ResultStore`) place its chunks.  All
+    schedulers return bit-identical outcomes (see docs/RUNNER.md
+    "Scheduling").
 ``resilience``
     :class:`RetryPolicy` — fault-tolerant sweep execution: bounded
     retries on a deterministic backoff schedule, pool rebuilds on
@@ -66,19 +73,33 @@ from .regime import (
     is_conflict_free,
     observe_pair_regime,
 )
+from .scheduling import (
+    ChunkRunner,
+    InlineScheduler,
+    PoolScheduler,
+    Scheduler,
+)
+from .sharding import ShardScheduler, shard_of
+from .store import ResultStore
 
 __all__ = [
     "AnalyticBackend",
     "AutoBackend",
     "BACKEND_ENV_VAR",
     "BatchBackend",
+    "ChunkRunner",
     "ExecutorStats",
     "FailedJobError",
     "FailedOutcome",
     "FastBackend",
+    "InlineScheduler",
     "ObservedRegime",
+    "PoolScheduler",
     "ReferenceBackend",
+    "ResultStore",
     "RetryPolicy",
+    "Scheduler",
+    "ShardScheduler",
     "SimBackend",
     "SimJob",
     "SimOutcome",
@@ -93,5 +114,6 @@ __all__ = [
     "observe_pair_regime",
     "resolve_backend",
     "run",
+    "shard_of",
     "solve",
 ]

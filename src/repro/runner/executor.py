@@ -14,13 +14,20 @@ gives them one shared engine room:
   corrupt/truncated/version-mismatched files are quarantined to
   ``<path>.corrupt`` instead of raising, flushes *merge* with the
   entries already on disk (LRU eviction never deletes persisted
-  results), and with a cache path configured the executor auto-flushes
-  every ``flush_every`` executed chunks, so a killed process loses at
-  most one chunk of work;
-* **fan-out** — with ``workers > 1`` unique jobs spread over a
-  ``concurrent.futures`` process pool in per-worker chunks, one
-  :meth:`~repro.runner.backends.SimBackend.run_batch` call (and one
-  pickle round trip) per chunk;
+  results) and publish through a unique temp file + ``os.replace`` (a
+  killed or concurrent flusher can never leave a torn file), and with
+  a cache path configured the executor auto-flushes every
+  ``flush_every`` executed chunks, so a killed process loses at most
+  one chunk of work;
+* **scheduling** — *what runs where* is delegated to a
+  :class:`~repro.runner.scheduling.Scheduler` over the
+  :class:`~repro.runner.scheduling.ChunkRunner` execution core:
+  ``inline`` (in-process), ``pool`` (local process fan-out with a
+  shared work queue and straggler-splitting work stealing) or
+  ``shard`` (hash-partitioned workers over a content-addressed
+  :class:`~repro.runner.store.ResultStore`); see docs/RUNNER.md
+  "Scheduling".  With ``store_path`` set the store doubles as a third
+  cache level shared between processes and sweeps;
 * **fault tolerance** — with a :class:`~repro.runner.resilience.
   RetryPolicy` attached, crashed pools are rebuilt, failed or timed-out
   chunks retried on a deterministic backoff schedule and bisected to
@@ -36,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -51,12 +59,25 @@ from .resilience import (
     RetryPolicy,
     SweepFailureError,
     chaos_crash_point,
-    sleep_ms,
 )
+from .scheduling import (
+    ChunkRunner,
+    InlineScheduler,
+    PoolScheduler,
+    Scheduler,
+)
+from .scheduling import _Chunk as _Chunk
+from .scheduling import chunk_size as _chunk_size_impl
+from .scheduling import preferred_chunk as _preferred_chunk_impl
+from .sharding import ShardScheduler
+from .store import ResultStore
 
 __all__ = ["ExecutorStats", "SweepExecutor", "default_executor"]
 
 _CACHE_VERSION = 1
+
+#: Scheduler names accepted by :class:`SweepExecutor`.
+_SCHEDULER_NAMES = ("inline", "pool", "shard")
 
 
 @dataclass
@@ -64,7 +85,7 @@ class ExecutorStats:
     """Work accounting for one executor (monotonic counters)."""
 
     submitted: int = 0
-    #: served from the in-process or on-disk cache
+    #: served from the in-process, on-disk, or shared-store cache
     hits: int = 0
     #: duplicates folded onto another job in the same batch
     deduped: int = 0
@@ -104,44 +125,17 @@ _STAT_METRICS = (
     ("recovered", _names.EXECUTOR_RECOVERED),
 )
 
-#: One unit of dispatchable work: a chunk of (cache_key, job) pairs.
-_Chunk = list[tuple[str, SimJob]]
-
-
-@dataclass
-class _ChunkTask:
-    """One chunk's dispatch state while a batch is being recovered."""
-
-    chunk: _Chunk
-    #: dispatches of this exact chunk so far (0 = not yet dispatched)
-    attempt: int = 0
-    #: True once any dispatch covering these jobs has failed
-    troubled: bool = False
-    #: last failure description (becomes FailedOutcome.error)
-    error: str = ""
-
 
 def _preferred_chunk(backend: str | None) -> int:
     """The dispatched backend's advertised chunk-size hint (``1`` when
     the backend does not advertise one)."""
-    from .backends import resolve_backend
-
-    return getattr(resolve_backend(backend), "preferred_chunk", 1)
+    return _preferred_chunk_impl(backend)
 
 
 def _chunk_size(n_items: int, workers: int, preferred: int) -> int:
-    """Pooled chunk size honouring the backend's ``preferred_chunk``.
-
-    The base split (ceil of four chunks per worker) balances per-job
-    Python dispatch against pool latency hiding.  Backends that batch
-    internally — the SoA ``batch`` core above all — advertise a larger
-    ``preferred_chunk``; the split then widens up to that hint, but
-    never past one chunk per worker (all workers stay busy).
-    """
-    base = -(-n_items // (4 * workers))
-    if preferred > base:
-        return min(preferred, -(-n_items // workers))
-    return base
+    """Pooled chunk size honouring the backend's ``preferred_chunk``
+    (see :func:`repro.runner.scheduling.chunk_size`)."""
+    return _chunk_size_impl(n_items, workers, preferred)
 
 
 def _execute_payload(args: tuple[SimJob, str | None]) -> dict:
@@ -191,6 +185,21 @@ class SweepExecutor:
         With a ``cache_path``, flush the cache after this many executed
         chunks (default 1: a killed process loses at most one chunk of
         results).  ``None`` disables auto-flush.
+    scheduler:
+        Placement policy: ``"inline"``, ``"pool"``, ``"shard"``, a
+        :class:`~repro.runner.scheduling.Scheduler` instance, or
+        ``None`` (default) to pick automatically — ``shard`` when
+        ``shards`` is set, ``pool`` when ``workers > 1``, ``inline``
+        otherwise.  All schedulers return bit-identical outcomes.
+    shards:
+        Hash-partition the job space over this many shard workers
+        (implies the ``shard`` scheduler when ``scheduler`` is None).
+    store_path:
+        Directory for a shared content-addressed
+        :class:`~repro.runner.store.ResultStore`.  Probed before
+        execution (shared hits are cache hits, not executions) and
+        populated by every scheduler, so concurrent sweeps — and the
+        shard workers themselves — exchange results through it.
     """
 
     def __init__(
@@ -202,6 +211,9 @@ class SweepExecutor:
         max_memo: int = 200_000,
         retry: RetryPolicy | None = None,
         flush_every: int | None = 1,
+        scheduler: str | Scheduler | None = None,
+        shards: int | None = None,
+        store_path: str | os.PathLike[str] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
@@ -209,14 +221,27 @@ class SweepExecutor:
             raise ValueError("max_memo must be positive")
         if flush_every is not None and flush_every < 1:
             raise ValueError("flush_every must be positive (or None)")
+        if shards is not None and shards < 1:
+            raise ValueError("shard count must be positive")
+        if isinstance(scheduler, str) and scheduler not in _SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; "
+                f"pick one of {_SCHEDULER_NAMES}"
+            )
         self.backend = backend
         self.workers = workers
         self.max_memo = max_memo
         self.retry = retry
         self.flush_every = flush_every
+        self.scheduler = scheduler
+        self.shards = shards
         self.stats = ExecutorStats()
         self._memo: dict[str, dict] = {}
         self._cache_path = Path(cache_path) if cache_path is not None else None
+        self._store = (
+            ResultStore(store_path) if store_path is not None else None
+        )
+        self._publish_to_store = False
         self._dirty = False
         self._chunks_since_flush = 0
         if self._cache_path is not None:
@@ -320,262 +345,68 @@ class SweepExecutor:
         return out
 
     # ------------------------------------------------------------------
-    # Execution: chunking, fan-out, failure recovery
+    # Execution: scheduling delegated, caching and failure policy here
     # ------------------------------------------------------------------
+    def _resolve_scheduler(self) -> Scheduler:
+        """The placement policy for this batch (resolved per call, so
+        mutating ``workers``/``shards`` between batches is honoured)."""
+        sched = self.scheduler
+        if sched is not None and not isinstance(sched, str):
+            return sched
+        if sched is None:
+            if self.shards is not None:
+                sched = "shard"
+            elif self.workers > 1:
+                sched = "pool"
+            else:
+                sched = "inline"
+        if sched == "inline":
+            return InlineScheduler()
+        if sched == "pool":
+            return PoolScheduler(self.workers)
+        shards = self.shards if self.shards is not None else self.workers
+        return ShardScheduler(shards, store=self._store)
+
     def _execute(
         self, fresh: dict[str, SimJob], backend: str | None
     ) -> tuple[dict[str, dict], dict[str, FailedOutcome]]:
         """Run every fresh job, returning payloads and isolated failures."""
-        items = list(fresh.items())
-        self.stats.executed += len(items)
-        pooled = self.workers > 1 and len(items) > 1
-        if pooled:
-            size = _chunk_size(
-                len(items), self.workers, _preferred_chunk(backend)
-            )
-        else:
-            size = len(items)
-        chunks: list[_Chunk] = [
-            items[i : i + size] for i in range(0, len(items), size)
-        ]
-        reg = _metrics.active_metrics()
-        if reg is not None:
-            hist = reg.histogram(_names.EXECUTOR_CHUNK_JOBS)
-            for chunk in chunks:
-                hist.observe(len(chunk))
-
+        items: _Chunk = list(fresh.items())
         ran: dict[str, dict] = {}
         failed: dict[str, FailedOutcome] = {}
-        if pooled:
-            self._execute_pooled(chunks, backend, ran, failed)
-        else:
-            self._execute_inline(chunks, backend, ran, failed)
+        if self._store is not None and items:
+            # The shared store is a third cache level: results another
+            # executor (or a previous sharded sweep) already published
+            # count as hits, not executions.
+            served = self._store.get_many(key for key, _ in items)
+            if served:
+                self.stats.hits += len(served)
+                self._dirty = True
+                self._insert(dict(served))
+                ran.update(served)
+                items = [(k, j) for k, j in items if k not in served]
+        self.stats.executed += len(items)
+        if items:
+            scheduler = self._resolve_scheduler()
+            # Shard workers publish to the store themselves; any other
+            # scheduler publishes from the banking callback.
+            self._publish_to_store = (
+                self._store is not None
+                and getattr(scheduler, "name", "") != "shard"
+            )
+            runner = ChunkRunner(
+                backend=backend,
+                retry=self.retry,
+                stats=self.stats,
+                on_chunk=self._finish_chunk,
+            )
+            scheduled_ran, failed = scheduler.execute(items, runner)
+            ran.update(scheduled_ran)
 
         if failed and self.retry is not None and self.retry.strict:
             self.flush()  # persist the work that did succeed
             raise SweepFailureError(list(failed.values()))
         return ran, failed
-
-    def _dispatch_inline(
-        self, task: _ChunkTask, backend: str | None
-    ) -> list[dict]:
-        """One in-process chunk execution (recovery dispatches traced)."""
-        jobs = [job for _, job in task.chunk]
-        if not task.troubled and task.attempt == 0:
-            return _execute_payload_batch((jobs, backend))
-        with _trace.span(
-            _names.SPAN_EXECUTOR_RECOVERY,
-            jobs=len(jobs),
-            attempt=task.attempt,
-        ):
-            return _execute_payload_batch((jobs, backend))
-
-    def _execute_inline(
-        self,
-        chunks: Sequence[_Chunk],
-        backend: str | None,
-        ran: dict[str, dict],
-        failed: dict[str, FailedOutcome],
-        troubled: bool = False,
-    ) -> None:
-        """Run chunks in-process, with retry + bisection under a policy."""
-        policy = self.retry
-        for chunk in chunks:
-            if policy is None:
-                # Historical fail-fast path: errors propagate untouched.
-                jobs = [job for _, job in chunk]
-                payloads = _execute_payload_batch((jobs, backend))
-                self._finish_chunk(chunk, payloads, ran)
-                continue
-            task = _ChunkTask(chunk, troubled=troubled)
-            while True:
-                if task.troubled or task.attempt > 0:
-                    self.stats.retries += 1
-                    sleep_ms(policy.backoff_ms(max(task.attempt, 1)))
-                try:
-                    payloads = self._dispatch_inline(task, backend)
-                except Exception as exc:  # noqa: BLE001 - isolation layer
-                    task.troubled = True
-                    task.error = f"{type(exc).__name__}: {exc}"
-                    if task.attempt < policy.max_retries:
-                        task.attempt += 1
-                        continue
-                    if len(task.chunk) > 1:
-                        mid = len(task.chunk) // 2
-                        halves = [task.chunk[:mid], task.chunk[mid:]]
-                        self._execute_inline(
-                            halves, backend, ran, failed, troubled=True
-                        )
-                    else:
-                        self._record_failure(task, failed)
-                    break
-                else:
-                    self._finish_chunk(task.chunk, payloads, ran)
-                    if task.troubled:
-                        self.stats.recovered += len(task.chunk)
-                    break
-
-    def _execute_pooled(
-        self,
-        chunks: Sequence[_Chunk],
-        backend: str | None,
-        ran: dict[str, dict],
-        failed: dict[str, FailedOutcome],
-    ) -> None:
-        """Fan chunks over a process pool, rebuilding it on failure."""
-        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-        from concurrent.futures import TimeoutError as FuturesTimeout
-
-        policy = self.retry
-        with _trace.span(
-            _names.SPAN_EXECUTOR_POOL,
-            chunks=len(chunks),
-            workers=self.workers,
-        ):
-            if policy is None:
-                # Historical fail-fast path: one map, errors propagate.
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    results = pool.map(
-                        _execute_payload_batch,
-                        [([j for _, j in c], backend) for c in chunks],
-                    )
-                    for chunk, payloads in zip(chunks, results):
-                        self._finish_chunk(chunk, payloads, ran)
-                return
-
-            pending = [_ChunkTask(chunk) for chunk in chunks]
-            rebuilds = 0
-            reg = _metrics.active_metrics()
-            pool = ProcessPoolExecutor(max_workers=self.workers)
-            try:
-                while pending:
-                    if rebuilds > policy.degrade_after:
-                        # The pool keeps dying: stop trusting it and run
-                        # the remainder inline (retry/bisection intact).
-                        for task in pending:
-                            self._execute_inline(
-                                [task.chunk], backend, ran, failed,
-                                troubled=task.troubled,
-                            )
-                        return
-                    delay = 0
-                    for task in pending:
-                        if task.troubled or task.attempt > 0:
-                            self.stats.retries += 1
-                            delay = max(
-                                delay, policy.backoff_ms(max(task.attempt, 1))
-                            )
-                    sleep_ms(delay)
-                    futures = []
-                    submit_failed: list[_ChunkTask] = []
-                    for task in pending:
-                        try:
-                            fut = pool.submit(
-                                _execute_payload_batch,
-                                ([j for _, j in task.chunk], backend),
-                            )
-                        except (BrokenExecutor, RuntimeError) as exc:
-                            # The pool died between rounds: requeue the
-                            # rest and rebuild below.
-                            task.error = (
-                                f"worker pool broke at submit: "
-                                f"{type(exc).__name__}: {exc}"
-                            )
-                            submit_failed.append(task)
-                            continue
-                        futures.append((fut, task))
-                    pending = []
-                    broken_at_submit = bool(submit_failed)
-                    for task in submit_failed:
-                        self._requeue(task, policy, pending, failed)
-                    broken = broken_at_submit
-                    for fut, task in futures:
-                        if broken:
-                            # Pool already condemned: salvage chunks that
-                            # finished cleanly, requeue everything else.
-                            fut.cancel()
-                            payloads = None
-                            if fut.done() and not fut.cancelled():
-                                try:
-                                    payloads = fut.result()
-                                except Exception:  # noqa: BLE001
-                                    payloads = None
-                            if payloads is not None:
-                                self._finish_chunk(task.chunk, payloads, ran)
-                                if task.troubled:
-                                    self.stats.recovered += len(task.chunk)
-                            else:
-                                task.error = task.error or "lost with broken pool"
-                                self._requeue(task, policy, pending, failed)
-                            continue
-                        try:
-                            payloads = fut.result(timeout=policy.chunk_timeout)
-                        except FuturesTimeout:
-                            broken = True
-                            task.error = (
-                                f"chunk timed out after "
-                                f"{policy.chunk_timeout}s"
-                            )
-                            self._requeue(task, policy, pending, failed)
-                        except BrokenExecutor as exc:
-                            broken = True
-                            task.error = (
-                                f"worker pool broke: "
-                                f"{type(exc).__name__}: {exc}"
-                            )
-                            self._requeue(task, policy, pending, failed)
-                        except Exception as exc:  # noqa: BLE001 - job error
-                            # The chunk itself raised inside a healthy
-                            # worker: retry/bisect just this chunk.
-                            task.error = f"{type(exc).__name__}: {exc}"
-                            self._requeue(task, policy, pending, failed)
-                        else:
-                            self._finish_chunk(task.chunk, payloads, ran)
-                            if task.troubled:
-                                self.stats.recovered += len(task.chunk)
-                    if broken:
-                        rebuilds += 1
-                        if reg is not None:
-                            reg.counter(_names.EXECUTOR_POOL_REBUILDS).inc()
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        pool = ProcessPoolExecutor(max_workers=self.workers)
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
-
-    def _requeue(
-        self,
-        task: _ChunkTask,
-        policy: RetryPolicy,
-        pending: list[_ChunkTask],
-        failed: dict[str, FailedOutcome],
-    ) -> None:
-        """Route a failed chunk: retry, bisect, or record the failure."""
-        task.troubled = True
-        if task.attempt < policy.max_retries:
-            task.attempt += 1
-            pending.append(task)
-        elif len(task.chunk) > 1:
-            # Retry budget exhausted for the whole chunk: split it to
-            # corner the poisoned job(s); each half gets a fresh budget.
-            mid = len(task.chunk) // 2
-            for half in (task.chunk[:mid], task.chunk[mid:]):
-                pending.append(
-                    _ChunkTask(half, troubled=True, error=task.error)
-                )
-        else:
-            self._record_failure(task, failed)
-
-    def _record_failure(
-        self, task: _ChunkTask, failed: dict[str, FailedOutcome]
-    ) -> None:
-        """An isolated singleton chunk is out of options: record it."""
-        key, job = task.chunk[0]
-        self.stats.failures += 1
-        failed[key] = FailedOutcome(
-            job=job,
-            error=task.error or "unknown failure",
-            attempts=task.attempt + 1,
-        )
 
     def _finish_chunk(
         self,
@@ -589,6 +420,8 @@ class SweepExecutor:
             ran.update(chunk_map)
         self._dirty = True
         self._insert(chunk_map)
+        if self._store is not None and self._publish_to_store:
+            self._store.put_many(chunk_map)
         self._chunks_since_flush += 1
         if (
             self._cache_path is not None
@@ -664,21 +497,35 @@ class SweepExecutor:
 
         Merges with the entries already on disk before the atomic
         replace: entries evicted from the in-process memo (or written
-        by another executor) are never clobbered.
+        by another executor) are never clobbered.  The write lands in
+        a *unique* temp file published via ``os.replace``, so a flusher
+        killed mid-write — or several executors flushing the same path
+        concurrently — can never leave a torn cache file behind.
         """
         if self._cache_path is None or not self._dirty:
             return
         self._cache_path.parent.mkdir(parents=True, exist_ok=True)
         entries = self._read_disk_entries()
         entries.update(self._memo)
-        tmp = self._cache_path.with_suffix(self._cache_path.suffix + ".tmp")
-        tmp.write_text(
-            json.dumps(
-                {"version": _CACHE_VERSION, "entries": entries},
-                separators=(",", ":"),
-            )
+        body = json.dumps(
+            {"version": _CACHE_VERSION, "entries": entries},
+            separators=(",", ":"),
         )
-        tmp.replace(self._cache_path)
+        fd, tmp = tempfile.mkstemp(
+            prefix=self._cache_path.name,
+            suffix=".tmp",
+            dir=self._cache_path.parent,
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body)
+            os.replace(tmp, self._cache_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self._dirty = False
         self._chunks_since_flush = 0
 

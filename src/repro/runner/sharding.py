@@ -1,0 +1,419 @@
+"""ShardScheduler: hash-partitioned sweeps over a shared result store.
+
+The third scheduler over the :class:`~repro.runner.scheduling.
+ChunkRunner` execution core models the multi-host deployment the
+roadmap aims at: a **coordinator** partitions the canonicalized job
+space across ``N`` shard workers by stable job-key hash
+(:func:`shard_of`), and results travel through a content-addressed
+:class:`~repro.runner.store.ResultStore` instead of the pickle channel
+— exactly how independent hosts sharing a filesystem (or an object
+store) would exchange work.
+
+Placement and recovery:
+
+* each shard owns a queue of chunks cut from its hash bucket; one
+  worker process per shard drains it;
+* **work stealing** — a shard that runs dry (empty queue, no chunk in
+  flight) pulls the straggler shard's queued chunks, so one slow bucket
+  cannot bound the sweep (``executor.steal`` spans,
+  ``runner.scheduler.steals`` counter);
+* **shard-level chaos recovery** — when a shard worker dies, everything
+  it already published to the store *stays recovered*: the coordinator
+  re-probes the store and re-queues only the missing keys, promoting
+  the executor's chunk-level crash recovery to whole-shard granularity.
+  Retry, bisection, pool rebuilds and inline degradation follow the
+  same :class:`~repro.runner.resilience.RetryPolicy` ladder as the
+  local pool scheduler, so outcomes — including
+  :class:`~repro.runner.resilience.FailedOutcome` surfacing — stay
+  bit-identical to inline execution.
+
+Without an explicit store the scheduler runs over a private temporary
+directory, so ``--shards N`` works standalone; pointing ``--store`` at
+a shared path lets concurrent sweeps (or future remote shards) reuse
+each other's results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..obs import metrics as _metrics
+from ..obs import names as _names
+from ..obs import trace as _trace
+from .job import SimJob
+from .resilience import FailedOutcome, chaos_crash_point, sleep_ms
+from .scheduling import ChunkRunner, _Chunk, _ChunkTask, chunk_size
+from .store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Future
+
+__all__ = ["ShardScheduler", "shard_of"]
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Stable shard index of a canonical job key (sha256 partition)."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def _run_shard_chunk(
+    args: tuple[_Chunk, str | None, str]
+) -> list[str]:
+    """Process-pool worker for one shard chunk.
+
+    Executes the chunk's jobs through the backend's batch entry point
+    and publishes every payload into the shared result store; only the
+    *keys* return over the pickle channel — results flow through the
+    store, as they would between hosts.
+    """
+    chunk, backend, store_root = args
+    from .backends import resolve_backend
+
+    jobs = [job for _, job in chunk]
+    chaos_crash_point(jobs)
+    outcomes = resolve_backend(backend).run_batch(jobs)
+    store = ResultStore(store_root)
+    store.put_many(
+        {
+            key: outcome.to_payload()
+            for (key, _), outcome in zip(chunk, outcomes)
+        }
+    )
+    return [key for key, _ in chunk]
+
+
+class ShardScheduler:
+    """Coordinator over hash-partitioned shard workers and a store."""
+
+    name = "shard"
+
+    def __init__(
+        self, shards: int, *, store: ResultStore | None = None
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shard count must be positive")
+        self.shards = shards
+        self.store = store
+
+    def execute(
+        self, items: _Chunk, runner: ChunkRunner
+    ) -> tuple[dict[str, dict], dict[str, FailedOutcome]]:
+        ran: dict[str, dict] = {}
+        failed: dict[str, FailedOutcome] = {}
+        if not items:
+            return ran, failed
+        if self.store is not None:
+            self._execute_with(self.store, items, runner, ran, failed)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp:
+                self._execute_with(
+                    ResultStore(tmp), items, runner, ran, failed
+                )
+        return ran, failed
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def _partition(
+        self, items: _Chunk, runner: ChunkRunner
+    ) -> list[deque[_ChunkTask]]:
+        buckets: list[_Chunk] = [[] for _ in range(self.shards)]
+        for key, job in items:
+            buckets[shard_of(key, self.shards)].append((key, job))
+        reg = _metrics.active_metrics()
+        preferred = runner.preferred_chunk()
+        queues: list[deque[_ChunkTask]] = []
+        for bucket in buckets:
+            if reg is not None:
+                reg.histogram(_names.SCHED_SHARD_JOBS).observe(len(bucket))
+            queue: deque[_ChunkTask] = deque()
+            if bucket:
+                size = chunk_size(len(bucket), 1, preferred)
+                for i in range(0, len(bucket), size):
+                    chunk = bucket[i : i + size]
+                    runner.observe_chunk(chunk, self.name)
+                    queue.append(_ChunkTask(chunk))
+            queues.append(queue)
+        return queues
+
+    def _home_queue(
+        self, queues: list[deque[_ChunkTask]], task: _ChunkTask
+    ) -> deque[_ChunkTask]:
+        return queues[shard_of(task.chunk[0][0], self.shards)]
+
+    # ------------------------------------------------------------------
+    # Work stealing across shards
+    # ------------------------------------------------------------------
+    def _steal(
+        self,
+        queues: list[deque[_ChunkTask]],
+        busy: set[int],
+        runner: ChunkRunner,
+    ) -> None:
+        """Re-queue straggler chunks onto idle shards.
+
+        An idle shard (empty queue, nothing in flight) takes the last
+        queued chunk of the most backlogged shard.  A donor's only
+        queued chunk moves only while the donor is busy — otherwise it
+        would dispatch there immediately anyway.
+        """
+        while True:
+            idle = [
+                s
+                for s in range(self.shards)
+                if not queues[s] and s not in busy
+            ]
+            if not idle:
+                return
+            donor, backlog = -1, 0
+            for s in range(self.shards):
+                if len(queues[s]) > backlog:
+                    donor, backlog = s, len(queues[s])
+            if donor < 0 or (backlog < 2 and donor not in busy):
+                return
+            task = queues[donor].pop()
+            with _trace.span(
+                _names.SPAN_EXECUTOR_STEAL,
+                jobs=len(task.chunk),
+                scheduler=self.name,
+            ):
+                reg = _metrics.active_metrics()
+                if reg is not None:
+                    reg.counter(
+                        _names.SCHED_STEALS, scheduler=self.name
+                    ).inc()
+            queues[idle[0]].append(task)
+
+    # ------------------------------------------------------------------
+    # Completion and recovery through the store
+    # ------------------------------------------------------------------
+    def _finish_from_store(
+        self,
+        store: ResultStore,
+        task: _ChunkTask,
+        runner: ChunkRunner,
+        queues: list[deque[_ChunkTask]],
+        ran: dict[str, dict],
+        failed: dict[str, FailedOutcome],
+    ) -> None:
+        """Bank a completed chunk's payloads by reading them back."""
+        saved = store.get_many(key for key, _ in task.chunk)
+        present = [(k, j) for k, j in task.chunk if k in saved]
+        if present:
+            runner.on_chunk(present, [saved[k] for k, _ in present], ran)
+            if task.troubled:
+                runner.stats.recovered += len(present)
+        missing = [(k, j) for k, j in task.chunk if k not in saved]
+        if not missing:
+            return
+        if runner.retry is None:
+            raise RuntimeError(
+                f"result store lost {len(missing)} payload(s) of a "
+                "completed shard chunk"
+            )
+        sub = _ChunkTask(
+            missing,
+            attempt=task.attempt,
+            troubled=True,
+            error="result store payload missing after execution",
+        )
+        runner.requeue(sub, self._home_queue(queues, sub), failed)
+
+    def _requeue_salvaging(
+        self,
+        store: ResultStore,
+        task: _ChunkTask,
+        runner: ChunkRunner,
+        queues: list[deque[_ChunkTask]],
+        ran: dict[str, dict],
+        failed: dict[str, FailedOutcome],
+    ) -> None:
+        """Shard-level recovery: keep whatever the dead worker already
+        published to the store, re-queue only the missing keys."""
+        saved = store.get_many(key for key, _ in task.chunk)
+        if saved:
+            done_pairs = [(k, j) for k, j in task.chunk if k in saved]
+            runner.on_chunk(
+                done_pairs, [saved[k] for k, _ in done_pairs], ran
+            )
+            runner.stats.recovered += len(done_pairs)
+            rest = [(k, j) for k, j in task.chunk if k not in saved]
+            if not rest:
+                return
+            task = _ChunkTask(
+                rest,
+                attempt=task.attempt,
+                troubled=task.troubled,
+                error=task.error,
+            )
+        runner.requeue(task, self._home_queue(queues, task), failed)
+
+    # ------------------------------------------------------------------
+    # The drive loop
+    # ------------------------------------------------------------------
+    def _execute_with(
+        self,
+        store: ResultStore,
+        items: _Chunk,
+        runner: ChunkRunner,
+        ran: dict[str, dict],
+        failed: dict[str, FailedOutcome],
+    ) -> None:
+        from concurrent.futures import (
+            FIRST_COMPLETED,
+            BrokenExecutor,
+            ProcessPoolExecutor,
+            wait,
+        )
+
+        policy = runner.retry
+        queues = self._partition(items, runner)
+        n_chunks = sum(len(q) for q in queues)
+        running: dict[
+            "Future[list[str]]", tuple[int, _ChunkTask]
+        ] = {}
+        busy: set[int] = set()
+        rebuilds = 0
+        reg = _metrics.active_metrics()
+        pool = ProcessPoolExecutor(max_workers=self.shards)
+        with _trace.span(
+            _names.SPAN_EXECUTOR_SHARD,
+            chunks=n_chunks,
+            shards=self.shards,
+        ):
+            try:
+                while any(queues) or running:
+                    if policy is not None and rebuilds > policy.degrade_after:
+                        # Shard workers keep dying: drain every queue
+                        # inline (retry/bisection intact).
+                        for queue in queues:
+                            while queue:
+                                task = queue.popleft()
+                                runner.run_inline(
+                                    [task.chunk], ran, failed,
+                                    troubled=task.troubled,
+                                )
+                        return
+                    self._steal(queues, busy, runner)
+                    broken = False
+                    for shard in range(self.shards):
+                        if shard in busy or not queues[shard]:
+                            continue
+                        task = queues[shard].popleft()
+                        if policy is not None and (
+                            task.troubled or task.attempt > 0
+                        ):
+                            runner.stats.retries += 1
+                            sleep_ms(
+                                policy.backoff_ms(max(task.attempt, 1))
+                            )
+                        try:
+                            fut = pool.submit(
+                                _run_shard_chunk,
+                                (task.chunk, runner.backend, str(store.root)),
+                            )
+                        except (BrokenExecutor, RuntimeError) as exc:
+                            if policy is None:
+                                raise
+                            task.error = (
+                                f"shard pool broke at submit: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                            self._requeue_salvaging(
+                                store, task, runner, queues, ran, failed
+                            )
+                            broken = True
+                            break
+                        running[fut] = (shard, task)
+                        busy.add(shard)
+                    if not broken and running:
+                        done, _ = wait(
+                            set(running),
+                            timeout=(
+                                policy.chunk_timeout
+                                if policy is not None
+                                else None
+                            ),
+                            return_when=FIRST_COMPLETED,
+                        )
+                        if not done and policy is not None:
+                            # No shard made progress within the chunk
+                            # timeout: condemn the pool wholesale.
+                            broken = True
+                            for _, task in running.values():
+                                task.error = (
+                                    f"shard chunk timed out after "
+                                    f"{policy.chunk_timeout}s"
+                                )
+                        for fut in done:
+                            shard, task = running.pop(fut)
+                            busy.discard(shard)
+                            try:
+                                fut.result()
+                            except BrokenExecutor as exc:
+                                if policy is None:
+                                    raise
+                                broken = True
+                                task.error = (
+                                    f"shard worker died: "
+                                    f"{type(exc).__name__}: {exc}"
+                                )
+                                self._requeue_salvaging(
+                                    store, task, runner, queues, ran,
+                                    failed,
+                                )
+                            except Exception as exc:  # noqa: BLE001
+                                if policy is None:
+                                    raise
+                                task.error = f"{type(exc).__name__}: {exc}"
+                                self._requeue_salvaging(
+                                    store, task, runner, queues, ran,
+                                    failed,
+                                )
+                            else:
+                                self._finish_from_store(
+                                    store, task, runner, queues, ran,
+                                    failed,
+                                )
+                    if broken:
+                        # Salvage in-flight chunks that finished, then
+                        # re-probe the store for everything else: a dead
+                        # shard's published work survives it.
+                        for fut, (shard, task) in list(running.items()):
+                            fut.cancel()
+                            finished = False
+                            if fut.done() and not fut.cancelled():
+                                try:
+                                    fut.result()
+                                    finished = True
+                                except Exception:  # noqa: BLE001
+                                    finished = False
+                            if finished:
+                                self._finish_from_store(
+                                    store, task, runner, queues, ran,
+                                    failed,
+                                )
+                            else:
+                                task.error = (
+                                    task.error
+                                    or "lost with broken shard worker"
+                                )
+                                self._requeue_salvaging(
+                                    store, task, runner, queues, ran,
+                                    failed,
+                                )
+                        running.clear()
+                        busy.clear()
+                        rebuilds += 1
+                        if reg is not None:
+                            reg.counter(
+                                _names.EXECUTOR_POOL_REBUILDS
+                            ).inc()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=self.shards)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,191 @@
+"""Content-addressed shared result store: one payload file per job key.
+
+The :class:`~repro.runner.executor.SweepExecutor`'s on-disk JSON cache
+is a single merge-on-flush file — fine for one process, but concurrent
+writers (the :class:`~repro.runner.sharding.ShardScheduler`'s worker
+processes, or several sweeps sharing one cache directory) would race on
+it.  :class:`ResultStore` generalizes that cache into a directory of
+*per-key* files:
+
+* **Content addressing** — the file for a canonical job key lives at
+  ``root/<hh>/<sha256(key)>.json`` where ``hh`` is the first two hex
+  digits of the digest (256-way fan-out keeps directories small).  Two
+  writers holding the same key hold the same *result* (keys canonicalize
+  through the Appendix isomorphism), so a lost race loses nothing.
+* **Crash atomicity** — every write lands in a unique temp file in the
+  destination directory and is published with :func:`os.replace`.
+  Readers never observe a half-written payload; a killed writer leaves
+  at most a stray ``*.tmp*`` file, never a truncated entry.
+* **Quarantine on corruption** — an unreadable or version-mismatched
+  payload file is moved aside to ``<file>.corrupt`` and reads as a
+  miss, mirroring the executor's whole-file cache semantics.
+
+The store holds JSON payloads (:meth:`repro.runner.job.SimOutcome.
+to_payload` dicts — exact ``Fraction`` values survive the round trip)
+keyed by :meth:`repro.runner.job.SimJob.cache_key`; it never touches
+job objects, so shard workers can exchange *keys* over the pickle
+channel and stream the heavy results through the filesystem instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from ..obs import metrics as _metrics
+from ..obs import names as _names
+
+__all__ = ["ResultStore"]
+
+_STORE_VERSION = 1
+
+
+def _digest(key: str) -> str:
+    return hashlib.sha256(key.encode()).hexdigest()
+
+
+class ResultStore:
+    """A directory of atomically written per-key result payloads."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where the payload file for ``key`` lives (may not exist)."""
+        digest = _digest(key)
+        return self.root.joinpath(digest[:2], f"{digest}.json")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        payload = self._load(key)
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            if payload is None:
+                reg.counter(_names.STORE_MISSES).inc()
+            else:
+                reg.counter(_names.STORE_HITS).inc()
+        return payload
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, dict]:
+        """Payloads for every present key (absent keys are omitted)."""
+        found: dict[str, dict] = {}
+        misses = 0
+        for key in keys:
+            if key in found:
+                continue
+            payload = self._load(key)
+            if payload is None:
+                misses += 1
+            else:
+                found[key] = payload
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            if found:
+                reg.counter(_names.STORE_HITS).inc(len(found))
+            if misses:
+                reg.counter(_names.STORE_MISSES).inc(misses)
+        return found
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """Every key currently stored (reads each file's header)."""
+        for file in sorted(self.root.glob("??/*.json")):
+            try:
+                data = json.loads(file.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(data, dict) and isinstance(data.get("key"), str):
+                yield data["key"]
+
+    def _load(self, key: str) -> dict | None:
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, f"unreadable payload file ({exc})")
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != _STORE_VERSION
+            or not isinstance(data.get("payload"), dict)
+        ):
+            self._quarantine(path, "malformed or version-mismatched payload")
+            return None
+        return data["payload"]
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        target = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            path.replace(target)
+            where = f"quarantined to {target}"
+        except OSError as exc:
+            where = f"could not quarantine ({exc})"
+        warnings.warn(
+            f"result store entry {path}: {reason}; {where}; "
+            "treating as a miss",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            reg.counter(_names.STORE_QUARANTINED).inc()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: str, payload: Mapping[str, object]) -> None:
+        """Atomically write one payload (last writer wins, never torn)."""
+        self._write(key, payload)
+        reg = _metrics.active_metrics()
+        if reg is not None:
+            reg.counter(_names.STORE_WRITES).inc()
+
+    def put_many(self, payloads: Mapping[str, Mapping[str, object]]) -> None:
+        """Atomically write each payload (one file, one replace, each)."""
+        for key, payload in payloads.items():
+            self._write(key, payload)
+        reg = _metrics.active_metrics()
+        if reg is not None and payloads:
+            reg.counter(_names.STORE_WRITES).inc(len(payloads))
+
+    def _write(self, key: str, payload: Mapping[str, object]) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(
+            {"version": _STORE_VERSION, "key": key, "payload": dict(payload)},
+            separators=(",", ":"),
+        )
+        # A unique temp file per writer: concurrent shards publishing
+        # the same key race only on the final rename, which is atomic.
+        fd, tmp = tempfile.mkstemp(
+            prefix=path.name, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -408,6 +408,73 @@ class TestCrashSafeCache:
         assert warm.stats.executed == 0  # batch 1 fully recovered
         assert warm.stats.hits == 12
 
+    def test_flusher_killed_mid_write_never_tears_the_cache(
+        self, tmp_path
+    ):
+        # A subprocess flushes the same cache file in a tight loop and
+        # is SIGKILLed while doing so.  Because each flush writes a
+        # *unique* temp file published via os.replace, the kill can
+        # land anywhere — mid-temp-write included — and the cache file
+        # must stay a complete, loadable snapshot, and the stray temp
+        # must never collide with a later flusher.
+        import signal
+        import time
+
+        cache = tmp_path / "outcomes.json"
+        script = textwrap.dedent(
+            f"""
+            import sys
+            from repro.memory.config import MemoryConfig
+            from repro.runner import SweepExecutor, jobs_for_offsets
+
+            cfg = MemoryConfig(banks=12, bank_cycle=3)
+            ex = SweepExecutor(
+                backend="fast", cache_path={str(cache)!r},
+                flush_every=None,
+            )
+            for d1, d2 in [(1, 7), (2, 6), (3, 4), (1, 11)]:
+                ex.run_many(jobs_for_offsets(cfg, d1, d2, range(12)))
+            while True:  # flush forever until killed
+                ex._dirty = True
+                ex.flush()
+                print("F", flush=True)
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env=env,
+            stdout=subprocess.PIPE,
+        )
+        try:
+            assert proc.stdout is not None
+            proc.stdout.read(8)  # several flushes have happened
+            time.sleep(0.05)  # land somewhere inside a later flush
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == -signal.SIGKILL
+
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")  # any quarantine fails
+            warm = SweepExecutor(backend="fast", cache_path=cache)
+        assert len(warm) > 0
+        warm.run_many(jobs_for_offsets(CFG, 1, 7, range(12)))
+        assert warm.stats.executed == 0  # every batch survived the kill
+        # A later flusher is unaffected by any stray unique temp file.
+        warm.run_many(jobs_for_offsets(CFG, 2, 10, range(6)))
+        warm.flush()
+        entries = json.loads(cache.read_text())["entries"]
+        assert len(entries) == len(warm)
+
 
 # ----------------------------------------------------------------------
 # The executor's sharp-edge regressions

@@ -1,0 +1,206 @@
+"""The scheduler split: chunk planning, work stealing, placement.
+
+Companion to docs/RUNNER.md "Scheduling".  Scheduler *equivalence*
+(bit-identical outcomes across inline/pool/shard) lives in
+tests/property/test_scheduler_equivalence.py.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.obs import capture_metrics, capture_spans
+from repro.obs import names as obs_names
+from repro.runner import (
+    ChunkRunner,
+    InlineScheduler,
+    PoolScheduler,
+    ShardScheduler,
+    SweepExecutor,
+    jobs_for_offsets,
+)
+from repro.runner.executor import ExecutorStats
+from repro.runner.scheduling import _ChunkTask, chunk_size
+
+CFG = MemoryConfig(banks=12, bank_cycle=3)
+
+
+def _items(n: int):
+    jobs = jobs_for_offsets(CFG, 1, 7, range(n))
+    return [(job.cache_key(), job) for job in jobs]
+
+
+def _runner(backend: str = "fast") -> ChunkRunner:
+    return ChunkRunner(
+        backend=backend,
+        retry=None,
+        stats=ExecutorStats(),
+        on_chunk=lambda chunk, payloads, ran: ran.update(
+            {k: p for (k, _), p in zip(chunk, payloads)}
+        ),
+    )
+
+
+class TestChunkSizeBoundaries:
+    """The tiny-sweep fix: chunks shrink so no worker sits idle."""
+
+    @pytest.mark.parametrize(
+        "n_items,workers,preferred,expected",
+        [
+            # legacy grid (unchanged by the fix)
+            (100, 4, 1, 7),
+            (3, 4, 1, 1),
+            (100, 4, 4096, 25),
+            (8192, 4, 4096, 2048),
+            (100_000, 4, 4096, 6250),
+            (100, 4, 2, 7),
+            # n_items < workers: one job per chunk, never idle workers
+            (3, 4, 4096, 1),
+            (1, 8, 32, 1),
+            (7, 8, 4096, 1),
+            # workers <= n_items < workers * preferred: floor division
+            (10, 8, 4, 1),
+            (5, 4, 4096, 1),
+            (9, 4, 32, 2),
+            (100, 8, 32, 12),
+            # exact boundary n_items == workers * preferred
+            (16, 4, 4, 4),
+            (15, 4, 4, 3),
+            (17, 4, 4, 4),
+        ],
+    )
+    def test_grid(self, n_items, workers, preferred, expected):
+        assert chunk_size(n_items, workers, preferred) == expected
+
+    @pytest.mark.parametrize("n_items", [1, 3, 5, 9, 17, 64, 257])
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    @pytest.mark.parametrize("preferred", [1, 4, 32, 4096])
+    def test_every_worker_gets_a_chunk(self, n_items, workers, preferred):
+        size = chunk_size(n_items, workers, preferred)
+        assert size >= 1
+        n_chunks = -(-n_items // size)
+        assert n_chunks >= min(n_items, workers)
+
+
+class TestPlan:
+    def test_empty(self):
+        assert _runner().plan([], 4) == []
+
+    def test_inline_is_one_chunk(self):
+        items = _items(9)
+        assert _runner().plan(items, 1) == [items]
+
+    def test_chunks_partition_in_order(self):
+        items = _items(12)
+        chunks = _runner().plan(items, 4)
+        assert len(chunks) > 1
+        assert [pair for chunk in chunks for pair in chunk] == items
+
+    def test_preferred_chunk_caps_by_worker_count(self):
+        # fast advertises preferred_chunk=32; 12 items over 4 workers
+        # must still fan out (floor 12 // 4 = 3 per chunk).
+        chunks = _runner("fast").plan(_items(12), 4)
+        assert len(chunks) == 4
+        assert all(len(c) == 3 for c in chunks)
+
+
+class TestPoolStealing:
+    def test_steal_splits_largest_clean_chunk(self):
+        runner = _runner()
+        sched = PoolScheduler(4)
+        big, small = _items(8), _items(2)
+        queue = deque([_ChunkTask(small), _ChunkTask(big)])
+        with capture_metrics() as reg, capture_spans() as rec:
+            sched._steal_split(queue, busy=1, runner=runner)
+        sizes = sorted(len(t.chunk) for t in queue)
+        assert sizes == [2, 4, 4]
+        steals = reg.counter(obs_names.SCHED_STEALS, scheduler="pool")
+        assert steals.value == 1
+        assert any(
+            s.name == obs_names.SPAN_EXECUTOR_STEAL for s in rec.spans
+        )
+
+    def test_no_steal_when_queue_covers_idle_slots(self):
+        runner = _runner()
+        queue = deque(_ChunkTask(_items(4)) for _ in range(3))
+        PoolScheduler(4)._steal_split(queue, busy=1, runner=runner)
+        assert all(len(t.chunk) == 4 for t in queue)
+
+    def test_troubled_and_singleton_chunks_are_never_split(self):
+        runner = _runner()
+        troubled = _ChunkTask(_items(8), troubled=True)
+        single = _ChunkTask(_items(1))
+        queue = deque([troubled, single])
+        PoolScheduler(8)._steal_split(queue, busy=0, runner=runner)
+        assert [len(t.chunk) for t in queue] == [8, 1]
+
+
+class TestShardStealing:
+    def test_idle_shard_takes_from_backlogged_donor(self):
+        runner = _runner()
+        sched = ShardScheduler(3)
+        queues = [
+            deque(_ChunkTask(_items(2)) for _ in range(3)),
+            deque(),
+            deque(),
+        ]
+        with capture_metrics() as reg:
+            sched._steal(queues, busy={0}, runner=runner)
+        assert [len(q) for q in queues] == [1, 1, 1]
+        steals = reg.counter(obs_names.SCHED_STEALS, scheduler="shard")
+        assert steals.value == 2
+
+    def test_busy_shards_do_not_steal(self):
+        runner = _runner()
+        queues = [deque([_ChunkTask(_items(2))]), deque(), deque()]
+        ShardScheduler(3)._steal(queues, busy={1, 2}, runner=runner)
+        assert [len(q) for q in queues] == [1, 0, 0]
+
+    def test_idle_donor_keeps_its_only_chunk(self):
+        # Shard 0 is idle with one queued chunk: moving it would just
+        # relocate the dispatch, so it stays home.
+        runner = _runner()
+        queues = [deque([_ChunkTask(_items(2))]), deque(), deque()]
+        ShardScheduler(3)._steal(queues, busy=set(), runner=runner)
+        assert [len(q) for q in queues] == [1, 0, 0]
+
+    def test_busy_donor_loses_its_only_chunk(self):
+        runner = _runner()
+        queues = [deque([_ChunkTask(_items(2))]), deque()]
+        ShardScheduler(2)._steal(queues, busy={0}, runner=runner)
+        assert [len(q) for q in queues] == [0, 1]
+
+
+class TestSchedulerSelection:
+    def test_default_resolution(self):
+        assert SweepExecutor()._resolve_scheduler().name == "inline"
+        assert SweepExecutor(workers=3)._resolve_scheduler().name == "pool"
+        ex = SweepExecutor(workers=2, shards=2)
+        assert ex._resolve_scheduler().name == "shard"
+
+    def test_explicit_scheduler_name(self):
+        ex = SweepExecutor(workers=4, scheduler="inline")
+        assert ex._resolve_scheduler().name == "inline"
+        assert SweepExecutor(scheduler="shard")._resolve_scheduler().shards == 1
+
+    def test_scheduler_instance_passes_through(self):
+        sched = InlineScheduler()
+        assert SweepExecutor(scheduler=sched)._resolve_scheduler() is sched
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            SweepExecutor(scheduler="carousel")
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shard count"):
+            SweepExecutor(shards=0)
+
+    def test_chunk_counter_labels_scheduler(self):
+        ex = SweepExecutor(backend="fast")
+        with capture_metrics() as reg:
+            ex.run_many(jobs_for_offsets(CFG, 1, 7, range(6)))
+        chunks = reg.counter(obs_names.SCHED_CHUNKS, scheduler="inline")
+        assert chunks.value == 1

@@ -1,0 +1,157 @@
+"""Hash-partitioned shard execution over the shared result store."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.memory.config import MemoryConfig
+from repro.obs import capture_metrics
+from repro.obs import names as obs_names
+from repro.runner import (
+    ResultStore,
+    RetryPolicy,
+    SweepExecutor,
+    jobs_for_offsets,
+    run,
+    shard_of,
+)
+from repro.runner.resilience import CHAOS_ONCE_DIR_ENV
+
+CFG = MemoryConfig(banks=12, bank_cycle=3)
+
+#: A retry policy that never sleeps (tests should not wait on backoff).
+FAST = RetryPolicy(max_retries=2, backoff_base_ms=0)
+
+
+def _jobs():
+    return jobs_for_offsets(CFG, 1, 7, range(12))
+
+
+def _clean_outcomes():
+    return SweepExecutor(backend="fast").run_many(_jobs())
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        keys = [job.cache_key() for job in _jobs()]
+        for key in keys:
+            shard = shard_of(key, 4)
+            assert 0 <= shard < 4
+            assert shard_of(key, 4) == shard  # deterministic
+
+    def test_partition_covers_all_shards(self):
+        keys = [f"key-{i}" for i in range(256)]
+        counts = Counter(shard_of(k, 4) for k in keys)
+        assert set(counts) == {0, 1, 2, 3}
+
+    def test_single_shard_degenerates(self):
+        assert shard_of("anything", 1) == 0
+
+
+class TestShardedExecution:
+    def test_bit_identical_to_inline(self):
+        ex = SweepExecutor(backend="fast", shards=2)
+        outs = ex.run_many(_jobs())
+        clean = _clean_outcomes()
+        assert [o.to_payload() for o in outs] == [
+            o.to_payload() for o in clean
+        ]
+
+    def test_populates_explicit_store(self, tmp_path):
+        ex = SweepExecutor(
+            backend="fast", shards=2, store_path=tmp_path / "store"
+        )
+        outs = ex.run_many(_jobs())
+        store = ResultStore(tmp_path / "store")
+        jobs = _jobs()
+        keys = {job.cache_key() for job in jobs}
+        assert set(store.keys()) == keys
+        assert len(outs) == len(jobs)
+        # The store holds the raw executed payloads (backend untagged).
+        by_key = {
+            j.cache_key(): run(j, backend="fast").to_payload() for j in jobs
+        }
+        for key in keys:
+            assert store.get(key) == by_key[key]
+
+    def test_second_sweep_served_from_store(self, tmp_path):
+        SweepExecutor(
+            backend="fast", shards=2, store_path=tmp_path / "store"
+        ).run_many(_jobs())
+        ex = SweepExecutor(
+            backend="fast", shards=2, store_path=tmp_path / "store"
+        )
+        with capture_metrics() as reg:
+            outs = ex.run_many(_jobs())
+        assert ex.stats.executed == 0
+        assert reg.counter(obs_names.STORE_HITS).value == len(
+            {j.cache_key() for j in _jobs()}
+        )
+        assert [o.to_payload() for o in outs] == [
+            o.to_payload() for o in _clean_outcomes()
+        ]
+
+    def test_pool_scheduler_also_publishes_to_store(self, tmp_path):
+        ex = SweepExecutor(
+            backend="fast", workers=2, store_path=tmp_path / "store"
+        )
+        ex.run_many(_jobs())
+        store = ResultStore(tmp_path / "store")
+        assert set(store.keys()) == {j.cache_key() for j in _jobs()}
+
+    def test_shard_jobs_histogram_observed(self):
+        ex = SweepExecutor(backend="fast", shards=3)
+        with capture_metrics() as reg:
+            ex.run_many(_jobs())
+        hist = reg.get(obs_names.SCHED_SHARD_JOBS)
+        assert hist is not None
+        assert hist.count == 3  # one observation per shard, empty or not
+        assert hist.sum == ex.stats.executed
+
+
+class TestShardRecovery:
+    def test_worker_crash_recovers_bit_identical(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(CHAOS_ONCE_DIR_ENV, str(tmp_path / "once"))
+        (tmp_path / "once").mkdir()
+        ex = SweepExecutor(
+            backend="fast",
+            shards=2,
+            store_path=tmp_path / "store",
+            retry=FAST,
+        )
+        outs = ex.run_many(_jobs())
+        clean = _clean_outcomes()
+        assert [o.to_payload() for o in outs] == [
+            o.to_payload() for o in clean
+        ]
+        assert ex.stats.failures == 0
+        assert ex.stats.retries > 0
+
+    def test_dead_shards_published_work_stays_recovered(
+        self, monkeypatch, tmp_path
+    ):
+        # Pre-publish half the results as if a shard died after saving
+        # them: the coordinator must bank them as hits, not re-run them.
+        jobs = _jobs()
+        clean = _clean_outcomes()
+        store = ResultStore(tmp_path / "store")
+        store.put_many(
+            {
+                j.cache_key(): run(j, backend="fast").to_payload()
+                for j in jobs[:6]
+            }
+        )
+        ex = SweepExecutor(
+            backend="fast",
+            shards=2,
+            store_path=tmp_path / "store",
+            retry=FAST,
+        )
+        outs = ex.run_many(jobs)
+        assert [o.to_payload() for o in outs] == [
+            o.to_payload() for o in clean
+        ]
+        assert ex.stats.executed < len({j.cache_key() for j in jobs})
+        assert ex.stats.hits >= 6

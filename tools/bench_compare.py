@@ -17,7 +17,9 @@ start-space profiles of the paper's figure pairs) through the tiered
 executor, best-of ``--repeat``, and writes the wall-clock JSON
 (``--json PATH``) whose schema matches the benchmark timing artifacts
 (``BENCH_*.json``).  ``--backend NAME`` pins ``$REPRO_BENCH_BACKEND``
-for the backend-parametrized benches (the census population)::
+for the backend-parametrized benches (the census population);
+``--workers 1,2,4`` also times the parallel census on that worker
+ladder, ``--scheduler pool|shard`` picking its placement policy::
 
     PYTHONPATH=src python tools/bench_compare.py --sweeps --backend batch \
         --json BENCH_after.json
@@ -85,20 +87,30 @@ SWEEP_BENCHES = (
 )
 
 
-def _run_sweeps(repeat: int, backend: str | None = None) -> dict:
+def _run_sweeps(
+    repeat: int,
+    backend: str | None = None,
+    workers: str | None = None,
+    scheduler: str | None = None,
+) -> dict:
     """Best-of-``repeat`` wall-clock of the sweep benchmarks.
 
     Each repetition is a fresh pytest process so in-process caches
     (executor memo, classifier lru_caches) start cold — the same
     methodology as the committed ``BENCH_*.json`` captures.  A
     ``backend`` pins ``$REPRO_BENCH_BACKEND`` for the
-    backend-parametrized benches.
+    backend-parametrized benches.  A ``workers`` ladder (CSV, e.g.
+    ``"1,2,4"``) adds the parallel-census bench on that ladder, and
+    ``scheduler`` picks its placement policy (``pool`` / ``shard``).
     """
     import os
     import subprocess
     import tempfile
 
     root = pathlib.Path(__file__).resolve().parents[1]
+    benches = list(SWEEP_BENCHES)
+    if workers is not None:
+        benches.append("benchmarks/bench_parallel_census.py")
     best: dict[str, float] = {}
     for _ in range(repeat):
         with tempfile.TemporaryDirectory() as tmp:
@@ -108,8 +120,12 @@ def _run_sweeps(repeat: int, backend: str | None = None) -> dict:
             env["PYTHONPATH"] = str(root / "src")
             if backend is not None:
                 env["REPRO_BENCH_BACKEND"] = backend
+            if workers is not None:
+                env["REPRO_BENCH_WORKERS"] = workers
+            if scheduler is not None:
+                env["REPRO_BENCH_SCHEDULER"] = scheduler
             subprocess.run(
-                [sys.executable, "-m", "pytest", *SWEEP_BENCHES, "-q"],
+                [sys.executable, "-m", "pytest", *benches, "-q"],
                 check=True,
                 cwd=root,
                 env=env,
@@ -119,11 +135,16 @@ def _run_sweeps(repeat: int, backend: str | None = None) -> dict:
                 "benchmarks"
             ].items():
                 best[key] = min(best.get(key, elapsed), elapsed)
-    return {
+    report = {
         "schema": 1,
         "unit": "seconds",
         "benchmarks": {k: round(v, 6) for k, v in sorted(best.items())},
     }
+    if workers is not None:
+        report["workers"] = workers
+    if scheduler is not None:
+        report["scheduler"] = scheduler
+    return report
 
 
 def _compare_artifacts(
@@ -183,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--backend",
                     help="with --sweeps, pin $REPRO_BENCH_BACKEND for "
                          "the backend-parametrized benches")
+    ap.add_argument("--workers", metavar="CSV",
+                    help="with --sweeps, also time the parallel census "
+                         "on this worker ladder (e.g. 1,2,4)")
+    ap.add_argument("--scheduler", choices=["pool", "shard"],
+                    help="with --sweeps --workers, the scheduler the "
+                         "parallel census runs on (default pool)")
     ap.add_argument("--json", dest="json_path",
                     help="also write the report to this path")
     args = ap.parse_args(argv)
@@ -193,7 +220,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         ok = report["pass"]
     elif args.sweeps:
-        report = _run_sweeps(args.repeat, args.backend)
+        report = _run_sweeps(
+            args.repeat, args.backend, args.workers, args.scheduler
+        )
         ok = True  # absolute timings carry no pass/fail by themselves
     else:
         report = {
