@@ -1,0 +1,158 @@
+"""Extension — service latency tiers and request coalescing.
+
+Two claims from docs/SERVICE.md, measured end to end over a real
+socket:
+
+* **lookup tier** — an analytically-decided query served over HTTP
+  (socket + JSON + closed form) beats *cold simulation* of the same
+  job by at least ``$REPRO_BENCH_SERVE_GATE``× (default 100×) at the
+  p50.  The jobs are large single-stream points (``m = 65536``) where
+  the fast engine must walk the whole ``r = m`` period while Theorem 1
+  answers in microseconds.
+* **coalescing** — 64 identical concurrent requests for an undecided
+  (simulation-only) job collapse onto exactly one backend execution.
+
+Per-test wall clocks land in the bench JSON artifact via
+``$REPRO_BENCH_TIMINGS`` (see ``conftest.py``); the summary prints the
+latency table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import statistics
+import time
+
+from repro.memory.config import MemoryConfig
+from repro.runner.api import run
+from repro.runner.executor import SweepExecutor
+from repro.runner.job import SimJob
+from repro.serve.app import BandwidthService
+
+from conftest import print_header
+
+#: Large enough that cold simulation pays a full m-clock period walk.
+BANKS = 65536
+BANK_CYCLE = 8
+STRIDES = (1, 3, 5)
+#: HTTP samples per stride for the p50.
+SAMPLES = 12
+
+GATE = float(os.environ.get("REPRO_BENCH_SERVE_GATE", "100"))
+
+#: Analytically undecided pair (same start, equal strides): the
+#: coalescing benchmark must reach the simulation drain.
+UNDECIDED = {"banks": 8, "bank_cycle": 4, "streams": [[0, 4], [0, 4]]}
+
+
+def _payload(stride: int) -> bytes:
+    return json.dumps(
+        {"banks": BANKS, "bank_cycle": BANK_CYCLE, "streams": [[0, stride]]}
+    ).encode()
+
+
+async def _http_post(host: str, port: int, body: bytes) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    head = (
+        "POST /v1/beff HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    ).encode()
+    writer.write(head + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    status = raw.split(b"\r\n", 1)[0]
+    assert b"200" in status, status
+    return json.loads(raw.partition(b"\r\n\r\n")[2])
+
+
+def test_lookup_tier_beats_cold_simulation():
+    """HTTP-served analytic points vs cold fast-engine runs, p50 vs p50."""
+    cfg = MemoryConfig(banks=BANKS, bank_cycle=BANK_CYCLE)
+    jobs = [SimJob.from_specs(cfg, [(0, d)]) for d in STRIDES]
+
+    # Cold simulation reference: no cache anywhere, one run per job.
+    sim_secs = []
+    expected = {}
+    for job in jobs:
+        t0 = time.perf_counter()
+        out = run(job, backend="fast")
+        sim_secs.append(time.perf_counter() - t0)
+        expected[job.cache_key()] = out.to_payload()["bandwidth"]
+
+    async def serve_and_measure() -> list[float]:
+        service = BandwidthService(executor=SweepExecutor(backend="auto"))
+        await service.start("127.0.0.1", 0)
+        port = service.port
+        # one warm-up round trip keeps interpreter start-up effects out
+        await _http_post("127.0.0.1", port, _payload(STRIDES[0]))
+        laps: list[float] = []
+        for job, stride in zip(jobs, STRIDES):
+            body = _payload(stride)
+            for _ in range(SAMPLES):
+                t0 = time.perf_counter()
+                data = await _http_post("127.0.0.1", port, body)
+                laps.append(time.perf_counter() - t0)
+                assert data["tier"] == "analytic"
+                # the service answer is the simulator's answer, exactly
+                assert data["bandwidth"] == expected[job.cache_key()]
+        assert service.executor.stats.executed == 0  # lookup tier only
+        await service.aclose()
+        return laps
+
+    http_secs = asyncio.run(serve_and_measure())
+
+    sim_p50 = statistics.median(sim_secs)
+    http_p50 = statistics.median(http_secs)
+    speedup = sim_p50 / http_p50
+
+    print_header(
+        f"service lookup tier vs cold simulation "
+        f"(m={BANKS}, n_c={BANK_CYCLE})"
+    )
+    print(f"{'path':>24} {'p50':>12}")
+    print(f"{'cold fast simulation':>24} {sim_p50 * 1e3:10.2f} ms")
+    print(f"{'HTTP lookup (analytic)':>24} {http_p50 * 1e6:10.1f} us")
+    print(f"{'speedup':>24} {speedup:10.0f} x   (gate {GATE:.0f}x)")
+
+    assert speedup >= GATE, (
+        f"lookup tier only {speedup:.1f}x faster than cold simulation "
+        f"(gate {GATE:.0f}x)"
+    )
+
+
+def test_coalescing_collapses_identical_burst():
+    """64 identical concurrent requests -> exactly 1 execution."""
+    service = BandwidthService(executor=SweepExecutor(backend="auto"))
+    body = json.dumps(UNDECIDED).encode()
+
+    async def burst() -> tuple[list[dict], float]:
+        await service.start("127.0.0.1", 0)
+        port = service.port
+        t0 = time.perf_counter()
+        results = await asyncio.gather(
+            *(_http_post("127.0.0.1", port, body) for _ in range(64))
+        )
+        elapsed = time.perf_counter() - t0
+        await service.aclose()
+        return list(results), elapsed
+
+    results, elapsed = asyncio.run(burst())
+
+    values = {r["bandwidth"] for r in results}
+    executed = service.executor.stats.executed
+
+    print_header("coalescing: 64 identical concurrent requests")
+    print(f"{'requests':>16} {len(results):6d}")
+    print(f"{'executions':>16} {executed:6d}")
+    print(f"{'burst wall':>16} {elapsed * 1e3:8.1f} ms")
+    print(f"{'answers':>16} {sorted(values)}")
+
+    assert len(results) == 64
+    assert values == {"1/2"}
+    assert executed == 1, (
+        f"burst of 64 identical requests cost {executed} executions"
+    )

@@ -42,7 +42,7 @@ from .sim.engine import simulate_streams
 from .viz.ascii_trace import render_result
 from .viz.tables import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "serve_main"]
 
 
 def _parse_range(spec: str) -> list[int]:
@@ -248,6 +248,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("inc0", type=int)
     p.add_argument("inc1", type=int)
     p.add_argument("--n", type=int, default=512)
+
+    p = sub.add_parser(
+        "serve", help="bandwidth-oracle HTTP service (docs/SERVICE.md)"
+    )
+    _add_memory_args(p)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="bind port; 0 picks a free one (default 8080)")
+    p.add_argument("--backend", choices=list(available_backends()),
+                   default="auto",
+                   help="drain-tier backend (default auto)")
+    p.add_argument("--jobs", "--workers", type=int, default=1,
+                   metavar="N", dest="jobs",
+                   help="worker processes for the drain executor")
+    p.add_argument("--cache", default=None, metavar="FILE",
+                   help="executor on-disk cache file (flushed on shutdown)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="shared result-store directory: preloaded into the "
+                        "lookup tier at startup, populated as the service "
+                        "simulates")
+    p.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                   help="load-shed (429 + Retry-After) past N concurrent "
+                        "compute requests (default 64)")
+    p.add_argument("--precompute", type=_parse_range, default=None,
+                   metavar="STRIDES",
+                   help="before announcing readiness, simulate every "
+                        "stride pair from this range (e.g. 1-16) over "
+                        "every relative start on the configured memory "
+                        "and load the results into the lookup tier")
 
     p = sub.add_parser(
         "lint", help="static invariant analysis (reprolint)"
@@ -493,6 +523,37 @@ def _cmd_duel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.app import run_server
+
+    precompute_jobs = None
+    if args.precompute is not None:
+        from .runner import jobs_for_offsets
+
+        cfg = _memory(args)
+        strides = sorted(set(args.precompute))
+        precompute_jobs = [
+            job
+            for d1 in strides
+            for d2 in strides
+            if d1 <= d2
+            for job in jobs_for_offsets(
+                cfg, d1, d2, range(cfg.banks)
+            )
+        ]
+    run_server(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        store_path=args.store,
+        cache_path=args.cache,
+        workers=args.jobs,
+        max_inflight=args.max_inflight,
+        precompute_jobs=precompute_jobs,
+    )
+    return 0
+
+
 _COMMANDS = {
     "classify": _cmd_classify,
     "single": _cmd_single,
@@ -502,6 +563,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "census": _cmd_census,
     "duel": _cmd_duel,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 
@@ -552,6 +614,12 @@ def _run_command(args: argparse.Namespace) -> int:
     if reg is not None:
         _emit_metrics(reg, metrics_dest)
     return rc
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro-serve`` entry: ``repro-mem serve`` with fewer keystrokes."""
+    args = sys.argv[1:] if argv is None else argv
+    return main(["serve", *args])
 
 
 def main(argv: list[str] | None = None) -> int:

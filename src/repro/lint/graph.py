@@ -9,7 +9,8 @@ The reproduction's module architecture is a strict layering::
     sim, machine,      (rank 4 — engines, analyses, generators)
     analysis, skewing,
     stochastic, viz
-    cli                (rank 5 — may import anything)
+    serve              (rank 5 — the HTTP service over the runner)
+    cli                (rank 6 — may import anything)
 
 A module may import downward (strictly smaller rank) or sideways
 (same rank, including its own package); importing *upward* inverts the
@@ -46,8 +47,9 @@ LAYER_RANKS: dict[str, int] = {
     "skewing": 4,
     "stochastic": 4,
     "viz": 4,
-    "cli": 5,
-    "": 5,  # the repro root package re-exports the public surface
+    "serve": 5,
+    "cli": 6,
+    "": 6,  # the repro root package re-exports the public surface
 }
 
 #: Rank assumed for a subpackage not listed above: new packages default
@@ -91,7 +93,7 @@ class ImportGraphRule(ProjectRule):
     name = "import-layer-dag"
     description = (
         "repro packages import only downward in the layer DAG "
-        "(obs/lint < core < memory < runner < engines < cli); "
+        "(obs/lint < core < memory < runner < engines < serve < cli); "
         "upward imports and eager import cycles are rejected"
     )
 

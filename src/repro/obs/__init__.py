@@ -55,6 +55,7 @@ from .names import (
 )
 from .trace import (
     Span,
+    Stopwatch,
     TraceRecorder,
     active_trace,
     capture_spans,
@@ -74,6 +75,7 @@ __all__ = [
     "SPAN_CONTRACT",
     "Span",
     "SpanSpec",
+    "Stopwatch",
     "TraceRecorder",
     "active_metrics",
     "active_trace",

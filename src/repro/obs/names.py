@@ -82,6 +82,15 @@ FAST_JOBS = "runner.fast.jobs"
 FAST_CLOCKS = "runner.fast.clocks"
 FAST_GRANTS = "runner.fast.grants"
 
+SERVE_REQUESTS = "serve.http.requests"
+SERVE_LATENCY = "serve.http.latency_us"
+SERVE_INFLIGHT = "serve.http.inflight"
+SERVE_SHED = "serve.http.shed"
+SERVE_COALESCED = "serve.coalesce.folded"
+SERVE_QUEUE_DEPTH = "serve.coalesce.queue_depth"
+SERVE_BATCHES = "serve.coalesce.batches"
+SERVE_LOOKUP = "serve.lookup.probes"
+
 SCHED_CHUNKS = "runner.scheduler.chunks"
 SCHED_SHARD_JOBS = "runner.scheduler.shard_jobs"
 SCHED_STEALS = "runner.scheduler.steals"
@@ -299,6 +308,54 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         "plus os.replace).",
     ),
     MetricSpec(
+        SERVE_BATCHES, "counter", (),
+        "repro.serve.coalesce.Coalescer._drain",
+        "Backend drain batches dispatched by the coalescer (each one "
+        "SweepExecutor.run_many call over the queued unique jobs).",
+    ),
+    MetricSpec(
+        SERVE_COALESCED, "counter", (),
+        "repro.serve.coalesce.Coalescer.submit",
+        "Requests folded onto an already in-flight computation of the "
+        "same canonical job (the Appendix isomorphism is the dedup "
+        "key).",
+    ),
+    MetricSpec(
+        SERVE_QUEUE_DEPTH, "gauge", (),
+        "repro.serve.coalesce.Coalescer.submit",
+        "Canonical jobs queued for the next backend drain batch.",
+    ),
+    MetricSpec(
+        SERVE_INFLIGHT, "gauge", (),
+        "repro.serve.app.BandwidthService.dispatch",
+        "Compute requests (/v1/beff, /v1/sweep) currently being "
+        "served.",
+    ),
+    MetricSpec(
+        SERVE_LATENCY, "histogram", ("endpoint",),
+        "repro.serve.app.BandwidthService.dispatch",
+        "Per-request service latency in integer microseconds, one "
+        "series per endpoint (power-of-two buckets).",
+    ),
+    MetricSpec(
+        SERVE_REQUESTS, "counter", ("endpoint", "status"),
+        "repro.serve.app.BandwidthService.dispatch",
+        "HTTP requests served, per endpoint and response status code.",
+    ),
+    MetricSpec(
+        SERVE_SHED, "counter", (),
+        "repro.serve.app.BandwidthService.dispatch",
+        "Compute requests rejected with 429 + Retry-After because the "
+        "in-flight cap was reached (load shedding).",
+    ),
+    MetricSpec(
+        SERVE_LOOKUP, "counter", ("tier",),
+        "repro.serve.lookup.LookupTier.probe",
+        "Lookup-tier probes by resolution: analytic closed form, "
+        "precomputed store entry, or miss (falls through to the "
+        "simulation drain queue).",
+    ),
+    MetricSpec(
         ENGINE_CLOCKS, "counter", (),
         "repro.runner.backends.ReferenceBackend",
         "Clocks simulated by the reference engine through the runner.",
@@ -327,6 +384,8 @@ SPAN_EXECUTOR_SHARD = "executor.shard"
 SPAN_EXECUTOR_STEAL = "executor.steal"
 SPAN_AUTO_RUN_BATCH = "backend.auto.run_batch"
 SPAN_ENGINE_STEADY_DETECT = "engine.steady_detect"
+SPAN_SERVE_REQUEST = "serve.request"
+SPAN_SERVE_DRAIN = "serve.drain"
 
 #: The full span contract, sorted by name.
 SPAN_CONTRACT: tuple[SpanSpec, ...] = (
@@ -374,6 +433,18 @@ SPAN_CONTRACT: tuple[SpanSpec, ...] = (
         "repro.runner.sharding.ShardScheduler",
         "One work-stealing event: a queued straggler chunk split "
         "(pool) or migrated to an idle shard (shard).",
+    ),
+    SpanSpec(
+        SPAN_SERVE_DRAIN, ("jobs",),
+        "repro.serve.coalesce.Coalescer._drain",
+        "One coalescer drain batch through the shared warm "
+        "SweepExecutor (runs in a worker thread off the event loop).",
+    ),
+    SpanSpec(
+        SPAN_SERVE_REQUEST, ("endpoint",),
+        "repro.serve.app.BandwidthService.dispatch",
+        "One HTTP request through the bandwidth-oracle service, "
+        "route dispatch to response body.",
     ),
 )
 

@@ -28,6 +28,7 @@ from typing import Iterator
 
 __all__ = [
     "Span",
+    "Stopwatch",
     "TraceRecorder",
     "span",
     "active_trace",
@@ -35,6 +36,41 @@ __all__ = [
     "disable_tracing",
     "capture_spans",
 ]
+
+
+class Stopwatch:
+    """An explicit elapsed-time reading inside the clock boundary.
+
+    Spans attribute time to *recorded* phases and vanish when tracing
+    is off; some callers (the :mod:`repro.serve` request loop) need an
+    elapsed reading unconditionally — per-request latency feeds a
+    histogram whether or not a recorder is active.  ``Stopwatch`` is
+    that reading, kept inside this module so OBS001's "one clock
+    boundary" invariant holds: consumers receive integer durations,
+    never the clock itself, and a duration can no more leak into a
+    simulation result than a span timing can.
+
+    >>> watch = Stopwatch()
+    >>> ...                      # the timed region
+    >>> watch.elapsed_us()       # exact integer microseconds
+    """
+
+    __slots__ = ("_start_ns",)
+
+    def __init__(self) -> None:
+        self._start_ns = time.perf_counter_ns()
+
+    def restart(self) -> None:
+        """Reset the reference point to now."""
+        self._start_ns = time.perf_counter_ns()
+
+    def elapsed_ns(self) -> int:
+        """Integer nanoseconds since construction (or ``restart``)."""
+        return time.perf_counter_ns() - self._start_ns
+
+    def elapsed_us(self) -> int:
+        """Integer microseconds since construction (floor division)."""
+        return self.elapsed_ns() // 1000
 
 
 class Span:

@@ -200,6 +200,12 @@ class SweepExecutor:
         execution (shared hits are cache hits, not executions) and
         populated by every scheduler, so concurrent sweeps — and the
         shard workers themselves — exchange results through it.
+    store:
+        An already-constructed :class:`~repro.runner.store.ResultStore`
+        to share verbatim — the :mod:`repro.serve` service hands its
+        lookup tier and its warm executor the *same* store instance so
+        precomputed entries and fresh results flow through one
+        directory.  Mutually exclusive with ``store_path``.
     """
 
     def __init__(
@@ -214,6 +220,7 @@ class SweepExecutor:
         scheduler: str | Scheduler | None = None,
         shards: int | None = None,
         store_path: str | os.PathLike[str] | None = None,
+        store: ResultStore | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
@@ -237,9 +244,15 @@ class SweepExecutor:
         self.shards = shards
         self.stats = ExecutorStats()
         self._memo: dict[str, dict] = {}
+        if store is not None and store_path is not None:
+            raise ValueError("pass either store= or store_path=, not both")
         self._cache_path = Path(cache_path) if cache_path is not None else None
         self._store = (
-            ResultStore(store_path) if store_path is not None else None
+            store
+            if store is not None
+            else ResultStore(store_path)
+            if store_path is not None
+            else None
         )
         self._publish_to_store = False
         self._dirty = False
@@ -293,6 +306,30 @@ class SweepExecutor:
                     reg.counter(name).inc(delta)
             reg.gauge(_names.EXECUTOR_MEMO_SIZE).set(len(self._memo))
         return out
+
+    def peek(self, job: SimJob) -> SimOutcome | None:
+        """Probe the caches for ``job`` without ever executing it.
+
+        Checks the in-process memo, then the shared store (a store hit
+        is promoted into the memo).  Returns ``None`` on a miss — and
+        always for trace jobs, which are uncacheable.  This is the
+        cheap-path probe of the :mod:`repro.serve` lookup tier: the
+        event loop may call it inline because it never blocks on a
+        simulation.
+        """
+        if job.trace:
+            return None
+        key = job.cache_key()
+        if key in self._memo:
+            payload = self._memo.pop(key)
+            self._memo[key] = payload  # LRU refresh
+            return SimOutcome.from_payload(job, payload)
+        if self._store is not None:
+            payload = self._store.get(key)
+            if payload is not None:
+                self._insert({key: payload})
+                return SimOutcome.from_payload(job, payload)
+        return None
 
     def _run_batch(
         self, jobs: list[SimJob], backend: str | None

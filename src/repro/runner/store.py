@@ -106,13 +106,31 @@ class ResultStore:
 
     def keys(self) -> Iterator[str]:
         """Every key currently stored (reads each file's header)."""
+        for key, _ in self.items():
+            yield key
+
+    def items(self) -> Iterator[tuple[str, dict]]:
+        """Every ``(key, payload)`` pair currently stored.
+
+        One sequential pass over the fan-out directories; unreadable or
+        malformed files are skipped (use :meth:`get` for the
+        quarantining read path).  This is the preload path of the
+        :class:`repro.serve.lookup.LookupTier`: a service sucks the
+        whole precomputed table into memory once at startup instead of
+        paying a file open per query.
+        """
         for file in sorted(self.root.glob("??/*.json")):
             try:
                 data = json.loads(file.read_text())
             except (OSError, ValueError):
                 continue
-            if isinstance(data, dict) and isinstance(data.get("key"), str):
-                yield data["key"]
+            if (
+                isinstance(data, dict)
+                and data.get("version") == _STORE_VERSION
+                and isinstance(data.get("key"), str)
+                and isinstance(data.get("payload"), dict)
+            ):
+                yield data["key"], data["payload"]
 
     def _load(self, key: str) -> dict | None:
         path = self.path_for(key)

@@ -1,3 +1,3 @@
-from repro.cli import main  # upward: core (rank 1) -> cli (rank 5)
+from repro.cli import main  # upward: core (rank 1) -> cli (rank 6)
 
 CORE = main

@@ -1,0 +1,3 @@
+from repro.cli import main  # upward: serve (rank 5) -> cli (rank 6)
+
+SERVE = main

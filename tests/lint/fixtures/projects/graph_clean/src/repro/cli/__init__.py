@@ -1,6 +1,7 @@
 from repro.runner import RUNNER
+from repro.serve import SERVE
 from repro.sim import SIM
 
 
 def main() -> int:
-    return RUNNER + SIM
+    return RUNNER + SIM + SERVE

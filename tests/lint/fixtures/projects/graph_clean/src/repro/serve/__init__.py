@@ -1,0 +1,3 @@
+from repro.runner import RUNNER  # downward: serve -> runner
+
+SERVE = RUNNER

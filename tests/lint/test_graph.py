@@ -28,7 +28,8 @@ class TestRanks:
         assert layer_rank("core") < layer_rank("memory")
         assert layer_rank("memory") < layer_rank("runner")
         assert layer_rank("runner") < layer_rank("sim")
-        assert layer_rank("sim") < layer_rank("cli")
+        assert layer_rank("sim") < layer_rank("serve")
+        assert layer_rank("serve") < layer_rank("cli")
 
     def test_unknown_packages_default_to_engine_tier(self):
         assert layer_rank("brand_new_pkg") == layer_rank("sim")
@@ -41,11 +42,12 @@ class TestRanks:
 
 
 class TestBadTree:
-    def test_flags_all_three_violation_kinds(self):
+    def test_flags_all_violation_kinds(self):
         findings = check(PROJECTS / "graph_bad")
-        assert len(findings) == 3, [f.render() for f in findings]
+        assert len(findings) == 4, [f.render() for f in findings]
         by_path = {f.path: f.message for f in findings}
         assert "upward import" in by_path["src/repro/core/__init__.py"]
+        assert "upward import" in by_path["src/repro/serve/__init__.py"]
         assert "leaf package" in by_path["src/repro/obs/__init__.py"]
         assert "eager import cycle" in by_path["src/repro/machine/__init__.py"]
 

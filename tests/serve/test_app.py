@@ -1,0 +1,309 @@
+"""The HTTP service: routing, shedding, exactness, the socket layer."""
+
+import asyncio
+import json
+
+from repro.obs import names as _names
+from repro.obs.metrics import MetricsRegistry, capture_metrics
+from repro.runner.executor import SweepExecutor
+from repro.runner.store import ResultStore
+from repro.serve.app import BandwidthService
+
+#: Analytically undecided pair: forces the simulation drain path.
+UNDECIDED = {"banks": 8, "bank_cycle": 4, "streams": [[0, 4], [0, 4]]}
+#: Theorem 1 point with a non-trivial exact value: m=8, n_c=4, d=4
+#: -> r = 2 < n_c, b_eff = r/n_c = 1/2.
+ANALYTIC = {"banks": 8, "bank_cycle": 4, "streams": [[0, 4]]}
+
+
+def _dispatch(service, method, target, body=b""):
+    return asyncio.run(service.dispatch(method, target, body))
+
+
+def _post(service, target, obj):
+    return _dispatch(service, "POST", target, json.dumps(obj).encode())
+
+
+def _service(**kwargs):
+    kwargs.setdefault("executor", SweepExecutor(backend="auto"))
+    return BandwidthService(**kwargs)
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self):
+        status, _, body, _ = _dispatch(_service(), "GET", "/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["mode"] == "not-found"
+
+    def test_wrong_method_is_405(self):
+        status, _, body, _ = _dispatch(_service(), "POST", "/healthz")
+        assert status == 405
+        assert json.loads(body)["error"]["mode"] == "bad-method"
+
+    def test_malformed_body_is_400_not_500(self):
+        service = _service()
+        for raw in (b"{nope", b"[]", b"null", b'{"jobs": 3}'):
+            status, _, body, _ = _dispatch(
+                service, "POST", "/v1/beff", raw
+            )
+            assert status == 400, raw
+            assert json.loads(body)["error"]["mode"] == "malformed"
+
+    def test_healthz_reports_state(self):
+        status, _, body, _ = _dispatch(_service(), "GET", "/healthz")
+        assert status == 200
+        data = json.loads(body)
+        assert data["status"] == "ok"
+        assert data["inflight"] == 0
+
+
+class TestBeff:
+    def test_analytic_point_returns_exact_fraction(self):
+        status, _, body, _ = _post(_service(), "/v1/beff", ANALYTIC)
+        assert status == 200
+        data = json.loads(body)
+        assert data["bandwidth"] == "1/2"
+        assert data["tier"] == "analytic"
+        assert data["bandwidth_float"] == 0.5
+
+    def test_undecided_point_simulates_exactly(self):
+        service = _service()
+        status, _, body, _ = _post(service, "/v1/beff", UNDECIDED)
+        assert status == 200
+        data = json.loads(body)
+        assert data["tier"] == "simulated"
+        # two interleaved streams on one n_c=4 bank: 2 grants / 4 clocks
+        assert data["bandwidth"] == "1/2"
+        assert service.executor.stats.executed == 1
+
+    def test_second_identical_request_is_a_lookup(self):
+        service = _service()
+        _post(service, "/v1/beff", UNDECIDED)
+        status, _, body, _ = _post(service, "/v1/beff", UNDECIDED)
+        assert status == 200
+        assert json.loads(body)["tier"] in ("store", "memo")
+        assert service.executor.stats.executed == 1
+
+    def test_store_tier_serves_precomputed_points(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        warm = SweepExecutor(backend="fast", store=store)
+        from repro.serve.protocol import job_from_payload
+
+        job = job_from_payload(UNDECIDED)
+        warm.run_one(job)
+        service = BandwidthService(
+            executor=SweepExecutor(backend="auto"), store=store
+        )
+        status, _, body, _ = _post(service, "/v1/beff", UNDECIDED)
+        assert status == 200
+        assert json.loads(body)["tier"] == "store"
+        assert service.executor.stats.executed == 0
+
+
+class TestSweep:
+    def test_sweep_returns_results_in_order_with_tier_counts(self):
+        service = _service()
+        jobs = [ANALYTIC, UNDECIDED, ANALYTIC]
+        status, _, body, _ = _post(service, "/v1/sweep", {"jobs": jobs})
+        assert status == 200
+        data = json.loads(body)
+        assert data["count"] == 3
+        assert data["failures"] == 0
+        tiers = [r["tier"] for r in data["results"]]
+        assert tiers[0] == "analytic" and tiers[2] == "analytic"
+        assert tiers[1] == "simulated"
+        assert data["tiers"]["analytic"] == 2
+
+    def test_sweep_deduplicates_identical_jobs(self):
+        service = _service()
+        status, _, body, _ = _post(
+            service, "/v1/sweep", {"jobs": [UNDECIDED] * 16}
+        )
+        assert status == 200
+        assert service.executor.stats.executed == 1
+        values = {r["bandwidth"] for r in json.loads(body)["results"]}
+        assert values == {"1/2"}
+
+    def test_oversized_sweep_is_413(self):
+        service = _service(max_sweep_jobs=2)
+        status, _, body, _ = _post(
+            service, "/v1/sweep", {"jobs": [ANALYTIC] * 3}
+        )
+        assert status == 413
+        assert json.loads(body)["error"]["mode"] == "too-large"
+
+
+class TestRegime:
+    def test_classifies_a_pair_in_closed_form(self):
+        status, _, body, _ = _dispatch(
+            _service(), "GET", "/v1/regime?m=16&n_c=4&d1=1&d2=2"
+        )
+        assert status == 200
+        data = json.loads(body)
+        assert data["regime"] == "unique-barrier"
+        assert data["predicted_bandwidth"] == "3/2"
+        assert data["delayed_stream"] == 2
+
+    def test_missing_parameter_is_400(self):
+        status, _, body, _ = _dispatch(
+            _service(), "GET", "/v1/regime?m=16&n_c=4&d1=1"
+        )
+        assert status == 400
+
+
+class TestLoadShedding:
+    def test_zero_cap_sheds_with_retry_after(self):
+        service = _service(max_inflight=0)
+        with capture_metrics() as reg:
+            status, _, body, extra = _post(service, "/v1/beff", ANALYTIC)
+        assert status == 429
+        assert json.loads(body)["error"]["mode"] == "overloaded"
+        assert extra.get("Retry-After") == "1"
+        shed = reg.get(_names.SERVE_SHED)
+        assert shed is not None and shed.value == 1
+
+    def test_draining_service_returns_503(self):
+        service = _service()
+        asyncio.run(service.aclose())
+        status, _, body, _ = _post(service, "/v1/beff", ANALYTIC)
+        assert status == 503
+        assert json.loads(body)["error"]["mode"] == "shutting-down"
+
+
+class TestMetricsContract:
+    def test_dispatch_emits_only_contract_names(self):
+        service = _service()
+        with capture_metrics() as reg:
+            _post(service, "/v1/beff", ANALYTIC)
+            _post(service, "/v1/beff", UNDECIDED)
+            _dispatch(service, "GET", "/healthz")
+            _dispatch(service, "GET", "/nope")
+        names = {metric.name for metric in reg.collect()}
+        assert names <= _names.metric_names()
+        assert _names.SERVE_REQUESTS in names
+        assert _names.SERVE_LATENCY in names
+        assert _names.SERVE_LOOKUP in names
+
+    def test_latency_histogram_populates_per_endpoint(self):
+        service = _service()
+        with capture_metrics() as reg:
+            _post(service, "/v1/beff", ANALYTIC)
+        hist = reg.get(_names.SERVE_LATENCY, endpoint="/v1/beff")
+        assert hist is not None and hist.count == 1
+
+
+class TestHttpServer:
+    """End-to-end over a real socket."""
+
+    @staticmethod
+    async def _request(host, port, raw):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(raw)
+        await writer.drain()
+        writer.write_eof()
+        data = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return data
+
+    @staticmethod
+    def _http(method, path, obj=None):
+        body = b"" if obj is None else json.dumps(obj).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: t\r\nContent-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        return head.encode() + body
+
+    def test_round_trip_and_graceful_shutdown(self):
+        async def main():
+            service = _service()
+            await service.start("127.0.0.1", 0)
+            port = service.port
+            raw = await self._request(
+                "127.0.0.1", port, self._http("POST", "/v1/beff", ANALYTIC)
+            )
+            head, _, payload = raw.partition(b"\r\n\r\n")
+            assert head.startswith(b"HTTP/1.1 200 OK")
+            data = json.loads(payload)
+            assert data["bandwidth"] == "1/2"
+
+            metrics_raw = await self._request(
+                "127.0.0.1", port, self._http("GET", "/metrics")
+            )
+            assert b"HTTP/1.1 200" in metrics_raw.split(b"\r\n", 1)[0]
+            assert b"serve_http_requests" in metrics_raw
+
+            await service.aclose()
+            # the registry is released on shutdown
+            from repro.obs.metrics import active_metrics
+
+            assert active_metrics() is None
+
+        asyncio.run(main())
+
+    def test_keep_alive_serves_sequential_requests(self):
+        async def main():
+            service = _service()
+            await service.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            body = json.dumps(ANALYTIC).encode()
+            head = (
+                "POST /v1/beff HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            for _ in range(2):
+                writer.write(head + body)
+                await writer.drain()
+                status_line = await reader.readline()
+                assert status_line.startswith(b"HTTP/1.1 200")
+                length = None
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b""):
+                        break
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":")[1])
+                assert length is not None
+                payload = await reader.readexactly(length)
+                assert json.loads(payload)["bandwidth"] == "1/2"
+            writer.close()
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_bad_request_line_closes_with_400(self):
+        async def main():
+            service = _service()
+            await service.start("127.0.0.1", 0)
+            raw = await self._request(
+                "127.0.0.1", service.port, b"garbage\r\n\r\n"
+            )
+            assert raw.startswith(b"HTTP/1.1 400")
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_metrics_registry_isolated_per_service(self):
+        async def main():
+            service = _service()
+            await service.start("127.0.0.1", 0)
+            assert isinstance(service.registry, MetricsRegistry)
+            await self._request(
+                "127.0.0.1",
+                service.port,
+                self._http("POST", "/v1/beff", ANALYTIC),
+            )
+            text = (
+                await self._request(
+                    "127.0.0.1", service.port, self._http("GET", "/metrics")
+                )
+            ).decode()
+            assert 'serve_http_requests{endpoint="/v1/beff"' in text
+            assert "serve_http_latency_us" in text
+            await service.aclose()
+
+        asyncio.run(main())

@@ -1,0 +1,117 @@
+"""docs/SERVICE.md must stay in sync with the wire contract.
+
+The document's tables are parsed back out of the markdown and diffed
+against the declarations in :mod:`repro.serve.protocol` and the
+``serve.*`` rows of the :mod:`repro.obs.names` contract — adding an
+endpoint, failure mode or metric without documenting it (or
+documenting one that does not exist) fails here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.obs.names import METRIC_CONTRACT, SPAN_CONTRACT
+from repro.serve.app import MAX_BODY_BYTES
+from repro.serve.protocol import ENDPOINTS, FAILURE_STATUS, MAX_SWEEP_JOBS
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "SERVICE.md"
+
+
+def _table_rows(heading: str) -> list[list[str]]:
+    """Cells of the first markdown table under ``## <heading>``."""
+    text = DOC.read_text()
+    match = re.search(rf"^## {re.escape(heading)}$", text, re.MULTILINE)
+    assert match, f"section {heading!r} missing from SERVICE.md"
+    rows: list[list[str]] = []
+    in_table = False
+    for line in text[match.end():].splitlines():
+        if line.startswith("|"):
+            in_table = True
+            cells = [c.strip() for c in line.strip("|").split("|")]
+            if all(set(c) <= {"-"} for c in cells):
+                continue  # the |---|---| separator
+            rows.append(cells)
+        elif in_table:
+            break
+    assert rows, f"no table under section {heading!r}"
+    return rows[1:]  # drop the header row
+
+
+def _strip_code(cell: str) -> str:
+    return cell.strip("`")
+
+
+class TestEndpointCatalog:
+    def test_documented_rows_match_declaration(self):
+        rows = _table_rows("Endpoint catalog")
+        documented = [
+            (row[0], _strip_code(row[1]), row[2]) for row in rows
+        ]
+        declared = [
+            (spec.method, spec.path, spec.summary) for spec in ENDPOINTS
+        ]
+        assert documented == declared
+
+
+class TestFailureModes:
+    def test_documented_table_matches_declaration(self):
+        rows = _table_rows("Failure modes")
+        documented = {
+            _strip_code(row[0]): int(row[1]) for row in rows
+        }
+        assert documented == FAILURE_STATUS
+
+    def test_documented_order_matches_status_order(self):
+        rows = _table_rows("Failure modes")
+        statuses = [int(row[1]) for row in rows]
+        assert statuses == sorted(statuses)
+
+
+class TestMetricTable:
+    def test_serve_metrics_match_contract(self):
+        rows = _table_rows("Metrics")
+        documented = {
+            _strip_code(row[0]): (row[1], row[2]) for row in rows
+        }
+        declared = {
+            spec.name: (
+                spec.kind,
+                ", ".join(f"`{label}`" for label in spec.labels) or "—",
+            )
+            for spec in METRIC_CONTRACT
+            if spec.name.startswith("serve.")
+        }
+        assert documented == declared
+
+    def test_serve_spans_mentioned(self):
+        text = DOC.read_text()
+        for spec in SPAN_CONTRACT:
+            if spec.name.startswith("serve."):
+                assert f"`{spec.name}`" in text, spec.name
+                for label in spec.labels:
+                    assert f"`{label}`" in text, (spec.name, label)
+
+
+class TestLimits:
+    def test_sweep_cap_documented(self):
+        text = DOC.read_text()
+        assert f"{MAX_SWEEP_JOBS} jobs" in text
+
+    def test_body_cap_documented(self):
+        assert MAX_BODY_BYTES == 8 * 1024 * 1024
+        assert "8 MiB" in DOC.read_text()
+
+
+class TestCrossReferences:
+    def test_doc_names_its_enforcers(self):
+        text = DOC.read_text()
+        # the doc must point readers at the things that enforce it
+        for ref in (
+            "tests/serve/test_docs.py",
+            "benchmarks/bench_serve.py",
+            "tools/serve_smoke.py",
+            "OBSERVABILITY.md",
+        ):
+            assert ref in text, ref

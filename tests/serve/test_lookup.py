@@ -1,0 +1,92 @@
+"""The lookup tier: probe order, store preload, precompute."""
+
+from repro.memory.config import MemoryConfig
+from repro.runner.analytic import solve
+from repro.runner.executor import SweepExecutor
+from repro.runner.job import SimJob
+from repro.runner.store import ResultStore
+from repro.serve.lookup import LookupTier
+
+
+def _job(streams, *, banks=8, bank_cycle=4, **kw):
+    return SimJob.from_specs(
+        MemoryConfig(banks=banks, bank_cycle=bank_cycle), streams, **kw
+    )
+
+
+#: Undecided by the closed forms (same start, equal strides): must
+#: always fall through to simulation.
+UNDECIDED = [(0, 4), (0, 4)]
+
+
+class TestProbe:
+    def test_analytic_tier_answers_decided_jobs(self):
+        tier = LookupTier()
+        job = _job([(0, 1)])
+        hit = tier.probe(job)
+        assert hit is not None
+        out, source = hit
+        assert source == "analytic"
+        assert out.bandwidth == 1
+
+    def test_miss_returns_none_without_simulating(self):
+        tier = LookupTier()
+        job = _job(UNDECIDED)
+        assert solve(job) is None  # precondition: truly undecided
+        assert tier.probe(job) is None
+
+    def test_store_tier_preloads_and_canonicalizes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        job = _job(UNDECIDED)
+        out = SweepExecutor(backend="fast").run_one(job)
+        store.put(job.cache_key(), out.to_payload())
+
+        tier = LookupTier(store=store)
+        assert len(tier) == 1
+        # an isomorphic twin (banks translated j -> j + 1) hits the key
+        twin = _job([(1, 4), (1, 4)])
+        assert twin.cache_key() == job.cache_key()
+        hit = tier.probe(twin)
+        assert hit is not None
+        got, source = hit
+        assert source == "store"
+        assert got.bandwidth == out.bandwidth
+        assert got.period == out.period
+
+    def test_memo_tier_sees_executor_results(self):
+        executor = SweepExecutor(backend="fast")
+        tier = LookupTier(executor=executor)
+        job = _job(UNDECIDED)
+        assert tier.probe(job) is None
+        executor.run_one(job)
+        hit = tier.probe(job)
+        assert hit is not None
+        assert hit[1] == "memo"
+
+
+class TestPrecompute:
+    def test_precompute_fills_table_and_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        executor = SweepExecutor(backend="fast", store=store)
+        tier = LookupTier(store=store, executor=executor)
+        jobs = [_job(UNDECIDED), _job([(1, 4), (1, 4)])]
+        added = tier.precompute(jobs, executor=executor)
+        # the two jobs are isomorphic -> one canonical entry
+        assert added == len(jobs)
+        assert len(tier) == 1
+        assert executor.stats.executed == 1
+
+        # a fresh tier over the same store preloads the entry
+        rebuilt = LookupTier(store=store)
+        assert len(rebuilt) == 1
+        assert rebuilt.probe(jobs[0]) is not None
+
+    def test_absorb_adds_simulated_results(self):
+        executor = SweepExecutor(backend="fast")
+        tier = LookupTier()
+        job = _job(UNDECIDED)
+        out = executor.run_one(job)
+        tier.absorb(job, out)
+        hit = tier.probe(job)
+        assert hit is not None
+        assert hit[1] == "store"

@@ -1,0 +1,130 @@
+"""The wire contract: job validation, payloads, the status table."""
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.runner.api import run
+from repro.runner.job import SimJob
+from repro.serve.protocol import (
+    ENDPOINTS,
+    FAILURE_STATUS,
+    MAX_SWEEP_JOBS,
+    ProtocolError,
+    job_from_payload,
+    outcome_to_payload,
+)
+
+
+class TestJobFromPayload:
+    def test_minimal_payload_builds_a_job(self):
+        job = job_from_payload(
+            {"banks": 8, "bank_cycle": 4, "streams": [[0, 1]]}
+        )
+        assert job == SimJob.from_specs(
+            MemoryConfig(banks=8, bank_cycle=4), [(0, 1)]
+        )
+
+    def test_full_payload_round_trips_every_field(self):
+        job = job_from_payload(
+            {
+                "banks": 16,
+                "bank_cycle": 4,
+                "streams": [[0, 1], [3, 5]],
+                "cpus": [0, 0],
+                "sections": 4,
+                "section_mapping": "cyclic",
+                "priority": "cyclic",
+                "intra_priority": "fixed",
+                "steady": True,
+                "max_cycles": 5000,
+            }
+        )
+        assert job.banks == 16
+        assert job.streams == ((0, 1), (3, 5))
+        assert job.cpus == (0, 0)
+        assert job.sections == 4
+        assert job.priority == "cyclic"
+        assert job.intra_priority == "fixed"
+        assert job.max_cycles == 5000
+
+    def test_starts_and_strides_reduce_modulo_banks(self):
+        job = job_from_payload(
+            {"banks": 8, "bank_cycle": 4, "streams": [[9, -1]]}
+        )
+        assert job.streams == ((1, 7),)
+
+    def test_fixed_horizon_jobs(self):
+        job = job_from_payload(
+            {
+                "banks": 8,
+                "bank_cycle": 4,
+                "streams": [[0, 1]],
+                "steady": False,
+                "cycles": 100,
+            }
+        )
+        assert not job.steady
+        assert job.cycles == 100
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            {"bank_cycle": 4, "streams": [[0, 1]]},  # no banks
+            {"banks": 8, "streams": [[0, 1]]},  # no bank_cycle
+            {"banks": 8, "bank_cycle": 4},  # no streams
+            {"banks": 8, "bank_cycle": 4, "streams": []},
+            {"banks": 8, "bank_cycle": 4, "streams": [[0]]},
+            {"banks": 8, "bank_cycle": 4, "streams": [[0, 1.5]]},
+            {"banks": True, "bank_cycle": 4, "streams": [[0, 1]]},
+            {"banks": 8, "bank_cycle": 4, "streams": [[0, 1]], "cpus": "x"},
+            {"banks": 8, "bank_cycle": 4, "streams": [[0, 1]], "trace": True},
+            {"banks": 8, "bank_cycle": 4, "streams": [[0, 1]], "bogus": 1},
+            {"banks": 0, "bank_cycle": 4, "streams": [[0, 1]]},
+            {
+                "banks": 8,
+                "bank_cycle": 4,
+                "streams": [[0, 1]],
+                "steady": False,
+            },  # fixed horizon without cycles
+        ],
+    )
+    def test_bad_payloads_raise_malformed(self, payload):
+        with pytest.raises(ProtocolError) as err:
+            job_from_payload(payload)
+        assert err.value.mode == "malformed"
+        assert err.value.status == 400
+
+
+class TestOutcomePayload:
+    def test_carries_exact_fraction_and_provenance(self):
+        job = job_from_payload(
+            {"banks": 8, "bank_cycle": 4, "streams": [[0, 1]]}
+        )
+        out = run(job, backend="fast")
+        body = outcome_to_payload(job, out, tier="simulated")
+        assert body["bandwidth"] == "1/1"
+        assert body["bandwidth_float"] == 1.0
+        assert body["tier"] == "simulated"
+        assert body["key"] == job.cache_key()
+        assert body["grants"] == [8]
+
+
+class TestContractTables:
+    def test_status_table_is_total_and_sane(self):
+        assert set(FAILURE_STATUS.values()) == {
+            400, 404, 405, 413, 429, 500, 502, 503
+        }
+        # one mode per status: the mapping must stay invertible
+        assert len(set(FAILURE_STATUS.values())) == len(FAILURE_STATUS)
+
+    def test_unknown_failure_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no-such-mode", "x")
+
+    def test_endpoint_catalog_shape(self):
+        paths = [e.path for e in ENDPOINTS]
+        assert len(paths) == len(set(paths))
+        assert "/v1/beff" in paths and "/metrics" in paths
+        assert all(e.method in ("GET", "POST") for e in ENDPOINTS)
+        assert MAX_SWEEP_JOBS > 0

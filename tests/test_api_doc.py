@@ -32,5 +32,6 @@ def test_api_doc_mentions_every_package():
         "repro.skewing",
         "repro.stochastic",
         "repro.lint",
+        "repro.serve",
     ):
         assert f"## `{pkg}`" in text, pkg

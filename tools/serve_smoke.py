@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""CI smoke for the bandwidth-oracle service (docs/SERVICE.md).
+
+Boots ``repro-mem serve`` as a real subprocess on a free port, then
+checks the contract end to end:
+
+* ``POST /v1/beff`` on a Theorem-1 point returns the **exact**
+  Fraction-derived value (``m=8, n_c=4, d=4`` -> ``1/2``) from the
+  analytic lookup tier;
+* ``POST /v1/beff`` on an undecided pair simulates and is exact too;
+* malformed bodies come back ``400`` (never ``500``);
+* ``GET /metrics`` exposes a populated per-endpoint latency histogram
+  under the documented ``serve.*`` names;
+* ``SIGINT`` drains gracefully (exit code 0, "draining" announced).
+
+A JSON artifact (``--json PATH``, default ``serve-smoke.json``)
+captures the responses and the parsed ``serve.*`` metric samples for
+CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Theorem 1, self-conflicting: r = m/gcd(m,d) = 2 < n_c -> b_eff = 2/4.
+ANALYTIC_POINT = {"banks": 8, "bank_cycle": 4, "streams": [[0, 4]]}
+ANALYTIC_EXPECTED = "1/2"
+#: Undecided by every closed form: exercises the simulation drain.
+SIMULATED_POINT = {"banks": 8, "bank_cycle": 4, "streams": [[0, 4], [0, 4]]}
+SIMULATED_EXPECTED = "1/2"
+
+
+def _post(base: str, path: str, obj: object) -> tuple[int, dict]:
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(obj).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get(base: str, path: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return resp.status, resp.read()
+
+
+def _serve_samples(prom_text: str) -> dict[str, float]:
+    """Every ``serve_*`` sample in the exposition, name{labels} -> value."""
+    samples: dict[str, float] = {}
+    for line in prom_text.splitlines():
+        if line.startswith("serve_"):
+            name, _, value = line.rpartition(" ")
+            samples[name] = float(value)
+    return samples
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default="serve-smoke.json",
+                        help="metrics/response artifact path")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="seconds to wait for server readiness")
+    args = parser.parse_args(argv)
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--host", "127.0.0.1", "--port", "0"],
+        cwd=ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": str(ROOT / "src")},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    artifact: dict = {}
+    try:
+        assert proc.stdout is not None
+        deadline = time.monotonic() + args.timeout
+        port = None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise SystemExit(
+                    f"server exited early: {proc.wait()}"
+                )
+            match = re.search(r"serving on http://[^:]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise SystemExit("server never announced readiness")
+        base = f"http://127.0.0.1:{port}"
+
+        status, beff = _post(base, "/v1/beff", ANALYTIC_POINT)
+        assert status == 200, (status, beff)
+        assert beff["bandwidth"] == ANALYTIC_EXPECTED, beff
+        assert beff["tier"] == "analytic", beff
+        artifact["beff_analytic"] = beff
+
+        status, sim = _post(base, "/v1/beff", SIMULATED_POINT)
+        assert status == 200, (status, sim)
+        assert sim["bandwidth"] == SIMULATED_EXPECTED, sim
+        assert sim["tier"] == "simulated", sim
+        artifact["beff_simulated"] = sim
+
+        status, bad = _post(base, "/v1/sweep", {"jobs": "nope"})
+        assert status == 400, (status, bad)
+        artifact["malformed_status"] = status
+
+        status, health = _get(base, "/healthz")
+        assert status == 200
+        artifact["healthz"] = json.loads(health)
+
+        status, prom = _get(base, "/metrics")
+        assert status == 200
+        samples = _serve_samples(prom.decode())
+        artifact["serve_metrics"] = samples
+        latency_count = samples.get(
+            'serve_http_latency_us_count{endpoint="/v1/beff"}', 0.0
+        )
+        assert latency_count >= 2, (
+            f"latency histogram not populated: {latency_count}"
+        )
+        requests_ok = samples.get(
+            'serve_http_requests{endpoint="/v1/beff",status="200"}', 0.0
+        )
+        assert requests_ok >= 2, f"request counter not populated: {requests_ok}"
+
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=args.timeout)
+        assert proc.returncode == 0, (proc.returncode, out)
+        assert "draining" in out, out
+        artifact["shutdown"] = {"returncode": proc.returncode}
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+        Path(args.json).write_text(json.dumps(artifact, indent=2) + "\n")
+
+    print(f"serve smoke OK; artifact written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
