@@ -82,6 +82,18 @@ def _add_memory_args(p: argparse.ArgumentParser) -> None:
                    help="use Cheung & Smith's consecutive bank grouping")
 
 
+def _add_arbiter_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--arbiter", default=None, metavar="SPEC",
+                   help="arbiter policy: 'priority' (default; the "
+                        "--priority rule) or 'wfq:W0,W1,...' with one "
+                        "integer weight per stream")
+    p.add_argument("--regulate", action="append", default=[],
+                   metavar="TARGET=RATE/WINDOW",
+                   help="token-bucket grant regulator, repeatable; "
+                        "TARGET is stream, stream:IDX, bank or bank:IDX "
+                        "(e.g. --regulate stream:0=1/4)")
+
+
 def _add_runner_args(
     p: argparse.ArgumentParser, *, jobs: bool = True
 ) -> None:
@@ -203,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma list of CPU ids per stream")
     p.add_argument("--priority", default="fixed",
                    help="fixed | cyclic | block-cyclic:N | lru")
+    _add_arbiter_args(p)
     p.add_argument("--trace", type=int, nargs="?", const=36, default=None,
                    metavar="CLOCKS", help="render a trace of CLOCKS clocks")
     p.add_argument("--show-priority", action="store_true",
@@ -231,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--same-cpu", action="store_true")
     p.add_argument("--priority", default="fixed",
                    help="fixed | cyclic | block-cyclic:N | lru")
+    _add_arbiter_args(p)
     _add_runner_args(p)
     _add_obs_args(p)
 
@@ -339,6 +353,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # the runner.  # reprolint: disable-next=LAYER001
         res = simulate_streams(
             cfg, streams, cpus=cpus, priority=args.priority,
+            arbiter=args.arbiter, regulate=tuple(args.regulate),
             cycles=args.trace + 8, trace=True,
         )
         print(render_result(res, stop=args.trace,
@@ -352,6 +367,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         [(b % cfg.banks, d % cfg.banks) for b, d in args.stream],
         cpus=cpus,
         priority=args.priority,
+        arbiter=args.arbiter,
+        regulate=args.regulate,
     )
     policy = _retry_policy(args)
     if policy is not None:
@@ -362,7 +379,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             return 1
     else:
         out = run(job, backend=args.backend)
-    print(f"memory: {cfg.describe()}; priority: {args.priority}")
+    line = f"memory: {cfg.describe()}; priority: {args.priority}"
+    if args.arbiter is not None:
+        line += f"; arbiter: {args.arbiter}"
+    if args.regulate:
+        line += f"; regulate: {', '.join(args.regulate)}"
+    print(line)
     print(f"steady b_eff = {fraction_str(out.bandwidth)} "
           f"(period {out.period} clocks, grants {out.grants})")
     return 0
@@ -408,6 +430,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         prof = start_space_profile(
             cfg, args.d1, args.d2,
             same_cpu=args.same_cpu, priority=args.priority,
+            arbiter=args.arbiter, regulate=tuple(args.regulate),
             executor=ex,
         )
     print(render_profile(prof, title=f"start space on {cfg.describe()}"))

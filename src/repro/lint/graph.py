@@ -63,13 +63,21 @@ DEFAULT_RANK = 4
 LEAF_PACKAGES = frozenset({"obs", "lint"})
 
 #: Sanctioned upward edges (importer module, imported module): the
-#: engine-primitive boundary the runner backends own.  Mirrors
-#: LAYER001's ``BLESSED`` module set.
+#: engine-primitive boundary the runner backends own (mirror of
+#: LAYER001's ``BLESSED`` module set), plus the spec-validation
+#: boundary — ``SimJob`` and the analytic tier consult the sim layer's
+#: priority/arbiter grammar (function-scoped imports, so the eager
+#: graph stays acyclic) to reject malformed specs at construction and
+#: to keep closed forms honest about regulated jobs.
 BLESSED_EDGES = frozenset(
     {
+        ("repro.runner.analytic", "repro.sim.arbiter"),
         ("repro.runner.backends", "repro.sim.engine"),
+        ("repro.runner.fastsim", "repro.sim.arbiter"),
         ("repro.runner.fastsim", "repro.sim.priority"),
+        ("repro.runner.job", "repro.sim.arbiter"),
         ("repro.runner.job", "repro.sim.engine"),
+        ("repro.runner.job", "repro.sim.priority"),
         ("repro.runner.resilience", "repro.sim.engine"),
     }
 )

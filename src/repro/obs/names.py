@@ -69,6 +69,9 @@ EXECUTOR_CACHE_QUARANTINED = "runner.executor.cache_quarantined"
 AUTO_DISPATCH = "runner.auto.dispatch"
 ANALYTIC_DECIDED = "runner.analytic.decided"
 
+ARBITER_POLICY_JOBS = "runner.arbiter.policy_jobs"
+ARBITER_VETOES = "runner.arbiter.vetoes"
+
 BATCH_JOBS = "runner.batchsim.jobs"
 BATCH_STEPS = "runner.batchsim.steps"
 BATCH_POPULATION = "runner.batchsim.population"
@@ -113,6 +116,18 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         "(t1-single / t2-disjoint / t3-start-resolved).",
     ),
     MetricSpec(
+        ARBITER_POLICY_JOBS, "counter", ("kind",),
+        "repro.runner.backends.FastBackend",
+        "Jobs with a non-default arbiter policy entering the scalar "
+        "fast path (wfq ranking, token-bucket regulation, or both).",
+    ),
+    MetricSpec(
+        ARBITER_VETOES, "counter", (),
+        "repro.runner.backends.ReferenceBackend",
+        "Regulator vetoes the reference engine recorded as REGULATED "
+        "denials (a request held back by an exhausted token bucket).",
+    ),
+    MetricSpec(
         AUTO_DISPATCH, "counter", ("tier",),
         "repro.runner.analytic.AutoBackend",
         "Jobs the auto backend sent to each tier "
@@ -123,7 +138,8 @@ METRIC_CONTRACT: tuple[MetricSpec, ...] = (
         BATCH_FALLBACK, "counter", ("reason",),
         "repro.runner.backends.BatchBackend",
         "Lanes the batch core handed back to the scalar fast engine "
-        "(tail: sparse survivor wavefronts).",
+        "(tail: sparse survivor wavefronts; policy: arbiter-policy "
+        "jobs the vector core does not model).",
     ),
     MetricSpec(
         BATCH_JOBS, "counter", ("mode",),

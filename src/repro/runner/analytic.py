@@ -169,6 +169,28 @@ def _solve_pair(job: SimJob) -> SimOutcome | None:
     return None
 
 
+def _policy_safe(job: SimJob) -> bool:
+    """Whether the job's arbiter policy leaves the closed forms exact.
+
+    A ``wfq`` arbiter free-runs its schedule slot (the ``block-cyclic``
+    problem: constant state is what the certificates assume), so any
+    explicit arbiter is undecided.  Regulators are undecided too —
+    *unless* every bucket is vacuous (``rate >= window``): such a bucket
+    refills to its cap every clock, never vetoes, and contributes a
+    constant snapshot, so the trajectory and the detector's answer are
+    bit-identical to the unregulated job.  Anything else returns
+    ``False`` and the solver honestly reports *undecided* — the
+    never-wrong property test locks this in.
+    """
+    if job.arbiter is not None:
+        return False
+    if job.regulate:
+        from ..sim.arbiter import regulation_is_vacuous
+
+        return regulation_is_vacuous(job.regulate)
+    return True
+
+
 def solve(job: SimJob) -> SimOutcome | None:
     """Closed-form outcome of ``job``, or ``None`` when undecided.
 
@@ -177,6 +199,8 @@ def solve(job: SimJob) -> SimOutcome | None:
     approximation.
     """
     if not job.steady or job.trace:
+        return None
+    if not _policy_safe(job):
         return None
     n = len(job.streams)
     if n == 1:

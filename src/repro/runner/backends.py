@@ -112,6 +112,8 @@ class ReferenceBackend:
             cpus=list(job.cpus),
             priority=job.priority,
             intra_priority=job.intra_priority,
+            arbiter=job.arbiter,
+            regulate=job.regulate,
             steady=job.steady,
             cycles=None if job.steady else job.cycles,
             trace=job.trace,
@@ -121,6 +123,9 @@ class ReferenceBackend:
         if reg is not None:
             reg.counter(_names.ENGINE_JOBS).inc()
             reg.counter(_names.ENGINE_CLOCKS).inc(res.cycles)
+            vetoes = res.stats.summary().get("regulated_conflicts", 0)
+            if vetoes:
+                reg.counter(_names.ARBITER_VETOES).inc(vetoes)
         if job.steady:
             assert res.steady_bandwidth is not None
             assert res.steady_period is not None
@@ -200,6 +205,11 @@ class FastBackend:
                 "reference backend"
             )
         reg = _metrics.active_metrics()
+        if reg is not None and (job.arbiter is not None or job.regulate):
+            kind = "wfq" if job.arbiter is not None else "regulated"
+            if job.arbiter is not None and job.regulate:
+                kind = "wfq+regulated"
+            reg.counter(_names.ARBITER_POLICY_JOBS, kind=kind).inc()
         if not job.steady:
             assert job.cycles is not None
             sim = FlatSim.from_job(job, sect)
@@ -264,18 +274,39 @@ class BatchBackend:
         errors: dict[int, Exception] = {}
         steady_idx: list[int] = []
         span_idx: list[int] = []
+        policy_idx: list[int] = []
         for i, job in enumerate(jobs):
             if job.trace:
                 errors[i] = ValueError(
                     "the batch backend keeps no trace; run trace jobs on "
                     "the reference backend"
                 )
+            elif job.arbiter is not None or job.regulate:
+                # Arbiter-policy jobs are not vectorized (the SoA core
+                # encodes only the four priority rules); they run on the
+                # scalar fast engine, relabeled — same outcome contract
+                # as the sparse-tail fallback.
+                policy_idx.append(i)
             elif job.steady:
                 steady_idx.append(i)
             else:
                 span_idx.append(i)
         sect_tables: SectCache = {}
         reg = _metrics.active_metrics()
+        if policy_idx:
+            if reg is not None:
+                reg.counter(_names.BATCH_FALLBACK, reason="policy").inc(
+                    len(policy_idx)
+                )
+            fast = get_backend(FastBackend.name)
+            assert isinstance(fast, FastBackend)
+            for i in policy_idx:
+                try:
+                    solo = fast._run_with_sect(jobs[i], None)
+                except RuntimeError as exc:
+                    errors[i] = exc
+                else:
+                    out[i] = replace(solo, backend=self.name)
         if steady_idx:
             results, exceeded, fallback, _stats = run_steady_batch(
                 [jobs[i] for i in steady_idx], sect_tables

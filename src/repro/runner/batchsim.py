@@ -99,7 +99,7 @@ def _rule_code(name: str) -> tuple[int, int]:
         return _LRU, 1
     if name.startswith("block-cyclic:"):
         return _ROT, int(name.split(":", 1)[1])
-    raise ValueError(f"unknown priority rule {name!r}")
+    raise ValueError(f"invalid priority spec {name!r}")
 
 
 def _sect_table(job: "SimJob", cache: SectCache) -> IntArray:
@@ -953,6 +953,12 @@ def run_steady_batch(
     """
     if sect_tables is None:
         sect_tables = {}
+    for job in jobs:
+        if job.arbiter is not None or job.regulate:
+            raise ValueError(
+                "the batch core vectorizes only the priority rules; "
+                "arbiter-policy jobs take the BatchBackend fallback"
+            )
     results: list[LaneSteady | None] = [None] * len(jobs)
     errors: list[int] = []
     fallback: list[int] = []
@@ -980,6 +986,12 @@ def run_span_batch(
     """
     if sect_tables is None:
         sect_tables = {}
+    for job in jobs:
+        if job.arbiter is not None or job.regulate:
+            raise ValueError(
+                "the batch core vectorizes only the priority rules; "
+                "arbiter-policy jobs take the BatchBackend fallback"
+            )
     results: list[tuple[int, ...]] = [()] * len(jobs)
     stats = BatchStats()
     for idx in _split_groups(jobs):

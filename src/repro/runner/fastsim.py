@@ -31,6 +31,7 @@ from ..obs import metrics as _metrics
 from ..obs import names as _names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.arbiter import ArbiterPolicy
     from ..sim.priority import PriorityRule
     from .job import SimJob
 
@@ -69,6 +70,7 @@ class FlatSim:
         "stride",
         "prio",
         "intra",
+        "policy",
         "same_rule",
         "static_rules",
         "busy",
@@ -91,8 +93,9 @@ class FlatSim:
         cpus: Sequence[int],
         positions: Sequence[int],
         strides: Sequence[int],
-        prio: "PriorityRule",
-        intra: "PriorityRule",
+        prio: "PriorityRule | None" = None,
+        intra: "PriorityRule | None" = None,
+        policy: "ArbiterPolicy | None" = None,
         busy: Sequence[int] | None = None,
         start_cycle: int = 0,
     ) -> None:
@@ -105,13 +108,27 @@ class FlatSim:
         self.cpu = list(cpus)
         self.pos = [b % m for b in positions]
         self.stride = [d % m for d in strides]
-        self.prio = prio
-        self.intra = intra
-        self.same_rule = intra is prio
-        # Rules whose snapshot is statically empty need no state compare.
-        self.static_rules = isinstance(prio, FixedPriority) and (
-            self.same_rule or isinstance(intra, FixedPriority)
-        )
+        self.policy = policy
+        if policy is not None:
+            # Generic arbiter-policy path: the policy subsumes both
+            # rules; state identity compares its snapshot.
+            if prio is not None or intra is not None:
+                raise ValueError("pass either policy= or prio=/intra=")
+            self.prio = None
+            self.intra = None
+            self.same_rule = True
+            self.static_rules = False
+        else:
+            if prio is None:
+                raise ValueError("need prio= (or policy=)")
+            self.prio = prio
+            self.intra = prio if intra is None else intra
+            self.same_rule = self.intra is prio
+            # Rules whose snapshot is statically empty need no state
+            # compare.
+            self.static_rules = isinstance(prio, FixedPriority) and (
+                self.same_rule or isinstance(self.intra, FixedPriority)
+            )
         # Banks are tracked as absolute busy-until clocks (bank ``b`` is
         # free at clock ``t`` iff ``busy[b] <= t``), not countdowns: a
         # grant writes one timestamp and the per-clock decrement sweep
@@ -131,7 +148,9 @@ class FlatSim:
         # shape gets a branch-only step with no dicts and no rule calls
         # (fixed rules are pure ``min`` — port 0 wins every tie).
         self._pair_same_cpu = self.n == 2 and self.cpu[0] == self.cpu[1]
-        if self.n == 2 and self.static_rules:
+        if self.policy is not None:
+            self.step = self._step_policy
+        elif self.n == 2 and self.static_rules:
             self.step = self._step_pair_fixed
         else:
             self.step = self._step_generic
@@ -154,6 +173,25 @@ class FlatSim:
             smap = section_map_for(job.config)
             sect = [smap.section_of(j) for j in range(m)]
         n = len(job.streams)
+        if job.arbiter is not None or job.regulate:
+            from ..sim.arbiter import make_arbiter
+
+            return cls(
+                m=m,
+                n_c=job.bank_cycle,
+                sect=sect,
+                cpus=job.cpus,
+                positions=[b for b, _ in job.streams],
+                strides=[d for _, d in job.streams],
+                policy=make_arbiter(
+                    n,
+                    m,
+                    priority=job.priority,
+                    intra_priority=job.intra_priority,
+                    arbiter=job.arbiter,
+                    regulate=job.regulate,
+                ),
+            )
         prio = make_priority(job.priority, n)
         intra = (
             prio
@@ -188,6 +226,7 @@ class FlatSim:
         new.stride = self.stride
         new.prio = self.prio
         new.intra = self.intra
+        new.policy = None
         new.same_rule = self.same_rule
         new.static_rules = self.static_rules
         new.busy = self.busy.copy()
@@ -241,6 +280,72 @@ class FlatSim:
             b1 += self.stride[1]
             pos[1] = b1 - m if b1 >= m else b1
         self.cycle = t + 1
+
+    def _step_policy(self) -> None:
+        """Arbiter-policy step: the generic three-phase arbitration
+        with the policy ranking contenders and (when regulated) vetoing
+        admissions — the flat mirror of ``Engine.step`` on a policy."""
+        busy = self.busy
+        pos = self.pos
+        cycle = self.cycle
+        pol = self.policy
+        # Phase 1 — bank conflicts: active banks reject everyone.
+        free = [p for p in self.ports if busy[pos[p]] <= cycle]
+        # Phase 1b — regulator vetoes.
+        if pol.regulated and free:
+            free = [p for p in free if pol.admit(p, pos[p], cycle)]
+        # Phase 2 — section conflicts: per (cpu, path) at most one.
+        if len(free) > 1:
+            cpu = self.cpu
+            sect = self.sect
+            groups: dict[tuple[int, int], list[int]] = {}
+            for p in free:
+                key = (cpu[p], sect[pos[p]])
+                g = groups.get(key)
+                if g is None:
+                    groups[key] = [p]
+                else:
+                    g.append(p)
+            if len(groups) != len(free):
+                free = [
+                    members[0]
+                    if len(members) == 1
+                    else pol.rank_section(members, cycle)
+                    for members in groups.values()
+                ]
+            # Phase 3 — simultaneous bank conflicts: per bank at most
+            # one grant (cross-CPU by construction after phase 2).
+            if len(free) > 1:
+                banks: dict[int, list[int]] = {}
+                for p in free:
+                    b = pos[p]
+                    g = banks.get(b)
+                    if g is None:
+                        banks[b] = [p]
+                    else:
+                        g.append(p)
+                if len(banks) != len(free):
+                    free = [
+                        members[0]
+                        if len(members) == 1
+                        else pol.rank_bank(sorted(members), b, cycle)
+                        for b, members in banks.items()
+                    ]
+        # Commit grants.
+        m = self.m
+        until = cycle + self.n_c
+        stride = self.stride
+        grants = self.grants
+        for p in free:
+            b = pos[p]
+            busy[b] = until
+            grants[p] += 1
+            pol.granted(p, b, cycle)
+            b += stride[p]
+            pos[p] = b - m if b >= m else b
+        # Clock edge.
+        pol.tick(cycle)
+        self.cycle = cycle + 1
 
     def _step_generic(self) -> None:
         busy = self.busy
@@ -444,6 +549,13 @@ class FlatSim:
 
     def key(self) -> StateKey:
         """Copy of the full comparable state (the detector's anchor)."""
+        if self.policy is not None:
+            return (
+                self.pos.copy(),
+                self.policy.snapshot(),
+                (),
+                self._busy_counters(),
+            )
         return (
             self.pos.copy(),
             self.prio.snapshot(),
@@ -459,7 +571,10 @@ class FlatSim:
         """
         if self.pos != key[0]:
             return False
-        if not self.static_rules and (
+        if self.policy is not None:
+            if self.policy.snapshot() != key[1]:
+                return False
+        elif not self.static_rules and (
             self.prio.snapshot() != key[1]
             or self.intra.snapshot() != key[2]
         ):
@@ -471,7 +586,10 @@ class FlatSim:
         (the walkers may sit at different absolute clocks)."""
         if self.pos != other.pos:
             return False
-        if not self.static_rules and (
+        if self.policy is not None:
+            if self.policy.snapshot() != other.policy.snapshot():
+                return False
+        elif not self.static_rules and (
             self.prio.snapshot() != other.prio.snapshot()
             or self.intra.snapshot() != other.intra.snapshot()
         ):

@@ -50,6 +50,14 @@ class SimJob:
         ``intra_priority=None`` means "the same rule *instance* arbitrates
         both conflict kinds" (the paper's presentation), which for
         stateful rules is *not* equivalent to naming the rule twice.
+    arbiter:
+        Optional arbiter-policy spec replacing the two-rule wiring
+        (``"wfq:W0,W1,..."`` — see :mod:`repro.sim.arbiter`); ``None``
+        keeps the classic priority/intra_priority arbitration.
+    regulate:
+        Token-bucket regulator specs (``"stream=1/3"``,
+        ``"bank:0=1/4"``, ...) wrapped around whichever policy results.
+        Empty means unregulated.
     steady:
         Detect the cyclic state and report its exact bandwidth (default).
         ``steady=False`` requires ``cycles`` — a fixed-horizon run.
@@ -69,6 +77,8 @@ class SimJob:
     section_mapping: str = "cyclic"
     priority: str = "fixed"
     intra_priority: str | None = None
+    arbiter: str | None = None
+    regulate: tuple[str, ...] = ()
     steady: bool = True
     cycles: int | None = None
     max_cycles: int = 1_000_000
@@ -98,6 +108,25 @@ class SimJob:
         for c in self.cpus:
             if c < 0:
                 raise ValueError("cpu ids must be non-negative")
+        # Spec strings fail at job construction, not deep inside a
+        # backend (and therefore with HTTP 400, not 500, on the wire).
+        from ..sim.priority import parse_priority
+
+        parse_priority(self.priority)
+        if self.intra_priority is not None:
+            parse_priority(self.intra_priority)
+        if self.arbiter is not None or self.regulate:
+            from ..sim.arbiter import canonical_arbiter, validate_regulation
+
+            canonical_arbiter(self.arbiter, len(self.streams))
+            if not isinstance(self.regulate, tuple):
+                raise ValueError(
+                    "regulate must be a tuple of spec strings; "
+                    "build jobs via SimJob.from_specs()"
+                )
+            validate_regulation(
+                self.regulate, len(self.streams), self.banks
+            )
         if self.steady and self.cycles is not None:
             raise ValueError("pass either steady=True or cycles=, not both")
         if not self.steady and self.cycles is None:
@@ -119,6 +148,8 @@ class SimJob:
         cpus: Sequence[int] | None = None,
         priority: str = "fixed",
         intra_priority: str | None = None,
+        arbiter: str | None = None,
+        regulate: Sequence[str] = (),
         steady: bool = True,
         cycles: int | None = None,
         max_cycles: int = 1_000_000,
@@ -141,6 +172,8 @@ class SimJob:
             cpus=tuple(cpus),
             priority=priority,
             intra_priority=intra_priority,
+            arbiter=arbiter,
+            regulate=tuple(regulate),
             steady=steady,
             cycles=cycles,
             max_cycles=max_cycles,
@@ -181,8 +214,18 @@ class SimJob:
         ``gcd(k, s) = 1`` follows from ``s | m``) or when ``s = m``
         (sections degenerate to banks).  Cheung & Smith's consecutive
         grouping is *not* renumbering-invariant.
+
+        A regulator pinned to a specific bank (``bank:IDX=...``) also
+        breaks the symmetry — renumbering moves the throttled bank;
+        uniform and per-stream regulators are invariant.
         """
-        return self.section_mapping == "cyclic" or self.effective_sections == self.banks
+        if self.section_mapping != "cyclic" and self.effective_sections != self.banks:
+            return False
+        if self.regulate:
+            from ..sim.arbiter import regulation_renumbering_safe
+
+            return regulation_renumbering_safe(self.regulate)
+        return True
 
     def canonical(self) -> "SimJob":
         """The canonical representative of this job's isomorphism class.
@@ -200,9 +243,18 @@ class SimJob:
         cache identity.
         """
         m = self.banks
+        arbiter = self.arbiter
+        regulate = self.regulate
+        if arbiter is not None or regulate:
+            from ..sim.arbiter import canonical_arbiter, canonical_regulation
+
+            arbiter = canonical_arbiter(arbiter, len(self.streams))
+            regulate = canonical_regulation(regulate)
         base = replace(
             self,
             sections=self.effective_sections,
+            arbiter=arbiter,
+            regulate=regulate,
             trace=False,
             max_cycles=1_000_000,
         )
@@ -229,11 +281,18 @@ class SimJob:
         streams = ",".join(f"{b}:{d}" for b, d in c.streams)
         cpus = ",".join(str(x) for x in c.cpus)
         intra = c.intra_priority if c.intra_priority is not None else "~"
-        return (
+        key = (
             f"m{c.banks}c{c.bank_cycle}s{c.effective_sections}"
             f"@{c.section_mapping}|{streams}|cpu{cpus}"
             f"|{c.priority}/{intra}|{mode}"
         )
+        # Policy segments only when non-default, so every pre-arbiter
+        # cache key (and on-disk cache entry) stays byte-identical.
+        if c.arbiter is not None:
+            key += f"|arb:{c.arbiter}"
+        if c.regulate:
+            key += f"|reg:{';'.join(c.regulate)}"
+        return key
 
     def describe(self) -> str:
         """One-line human summary for logs and benchmark headers."""
@@ -338,6 +397,8 @@ def jobs_for_offsets(
     *,
     same_cpu: bool = False,
     priority: str = "fixed",
+    arbiter: str | None = None,
+    regulate: Sequence[str] = (),
     max_cycles: int = 1_000_000,
 ) -> list[SimJob]:
     """One steady pair job per relative start offset (a common sweep)."""
@@ -348,6 +409,8 @@ def jobs_for_offsets(
             [(0, d1), (off, d2)],
             cpus=cpus,
             priority=priority,
+            arbiter=arbiter,
+            regulate=regulate,
             max_cycles=max_cycles,
         )
         for off in offsets

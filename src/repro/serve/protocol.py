@@ -103,8 +103,8 @@ class ProtocolError(ValueError):
 _JOB_KEYS = frozenset(
     (
         "banks", "bank_cycle", "streams", "cpus", "sections",
-        "section_mapping", "priority", "intra_priority", "steady",
-        "cycles", "max_cycles",
+        "section_mapping", "priority", "intra_priority", "arbiter",
+        "regulate", "steady", "cycles", "max_cycles",
     )
 )
 
@@ -178,6 +178,18 @@ def job_from_payload(payload: object) -> SimJob:
         raise ProtocolError(
             "malformed", "'intra_priority' must be a string or null"
         )
+    arbiter = payload.get("arbiter")
+    if arbiter is not None and not isinstance(arbiter, str):
+        raise ProtocolError(
+            "malformed", "'arbiter' must be a string or null"
+        )
+    regulate = payload.get("regulate", [])
+    if not isinstance(regulate, list) or not all(
+        isinstance(x, str) for x in regulate
+    ):
+        raise ProtocolError(
+            "malformed", "'regulate' must be a list of spec strings"
+        )
     steady = payload.get("steady", True)
     if not isinstance(steady, bool):
         raise ProtocolError("malformed", "'steady' must be a boolean")
@@ -194,6 +206,8 @@ def job_from_payload(payload: object) -> SimJob:
             cpus=cpus,
             priority=payload.get("priority", "fixed"),
             intra_priority=intra,
+            arbiter=arbiter,
+            regulate=regulate,
             steady=steady,
             cycles=payload.get("cycles"),
             max_cycles=payload.get("max_cycles", 1_000_000),

@@ -7,6 +7,9 @@ to their Cray X-MP measurements (Section IV):
     Request side: one pending access per clock, stall-on-deny.
 ``priority``
     Fixed / cyclic / LRU conflict arbitration rules.
+``arbiter``
+    Pluggable :class:`ArbiterPolicy` layer (weighted-fair rotation,
+    token-bucket bandwidth regulation) over the priority rules.
 ``engine``
     The per-clock arbitration loop (bank → section → simultaneous) and
     exact steady-state (cyclic state) detection.
@@ -18,6 +21,18 @@ to their Cray X-MP measurements (Section IV):
     Event log feeding the figure renderer in :mod:`repro.viz`.
 """
 
+from .arbiter import (
+    ArbiterPolicy,
+    PriorityArbiter,
+    RegulatedArbiter,
+    RegulationSpec,
+    TokenBucket,
+    WeightedFairArbiter,
+    canonical_arbiter,
+    canonical_regulation,
+    make_arbiter,
+    parse_regulation,
+)
 from .engine import Engine, SimulationResult, simulate_streams
 from .multi import MultiResult, equal_stride_table, simulate_multi
 from .statespace import (
@@ -48,6 +63,7 @@ from .stats import ConflictKind, PortStats, SimStats
 from .trace import CycleTrace, DenialEvent, GrantEvent, TraceRecorder
 
 __all__ = [
+    "ArbiterPolicy",
     "BlockCyclicPriority",
     "ConflictKind",
     "CycleTrace",
@@ -62,17 +78,26 @@ __all__ = [
     "PairResult",
     "Port",
     "PortStats",
+    "PriorityArbiter",
     "PriorityRule",
+    "RegulatedArbiter",
+    "RegulationSpec",
     "SimStats",
     "SimulationResult",
     "StartSpaceProfile",
+    "TokenBucket",
     "TraceRecorder",
     "Trajectory",
+    "WeightedFairArbiter",
     "bandwidth_by_offset",
+    "canonical_arbiter",
+    "canonical_regulation",
     "equal_stride_table",
     "best_offset",
+    "make_arbiter",
     "make_priority",
     "offsets_achieving",
+    "parse_regulation",
     "simulate_multi",
     "simulate_pair",
     "simulate_streams",

@@ -1,0 +1,614 @@
+"""Pluggable arbitration policies with per-stream/per-bank regulation.
+
+The paper's Section II rule — "a priority rule determines which port
+will be able to proceed" — is one point in a larger design space: the
+arbiter both *ranks* contenders (who wins a section or simultaneous
+bank conflict) and, on real machines with QoS isolation, may *veto*
+grants outright (a stream or bank that has exhausted its bandwidth
+budget waits even when its bank is free).  This module factors that
+space into a small protocol:
+
+* :class:`ArbiterPolicy` — the protocol: rank section contenders, rank
+  simultaneous-bank contenders, admit-or-veto a request, and the same
+  ``tick``/``granted``/``snapshot``/``restore`` state-machine discipline
+  as :class:`~repro.sim.priority.PriorityRule`, so policies remain
+  legal members of the steady-cycle detector's state.
+* :class:`PriorityArbiter` — adapter wrapping the four existing
+  priority rules; delegates bit-identically to the pre-policy engine
+  wiring (cross-CPU rule ranks banks and receives grant notifications,
+  the intra rule ranks section paths, both tick once per clock).
+* :class:`WeightedFairArbiter` — smooth weighted round-robin ranking:
+  the favoured port walks a precomputed schedule in which port ``p``
+  appears ``weight[p]`` times per ``sum(weights)`` clocks.  The only
+  state is the schedule slot, so the state space stays finite.
+* :class:`TokenBucket` / :class:`RegulatedArbiter` — integer token
+  buckets throttling individual streams and banks: a grant costs
+  ``window`` tokens, every clock refills ``rate``, a request is vetoed
+  while the bucket holds fewer than ``window`` tokens.  Long-run grant
+  rate is therefore at most ``rate/window`` grants per clock, held
+  exactly (all-integer arithmetic, bounded level) — Fraction-exact in
+  the sense of EXACT001: no floats anywhere.
+
+Regulators with ``rate >= window`` are *vacuous*: the bucket refills to
+its cap every clock and can never veto (see
+:func:`regulation_is_vacuous`); the analytic tier uses this to keep its
+closed forms honest.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from .priority import PriorityRule, make_priority
+
+__all__ = [
+    "ArbiterPolicy",
+    "PriorityArbiter",
+    "WeightedFairArbiter",
+    "TokenBucket",
+    "RegulatedArbiter",
+    "RegulationSpec",
+    "make_arbiter",
+    "canonical_arbiter",
+    "canonical_regulation",
+    "parse_regulation",
+    "regulation_is_vacuous",
+    "regulation_renumbering_safe",
+]
+
+
+# ----------------------------------------------------------------------
+# Regulation specs: ``stream=R/W``, ``stream:IDX=R/W``, ``bank=R/W``,
+# ``bank:IDX=R/W``
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegulationSpec:
+    """One parsed regulator capping a stream or bank's grant rate.
+
+    The budget is at most ``rate/window`` grants per clock.
+
+    ``index is None`` applies one independent bucket to *every* stream
+    (or bank); an explicit index throttles just that one.
+    """
+
+    scope: str  # "stream" | "bank"
+    index: int | None
+    rate: int
+    window: int
+
+    def render(self) -> str:
+        target = (
+            self.scope if self.index is None else f"{self.scope}:{self.index}"
+        )
+        return f"{target}={self.rate}/{self.window}"
+
+    @property
+    def vacuous(self) -> bool:
+        """Whether this bucket can never veto (refill covers the cost)."""
+        return self.rate >= self.window
+
+
+def _parse_one_regulation(text: str) -> RegulationSpec:
+    def bad(reason: str) -> ValueError:
+        return ValueError(
+            f"invalid regulation spec {text!r}: {reason} "
+            "(expected 'stream[:IDX]=RATE/WINDOW' or 'bank[:IDX]=RATE/WINDOW')"
+        )
+
+    if not isinstance(text, str) or "=" not in text:
+        raise bad("missing '='")
+    target, _, budget = text.partition("=")
+    scope, _, raw_index = target.partition(":")
+    if scope not in ("stream", "bank"):
+        raise bad(f"unknown target {scope!r}")
+    index: int | None = None
+    if raw_index:
+        try:
+            index = int(raw_index)
+        except ValueError:
+            raise bad(f"index {raw_index!r} is not an integer") from None
+        if index < 0:
+            raise bad("index must be non-negative")
+    if "/" not in budget:
+        raise bad("missing '/' in the RATE/WINDOW budget")
+    raw_rate, _, raw_window = budget.partition("/")
+    try:
+        rate = int(raw_rate)
+        window = int(raw_window)
+    except ValueError:
+        raise bad("RATE and WINDOW must be integers") from None
+    if rate <= 0 or window <= 0:
+        raise bad("RATE and WINDOW must be positive")
+    return RegulationSpec(scope=scope, index=index, rate=rate, window=window)
+
+
+def parse_regulation(specs: Sequence[str]) -> tuple[RegulationSpec, ...]:
+    """Parse and cross-validate a set of regulation specs.
+
+    Per scope, either one uniform spec (no index) or any number of
+    distinct per-index specs is allowed; mixing the two, or repeating a
+    target, is rejected rather than silently merged.
+    """
+    parsed = tuple(_parse_one_regulation(s) for s in specs)
+    seen: set[tuple[str, int | None]] = set()
+    uniform: set[str] = set()
+    indexed: set[str] = set()
+    for spec in parsed:
+        key = (spec.scope, spec.index)
+        if key in seen:
+            raise ValueError(
+                f"invalid regulation: duplicate target "
+                f"{spec.render().partition('=')[0]!r}"
+            )
+        seen.add(key)
+        (uniform if spec.index is None else indexed).add(spec.scope)
+    both = uniform & indexed
+    if both:
+        raise ValueError(
+            f"invalid regulation: uniform and per-index "
+            f"{sorted(both)[0]!r} regulators cannot be combined"
+        )
+    return parsed
+
+
+def validate_regulation(
+    specs: Sequence[str], n_ports: int, banks: int
+) -> tuple[RegulationSpec, ...]:
+    """:func:`parse_regulation` plus index range checks."""
+    parsed = parse_regulation(specs)
+    for spec in parsed:
+        bound = n_ports if spec.scope == "stream" else banks
+        if spec.index is not None and spec.index >= bound:
+            raise ValueError(
+                f"invalid regulation spec {spec.render()!r}: "
+                f"{spec.scope} index {spec.index} out of range "
+                f"(have {bound})"
+            )
+    return parsed
+
+
+def canonical_regulation(specs: Sequence[str]) -> tuple[str, ...]:
+    """Canonical rendering: parsed, sorted by target, re-rendered.
+
+    Buckets are independent, so spec order carries no meaning; sorting
+    makes ``SimJob`` identity (and with it cache keys and coalescing)
+    insensitive to it.
+    """
+    parsed = parse_regulation(specs)
+    ordered = sorted(
+        parsed, key=lambda s: (s.scope, s.index is not None, s.index or 0)
+    )
+    return tuple(s.render() for s in ordered)
+
+
+def regulation_is_vacuous(specs: Sequence[str]) -> bool:
+    """Whether every regulator refills at least its grant cost — i.e.
+    no bucket can ever veto and the regulated run is bit-identical to
+    the unregulated one."""
+    return all(s.vacuous for s in parse_regulation(specs))
+
+
+def regulation_renumbering_safe(specs: Sequence[str]) -> bool:
+    """Whether bank renumbering (the Appendix isomorphism) preserves
+    the regulation.  Uniform ``bank=`` buckets are permutation-invariant
+    (every bank gets an identical bucket); ``bank:IDX=`` pins a specific
+    bank and is not."""
+    return all(
+        s.scope != "bank" or s.index is None for s in parse_regulation(specs)
+    )
+
+
+# ----------------------------------------------------------------------
+# The policy protocol
+# ----------------------------------------------------------------------
+class ArbiterPolicy(abc.ABC):
+    """Strategy resolving one clock's arbitration, with optional veto.
+
+    The engine consults the policy in its three-phase order: after the
+    bank-busy filter, :meth:`admit` may veto a request (regulators);
+    :meth:`rank_section` picks the winner of a per-CPU path conflict;
+    :meth:`rank_bank` the winner of a cross-CPU simultaneous bank
+    conflict.  ``granted``/``tick``/``snapshot``/``restore`` follow the
+    :class:`~repro.sim.priority.PriorityRule` state-machine discipline —
+    policy state is part of the simulated Markov chain, so it must be
+    bounded and exactly restorable for steady-cycle detection.
+    """
+
+    #: Whether :meth:`admit` can ever veto; ``False`` lets hot paths
+    #: skip the admission sweep entirely.
+    regulated: bool = False
+
+    @abc.abstractmethod
+    def rank_section(self, contenders: Sequence[int], cycle: int) -> int:
+        """Winner of a per-CPU section-path conflict (ports ascending)."""
+
+    @abc.abstractmethod
+    def rank_bank(
+        self, contenders: Sequence[int], bank: int | None, cycle: int
+    ) -> int:
+        """Winner of a simultaneous bank conflict (ports ascending)."""
+
+    def favoured(self, n_ports: int, cycle: int) -> int:
+        """The port ranked first this clock (trace headers)."""
+        return self.rank_bank(list(range(n_ports)), None, cycle)
+
+    def admit(self, port: int, bank: int, cycle: int) -> bool:
+        """Whether ``port``'s request for ``bank`` may proceed."""
+        return True
+
+    def granted(self, port: int, bank: int, cycle: int) -> None:
+        """Grant notification hook."""
+
+    def tick(self, cycle: int) -> None:
+        """Clock-edge hook."""
+
+    def snapshot(self) -> tuple:
+        """Hashable internal state for cycle detection."""
+        return ()
+
+    @abc.abstractmethod
+    def restore(self, snap: tuple) -> None:
+        """Inverse of :meth:`snapshot` (validate; raise on mismatch)."""
+
+    @property
+    @abc.abstractmethod
+    def spec(self) -> str:
+        """Canonical config-string identity of this policy."""
+
+
+class PriorityArbiter(ArbiterPolicy):
+    """The classic wiring: two :class:`PriorityRule`s behind the policy.
+
+    Delegation mirrors the pre-policy engine exactly — the cross-CPU
+    rule ranks simultaneous bank conflicts and receives grant
+    notifications, the intra rule ranks section paths, and both tick
+    once per clock (once total when they are the same object) — so an
+    unregulated :class:`PriorityArbiter` is bit-identical to the old
+    grant loop by construction.
+    """
+
+    def __init__(
+        self, priority: PriorityRule, intra: PriorityRule | None = None
+    ) -> None:
+        self.priority = priority
+        self.intra = priority if intra is None else intra
+
+    def rank_section(self, contenders: Sequence[int], cycle: int) -> int:
+        return self.intra.choose(contenders, cycle)
+
+    def rank_bank(
+        self, contenders: Sequence[int], bank: int | None, cycle: int
+    ) -> int:
+        return self.priority.choose(contenders, cycle)
+
+    def granted(self, port: int, bank: int, cycle: int) -> None:
+        self.priority.granted(port, cycle)
+
+    def tick(self, cycle: int) -> None:
+        self.priority.tick(cycle)
+        if self.intra is not self.priority:
+            self.intra.tick(cycle)
+
+    def snapshot(self) -> tuple:
+        return (self.priority.snapshot(), self.intra.snapshot())
+
+    def restore(self, snap: tuple) -> None:
+        if not isinstance(snap, tuple) or len(snap) != 2:
+            raise ValueError(
+                f"priority-arbiter snapshot must be a "
+                f"(priority, intra) pair, got {snap!r}"
+            )
+        self.priority.restore(snap[0])
+        if self.intra is not self.priority:
+            self.intra.restore(snap[1])
+
+    @property
+    def spec(self) -> str:
+        if self.intra is self.priority:
+            return f"priority({self.priority.name})"
+        return f"priority({self.priority.name}/{self.intra.name})"
+
+
+def _wrr_schedule(weights: Sequence[int]) -> list[int]:
+    """Smooth weighted round-robin order over one full period.
+
+    Deterministic: each slot favours the port with the largest
+    accumulated credit (ties to the lowest index), then debits it one
+    period's worth.  Port ``p`` appears exactly ``weights[p]`` times.
+    """
+    n = len(weights)
+    total = sum(weights)
+    credit = [0] * n
+    schedule: list[int] = []
+    for _ in range(total):
+        for i in range(n):
+            credit[i] += weights[i]
+        best = 0
+        for i in range(1, n):
+            if credit[i] > credit[best]:
+                best = i
+        credit[best] -= total
+        schedule.append(best)
+    return schedule
+
+
+class WeightedFairArbiter(ArbiterPolicy):
+    """Weighted-fair ranking over a smooth round-robin schedule.
+
+    The favoured port walks a precomputed smooth-WRR schedule;
+    contenders are compared by cyclic distance from it.
+
+    With equal weights this is :class:`CyclicPriority` by another name;
+    unequal weights favour heavy ports proportionally *when conflicts
+    happen* without ever starving the light ones.  The only state is
+    the schedule slot — bounded, so Brent detection still applies —
+    but unlike the priority rules the slot free-runs with the clock,
+    which is exactly why the analytic tier refuses these jobs (the
+    same reason it refuses ``block-cyclic``).
+    """
+
+    def __init__(self, weights: Sequence[int]) -> None:
+        if not weights:
+            raise ValueError("need at least one weight")
+        for w in weights:
+            if not isinstance(w, int) or isinstance(w, bool) or w <= 0:
+                raise ValueError(
+                    f"weights must be positive integers, got {list(weights)!r}"
+                )
+        self.weights = tuple(int(w) for w in weights)
+        self.n_ports = len(self.weights)
+        self._schedule = _wrr_schedule(self.weights)
+        self._slot = 0
+
+    def _rank(self, contenders: Sequence[int]) -> int:
+        fav = self._schedule[self._slot]
+        n = self.n_ports
+        return min(contenders, key=lambda p: (p - fav) % n)
+
+    def rank_section(self, contenders: Sequence[int], cycle: int) -> int:
+        return self._rank(contenders)
+
+    def rank_bank(
+        self, contenders: Sequence[int], bank: int | None, cycle: int
+    ) -> int:
+        return self._rank(contenders)
+
+    def tick(self, cycle: int) -> None:
+        self._slot = (self._slot + 1) % len(self._schedule)
+
+    def snapshot(self) -> tuple:
+        return (self._slot,)
+
+    def restore(self, snap: tuple) -> None:
+        if (
+            not isinstance(snap, tuple)
+            or len(snap) != 1
+            or not isinstance(snap[0], int)
+            or isinstance(snap[0], bool)
+        ):
+            raise ValueError(
+                f"wfq snapshot must be a 1-tuple of int, got {snap!r}"
+            )
+        if not 0 <= snap[0] < len(self._schedule):
+            raise ValueError(
+                f"wfq snapshot slot {snap[0]} out of range for a "
+                f"{len(self._schedule)}-slot schedule"
+            )
+        self._slot = snap[0]
+
+    @property
+    def spec(self) -> str:
+        return "wfq:" + ",".join(str(w) for w in self.weights)
+
+
+# ----------------------------------------------------------------------
+# Regulation: integer token buckets
+# ----------------------------------------------------------------------
+class TokenBucket:
+    """All-integer token bucket metering grants against a budget.
+
+    A grant costs ``window`` tokens, every clock edge refills ``rate``,
+    capped at ``max(rate, window)``.
+
+    Admission requires a full grant's worth of tokens, so the level
+    never goes negative and the long-run grant rate is exactly bounded
+    by ``rate/window`` grants per clock.  The level is the bucket's
+    entire state: bounded, integer, snapshot-safe.
+    """
+
+    __slots__ = ("rate", "window", "cap", "level")
+
+    def __init__(self, rate: int, window: int) -> None:
+        self.rate = rate
+        self.window = window
+        self.cap = max(rate, window)
+        self.level = self.cap  # start full: first request always admitted
+
+    def admit(self) -> bool:
+        return self.level >= self.window
+
+    def spend(self) -> None:
+        self.level -= self.window
+
+    def tick(self) -> None:
+        level = self.level + self.rate
+        self.level = self.cap if level > self.cap else level
+
+
+class RegulatedArbiter(ArbiterPolicy):
+    """Wrap any base policy with per-stream and/or per-bank buckets.
+
+    A request must pass *both* its stream's and its bank's bucket (when
+    present) to be admitted; a grant spends from both.  Buckets from a
+    uniform spec (``stream=``/``bank=``) are independent instances with
+    identical parameters, so bank renumbering maps the regulated system
+    onto itself (see :func:`regulation_renumbering_safe`).
+    """
+
+    regulated = True
+
+    def __init__(
+        self,
+        base: ArbiterPolicy,
+        specs: Sequence[RegulationSpec],
+        n_ports: int,
+        banks: int,
+    ) -> None:
+        self.base = base
+        self.specs = tuple(specs)
+        self._stream: list[TokenBucket | None] = [None] * n_ports
+        self._bank: list[TokenBucket | None] = [None] * banks
+        for spec in self.specs:
+            table = self._stream if spec.scope == "stream" else self._bank
+            targets = (
+                range(len(table)) if spec.index is None else (spec.index,)
+            )
+            for i in targets:
+                if i >= len(table):
+                    raise ValueError(
+                        f"invalid regulation spec {spec.render()!r}: "
+                        f"{spec.scope} index {i} out of range "
+                        f"(have {len(table)})"
+                    )
+                table[i] = TokenBucket(spec.rate, spec.window)
+        self._buckets: list[TokenBucket] = [
+            b for b in (*self._stream, *self._bank) if b is not None
+        ]
+
+    def rank_section(self, contenders: Sequence[int], cycle: int) -> int:
+        return self.base.rank_section(contenders, cycle)
+
+    def rank_bank(
+        self, contenders: Sequence[int], bank: int | None, cycle: int
+    ) -> int:
+        return self.base.rank_bank(contenders, bank, cycle)
+
+    def favoured(self, n_ports: int, cycle: int) -> int:
+        return self.base.favoured(n_ports, cycle)
+
+    def admit(self, port: int, bank: int, cycle: int) -> bool:
+        sb = self._stream[port]
+        if sb is not None and not sb.admit():
+            return False
+        bb = self._bank[bank]
+        return bb is None or bb.admit()
+
+    def granted(self, port: int, bank: int, cycle: int) -> None:
+        sb = self._stream[port]
+        if sb is not None:
+            sb.spend()
+        bb = self._bank[bank]
+        if bb is not None:
+            bb.spend()
+        self.base.granted(port, bank, cycle)
+
+    def tick(self, cycle: int) -> None:
+        for bucket in self._buckets:
+            bucket.tick()
+        self.base.tick(cycle)
+
+    def snapshot(self) -> tuple:
+        return (
+            self.base.snapshot(),
+            tuple(b.level for b in self._buckets),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        if not isinstance(snap, tuple) or len(snap) != 2:
+            raise ValueError(
+                f"regulated-arbiter snapshot must be a "
+                f"(base, levels) pair, got {snap!r}"
+            )
+        base_snap, levels = snap
+        if not isinstance(levels, tuple) or len(levels) != len(self._buckets):
+            raise ValueError(
+                f"regulated-arbiter snapshot needs {len(self._buckets)} "
+                f"bucket levels, got {levels!r}"
+            )
+        for bucket, level in zip(self._buckets, levels):
+            if (
+                not isinstance(level, int)
+                or isinstance(level, bool)
+                or not 0 <= level <= bucket.cap
+            ):
+                raise ValueError(
+                    f"regulated-arbiter snapshot level {level!r} out of "
+                    f"range 0..{bucket.cap}"
+                )
+        self.base.restore(base_snap)
+        for bucket, level in zip(self._buckets, levels):
+            bucket.level = level
+
+    @property
+    def spec(self) -> str:
+        budget = ",".join(s.render() for s in self.specs)
+        return f"{self.base.spec}+regulate({budget})"
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def canonical_arbiter(spec: str | None, n_ports: int) -> str | None:
+    """Validate and normalise an arbiter spec string.
+
+    Returns ``None`` for the default priority wiring, a normalised
+    ``wfq:W0,...`` string otherwise.  Raises ``ValueError`` on
+    malformed or mis-sized specs."""
+    if spec is None or spec == "priority":
+        return None
+    if spec.startswith("wfq:"):
+        raw = spec[len("wfq:"):]
+        try:
+            weights = [int(w) for w in raw.split(",")]
+        except ValueError:
+            raise ValueError(
+                f"invalid arbiter spec {spec!r}: weights must be "
+                f"comma-separated integers"
+            ) from None
+        if len(weights) != n_ports:
+            raise ValueError(
+                f"invalid arbiter spec {spec!r}: need one weight per "
+                f"stream (have {n_ports} streams, got {len(weights)} "
+                f"weights)"
+            )
+        if any(w <= 0 for w in weights):
+            raise ValueError(
+                f"invalid arbiter spec {spec!r}: weights must be positive"
+            )
+        return "wfq:" + ",".join(str(w) for w in weights)
+    raise ValueError(
+        f"invalid arbiter spec {spec!r}: expected 'priority' or "
+        f"'wfq:W0,W1,...'"
+    )
+
+
+def make_arbiter(
+    n_ports: int,
+    banks: int,
+    *,
+    priority: str = "fixed",
+    intra_priority: str | None = None,
+    arbiter: str | None = None,
+    regulate: Sequence[str] = (),
+) -> ArbiterPolicy:
+    """Build the policy for one job's spec strings."""
+    spec = canonical_arbiter(arbiter, n_ports)
+    base: ArbiterPolicy
+    if spec is None:
+        prio = make_priority(priority, n_ports)
+        intra = (
+            prio if intra_priority is None else make_priority(
+                intra_priority, n_ports
+            )
+        )
+        base = PriorityArbiter(prio, intra)
+    else:
+        base = WeightedFairArbiter(
+            [int(w) for w in spec[len("wfq:"):].split(",")]
+        )
+    if not regulate:
+        return base
+    parsed = validate_regulation(regulate, n_ports, banks)
+    return RegulatedArbiter(base, parsed, n_ports, banks)

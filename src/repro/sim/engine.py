@@ -38,6 +38,14 @@ from ..memory.sections import SectionMap, section_map_for
 from ..obs import metrics as _metrics
 from ..obs import names as _names
 from ..obs import trace as _obs_trace
+from .arbiter import (
+    ArbiterPolicy,
+    PriorityArbiter,
+    RegulatedArbiter,
+    WeightedFairArbiter,
+    canonical_arbiter,
+    validate_regulation,
+)
 from .port import Port
 from .priority import PriorityRule, make_priority
 from .stats import ConflictKind, SimStats
@@ -91,6 +99,8 @@ class Engine:
         *,
         priority: PriorityRule | str = "fixed",
         intra_priority: PriorityRule | str | None = None,
+        arbiter: ArbiterPolicy | str | None = None,
+        regulate: tuple[str, ...] = (),
         trace: TraceRecorder | bool | None = None,
     ) -> None:
         """``priority`` arbitrates cross-CPU (simultaneous bank)
@@ -99,6 +109,13 @@ class Engine:
         paper's presentation; real machines may differ (the X-MP's
         port priority within a CPU was fixed by port role while the
         inter-CPU rule rotated).
+
+        ``arbiter`` replaces the two-rule wiring with an
+        :class:`~repro.sim.arbiter.ArbiterPolicy` (instance or spec
+        string such as ``"wfq:2,1"``); ``regulate`` wraps whichever
+        policy results with token-bucket regulators
+        (``"stream=1/3"``-style specs).  The defaults reproduce the
+        pre-policy engine bit-identically.
         """
         if not ports:
             raise ValueError("need at least one port")
@@ -120,6 +137,32 @@ class Engine:
             self.intra_priority = make_priority(intra_priority, len(ports))
         else:
             self.intra_priority = intra_priority
+        if isinstance(arbiter, ArbiterPolicy):
+            if regulate:
+                raise ValueError(
+                    "pass regulate= as part of the policy instance, "
+                    "not alongside one"
+                )
+            self.arbiter: ArbiterPolicy = arbiter
+        else:
+            spec = canonical_arbiter(arbiter, len(ports))
+            base: ArbiterPolicy
+            if spec is None:
+                base = PriorityArbiter(self.priority, self.intra_priority)
+            else:
+                base = WeightedFairArbiter(
+                    [int(w) for w in spec[len("wfq:"):].split(",")]
+                )
+            if regulate:
+                base = RegulatedArbiter(
+                    base,
+                    validate_regulation(
+                        regulate, len(ports), config.banks
+                    ),
+                    len(ports),
+                    config.banks,
+                )
+            self.arbiter = base
         if trace is True:
             trace = TraceRecorder()
         elif trace is False:
@@ -135,10 +178,9 @@ class Engine:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Simulate one clock period."""
+        arbiter = self.arbiter
         if self.trace is not None:
-            favoured = self.priority.choose(
-                list(range(len(self.ports))), self.cycle
-            )
+            favoured = arbiter.favoured(len(self.ports), self.cycle)
             self.trace.begin_cycle(
                 self.cycle, priority_label=self.ports[favoured].label
             )
@@ -161,6 +203,21 @@ class Engine:
                     (port, bank, ConflictKind.BANK, self._bank_owner.get(bank))
                 )
 
+        # Phase 1b — regulator vetoes: the bank is free, but the stream
+        # or bank has exhausted its bandwidth budget this clock.  Vetoed
+        # ports drop out of the contender set entirely (another port may
+        # win the path/bank they would have contested).
+        if arbiter.regulated:
+            admitted: list[tuple[int, int]] = []
+            for port, bank in survivors:
+                if arbiter.admit(port, bank, self.cycle):
+                    admitted.append((port, bank))
+                else:
+                    denied.append(
+                        (port, bank, ConflictKind.REGULATED, None)
+                    )
+            survivors = admitted
+
         # Phase 2 — section conflicts: per (cpu, path) at most one grant.
         by_path: dict[tuple[int, int], list[tuple[int, int]]] = {}
         for port, bank in survivors:
@@ -172,7 +229,7 @@ class Engine:
             if len(contenders) == 1:
                 survivors.append(contenders[0])
                 continue
-            winner = self.intra_priority.choose(
+            winner = arbiter.rank_section(
                 [port for port, _ in sorted(contenders)], self.cycle
             )
             for port, bank in contenders:
@@ -190,8 +247,8 @@ class Engine:
             if len(contenders) == 1:
                 granted.append(contenders[0])
                 continue
-            winner = self.priority.choose(
-                [port for port, _ in sorted(contenders)], self.cycle
+            winner = arbiter.rank_bank(
+                [port for port, _ in sorted(contenders)], bank, self.cycle
             )
             for port, b in contenders:
                 if port == winner:
@@ -205,7 +262,7 @@ class Engine:
             self._bank_owner[bank] = port
             self.ports[port].advance()
             self.stats.ports[port].record_grant()
-            self.priority.granted(port, self.cycle)
+            arbiter.granted(port, bank, self.cycle)
             if self.trace is not None:
                 self.trace.grant(port, bank, self.ports[port].label)
 
@@ -219,9 +276,7 @@ class Engine:
 
         # Clock edge.
         self.banks.tick()
-        self.priority.tick(self.cycle)
-        if self.intra_priority is not self.priority:
-            self.intra_priority.tick(self.cycle)
+        arbiter.tick(self.cycle)
         self.cycle += 1
         self.stats.cycles = self.cycle
 
@@ -263,16 +318,16 @@ class Engine:
 
         For infinite constant-stride streams the pending bank determines
         each port's entire future, so the key is: bank busy counters +
-        pending bank per port + priority-rule state.  Finite states ⇒
-        some state must recur ⇒ the run is eventually periodic (the
-        paper's "some cyclic state will be reached").
+        pending bank per port + arbiter-policy state (priority rules,
+        regulator bucket levels).  Finite states ⇒ some state must recur
+        ⇒ the run is eventually periodic (the paper's "some cyclic state
+        will be reached").
         """
         m = self.config.banks
         return (
             self.banks.snapshot(),
             tuple(p.snapshot_bank(m) for p in self.ports),
-            self.priority.snapshot(),
-            self.intra_priority.snapshot(),
+            self.arbiter.snapshot(),
         )
 
     def run_to_steady_state(
@@ -311,11 +366,27 @@ class Engine:
         start_cycle = self.cycle
 
         def make() -> FlatSim:
-            # Rules are part of the simulated state: each walker gets a
-            # fresh deep copy (jointly, preserving intra-is-priority
-            # aliasing) and continues the engine's clock numbering so
-            # timestamp-based rules (LRU) stay consistent.
-            prio, intra = copy.deepcopy((self.priority, self.intra_priority))
+            # The arbiter is part of the simulated state: each walker
+            # gets a fresh deep copy (jointly, preserving
+            # intra-is-priority aliasing) and continues the engine's
+            # clock numbering so timestamp-based rules (LRU) stay
+            # consistent.  Plain priority wiring unwraps to the rule
+            # pair so the walkers keep their specialised fast paths.
+            policy = self.arbiter
+            if type(policy) is PriorityArbiter:
+                prio, intra = copy.deepcopy((policy.priority, policy.intra))
+                return FlatSim(
+                    m=m,
+                    n_c=self.config.bank_cycle,
+                    sect=sect,
+                    cpus=cpus,
+                    positions=positions,
+                    strides=strides,
+                    prio=prio,
+                    intra=intra,
+                    busy=busy,
+                    start_cycle=start_cycle,
+                )
             return FlatSim(
                 m=m,
                 n_c=self.config.bank_cycle,
@@ -323,8 +394,7 @@ class Engine:
                 cpus=cpus,
                 positions=positions,
                 strides=strides,
-                prio=prio,
-                intra=intra,
+                policy=copy.deepcopy(policy),
                 busy=busy,
                 start_cycle=start_cycle,
             )
@@ -378,6 +448,8 @@ def simulate_streams(
     cpus: list[int] | None = None,
     priority: PriorityRule | str = "fixed",
     intra_priority: PriorityRule | str | None = None,
+    arbiter: ArbiterPolicy | str | None = None,
+    regulate: tuple[str, ...] = (),
     cycles: int | None = None,
     steady: bool = False,
     trace: bool = False,
@@ -405,7 +477,8 @@ def simulate_streams(
     ports = [Port(index=i, cpu=c) for i, c in enumerate(cpus)]
     engine = Engine(
         config, ports, priority=priority,
-        intra_priority=intra_priority, trace=trace,
+        intra_priority=intra_priority, arbiter=arbiter,
+        regulate=regulate, trace=trace,
     )
     for port, stream in zip(ports, streams):
         port.assign(stream.bound(config.banks))

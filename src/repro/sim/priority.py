@@ -24,7 +24,28 @@ __all__ = [
     "BlockCyclicPriority",
     "LRUPriority",
     "make_priority",
+    "parse_priority",
 ]
+
+
+def _snapshot_ints(rule: str, snap: tuple, length: int) -> tuple[int, ...]:
+    """Validate a snapshot as ``length`` plain ints, or raise clearly.
+
+    Snapshots travel through the steady-cycle detector and (in tests)
+    across rule instances; a corrupted or cross-rule tuple must fail
+    with a message naming the rule, not an opaque unpack error deep in
+    cycle detection.
+    """
+    if not isinstance(snap, tuple) or len(snap) != length:
+        raise ValueError(
+            f"{rule} snapshot must be a {length}-tuple, got {snap!r}"
+        )
+    for value in snap:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(
+                f"{rule} snapshot must contain only integers, got {snap!r}"
+            )
+    return tuple(int(v) for v in snap)
 
 
 class PriorityRule(abc.ABC):
@@ -99,7 +120,13 @@ class CyclicPriority(PriorityRule):
         return (self._offset,)
 
     def restore(self, snap: tuple) -> None:
-        (self._offset,) = snap
+        (offset,) = _snapshot_ints("cyclic", snap, 1)
+        if not 0 <= offset < self.n_ports:
+            raise ValueError(
+                f"cyclic snapshot offset {offset} out of range for "
+                f"{self.n_ports} ports"
+            )
+        self._offset = offset
 
 
 class BlockCyclicPriority(PriorityRule):
@@ -134,7 +161,13 @@ class BlockCyclicPriority(PriorityRule):
         return (self._clock % (self.block * self.n_ports),)
 
     def restore(self, snap: tuple) -> None:
-        (self._clock,) = snap
+        (clock,) = _snapshot_ints("block-cyclic", snap, 1)
+        if not 0 <= clock < self.block * self.n_ports:
+            raise ValueError(
+                f"block-cyclic snapshot phase {clock} out of range for "
+                f"block {self.block} x {self.n_ports} ports"
+            )
+        self._clock = clock
 
     @property
     def name(self) -> str:
@@ -172,20 +205,61 @@ class LRUPriority(PriorityRule):
         return tuple(ranks)
 
     def restore(self, snap: tuple) -> None:
+        ranks = _snapshot_ints("lru", snap, self.n_ports)
+        if sorted(ranks) != list(range(self.n_ports)):
+            raise ValueError(
+                f"lru snapshot must be a permutation of ranks "
+                f"0..{self.n_ports - 1}, got {snap!r}"
+            )
         # Ranks map back to synthetic timestamps preserving the order.
-        self._last_grant = [int(r) for r in snap]
+        # They must sit strictly below any cycle number the rule can see
+        # next: restoring to 0..n-1 would let a synthetic timestamp
+        # compare *newer* than a real grant made at cycle < n-1,
+        # inverting LRU order after a restore early in a run.  Negative
+        # timestamps (rank - n_ports) are older than every real cycle
+        # (>= 0) and than the never-granted initial value only relative
+        # to each other — exactly the recorded relative order.
+        self._last_grant = [rank - self.n_ports for rank in ranks]
+
+
+def parse_priority(name: str) -> tuple[str, int]:
+    """Validate a priority spec, returning ``(kind, block)``.
+
+    The one grammar authority: ``make_priority``, job validation and
+    the serve wire contract all route through it, so a malformed spec
+    fails everywhere with the same "invalid priority spec" message.
+    """
+    if name in ("fixed", "cyclic", "lru"):
+        return name, 1
+    if isinstance(name, str) and name.startswith("block-cyclic:"):
+        spec = name.split(":", 1)[1]
+        try:
+            block = int(spec)
+        except ValueError:
+            raise ValueError(
+                f"invalid priority spec {name!r}: block length {spec!r} "
+                f"is not an integer"
+            ) from None
+        if block <= 0:
+            raise ValueError(
+                f"invalid priority spec {name!r}: block length must be "
+                f"positive"
+            )
+        return "block-cyclic", block
+    raise ValueError(
+        f"invalid priority spec {name!r}: expected 'fixed', 'cyclic', "
+        f"'lru' or 'block-cyclic:N'"
+    )
 
 
 def make_priority(name: str, n_ports: int) -> PriorityRule:
     """Factory: ``"fixed"``, ``"cyclic"``, ``"block-cyclic:N"`` or
     ``"lru"``."""
-    if name == "fixed":
+    kind, block = parse_priority(name)
+    if kind == "fixed":
         return FixedPriority()
-    if name == "cyclic":
+    if kind == "cyclic":
         return CyclicPriority(n_ports)
-    if name == "lru":
+    if kind == "lru":
         return LRUPriority(n_ports)
-    if name.startswith("block-cyclic:"):
-        block = int(name.split(":", 1)[1])
-        return BlockCyclicPriority(n_ports, block)
-    raise ValueError(f"unknown priority rule {name!r}")
+    return BlockCyclicPriority(n_ports, block)

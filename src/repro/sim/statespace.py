@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Sequence
 
 from ..core.stream import AccessStream
 from ..memory.config import MemoryConfig
@@ -143,6 +144,8 @@ def start_space_profile(
     *,
     same_cpu: bool = False,
     priority: str = "fixed",
+    arbiter: "str | None" = None,
+    regulate: "Sequence[str]" = (),
     executor: "object | None" = None,
 ) -> StartSpaceProfile:
     """Exact profile of a pair over every relative start offset.
@@ -163,7 +166,8 @@ def start_space_profile(
     ex = executor if executor is not None else default_executor()
     assert isinstance(ex, SweepExecutor)
     jobs = jobs_for_offsets(
-        config, d1, d2, range(m), same_cpu=same_cpu, priority=priority
+        config, d1, d2, range(m), same_cpu=same_cpu, priority=priority,
+        arbiter=arbiter, regulate=regulate,
     )
     outcomes = ex.run_many(jobs)
     bandwidths: dict[int, Fraction] = {}

@@ -25,11 +25,16 @@ __all__ = ["ConflictKind", "PortStats", "SimStats"]
 
 
 class ConflictKind(enum.Enum):
-    """Cause of a denied request (Section II's three conflict types)."""
+    """Cause of a denied request.
+
+    Section II's three conflict types, plus regulator vetoes (an
+    arbiter-policy extension — the bank was free but the stream or
+    bank had exhausted its bandwidth budget)."""
 
     BANK = "bank"
     SIMULTANEOUS = "simultaneous"
     SECTION = "section"
+    REGULATED = "regulated"
 
 
 @dataclass
@@ -131,5 +136,9 @@ class SimStats:
             "section_stall_cycles": self.stall_cycles(ConflictKind.SECTION),
             "simultaneous_stall_cycles": self.stall_cycles(
                 ConflictKind.SIMULTANEOUS
+            ),
+            "regulated_conflicts": self.episodes(ConflictKind.REGULATED),
+            "regulated_stall_cycles": self.stall_cycles(
+                ConflictKind.REGULATED
             ),
         }

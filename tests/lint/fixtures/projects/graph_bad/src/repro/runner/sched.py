@@ -1,0 +1,3 @@
+from repro.sim.arbiter import make_arbiter  # upward: not a blessed module
+
+SCHED = make_arbiter

@@ -1,0 +1,2 @@
+def make_arbiter():
+    return None

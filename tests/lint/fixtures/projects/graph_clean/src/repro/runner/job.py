@@ -1,0 +1,6 @@
+def validate(spec):
+    # blessed spec-validation boundary, lazily imported like the real
+    # SimJob.__post_init__
+    from repro.sim.arbiter import canonical_arbiter
+
+    return canonical_arbiter(spec, 1)

@@ -1,0 +1,2 @@
+def canonical_arbiter(spec, n_ports):
+    return spec

@@ -176,3 +176,27 @@ class TestNoopDefault:
         before = reg.snapshot()
         SweepExecutor(backend="auto").run_many(_jobs())
         assert reg.snapshot() == before
+
+
+class TestArbiterMetrics:
+    def test_policy_jobs_counted_on_the_fast_path(self):
+        from repro.runner import run
+
+        job = SimJob.from_specs(
+            CFG, [(0, 1), (0, 1)], cpus=(0, 1), regulate=["stream:0=1/4"]
+        )
+        with capture_metrics() as reg:
+            run(job, backend="fast")
+        counted = reg.get(obs_names.ARBITER_POLICY_JOBS, kind="regulated")
+        assert counted is not None and counted.value == 1
+
+    def test_reference_engine_counts_regulator_vetoes(self):
+        from repro.runner import run
+
+        job = SimJob.from_specs(
+            CFG, [(0, 1), (0, 1)], cpus=(0, 1), regulate=["stream=1/4"]
+        )
+        with capture_metrics() as reg:
+            run(job, backend="reference")
+        vetoes = reg.get(obs_names.ARBITER_VETOES)
+        assert vetoes is not None and vetoes.value > 0

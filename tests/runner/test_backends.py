@@ -221,3 +221,42 @@ class TestOutcomeViews:
         assert out.bandwidth == Fraction(7, 6)
         assert not out.conflict_free
         assert out.pair_regime.value == "barrier-on-2"
+
+
+class TestBatchPolicyFallback:
+    def test_policy_jobs_take_the_scalar_fallback(self):
+        from repro.obs import capture_metrics
+        from repro.obs import names as obs_names
+
+        plain = SimJob.from_specs(FIG3_CONFIG, [(0, 1), (0, 6)])
+        regulated = SimJob.from_specs(
+            FIG3_CONFIG, [(0, 1), (0, 6)], regulate=["stream=1/4"]
+        )
+        wfq = SimJob.from_specs(
+            FIG3_CONFIG, [(0, 1), (0, 6)], arbiter="wfq:2,1"
+        )
+        with capture_metrics() as reg:
+            outs = get_backend("batch").run_batch([plain, regulated, wfq])
+        # Everything reports as the batch backend, matching fast exactly.
+        for job, out in zip([plain, regulated, wfq], outs):
+            solo = get_backend("fast").run(job)
+            assert out.backend == "batch"
+            assert out.bandwidth == solo.bandwidth
+            assert out.grants == solo.grants
+        fallback = reg.get(obs_names.BATCH_FALLBACK, reason="policy")
+        assert fallback is not None and fallback.value == 2
+
+    def test_vector_core_refuses_policy_jobs(self):
+        from repro.runner.batchsim import run_span_batch, run_steady_batch
+
+        regulated = SimJob.from_specs(
+            FIG3_CONFIG, [(0, 1)], regulate=["stream=1/4"]
+        )
+        with pytest.raises(ValueError, match="batch core"):
+            run_steady_batch([regulated])
+        span = SimJob.from_specs(
+            FIG3_CONFIG, [(0, 1)], arbiter="wfq:2",
+            steady=False, cycles=10,
+        )
+        with pytest.raises(ValueError, match="batch core"):
+            run_span_batch([span], 10)

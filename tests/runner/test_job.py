@@ -111,3 +111,59 @@ class TestJobsForOffsets:
     def test_same_cpu(self):
         (job,) = jobs_for_offsets(CFG, 1, 7, [3], same_cpu=True)
         assert job.cpus == (0, 0)
+
+
+class TestPolicyFields:
+    def test_specs_validated_at_construction(self):
+        with pytest.raises(ValueError, match="invalid priority spec"):
+            SimJob.from_specs(CFG, [(0, 1)], priority="block-cyclic:0")
+        with pytest.raises(ValueError, match="invalid arbiter spec"):
+            SimJob.from_specs(CFG, [(0, 1), (0, 2)], arbiter="wfq:1")
+        with pytest.raises(ValueError, match="invalid regulation spec"):
+            SimJob.from_specs(CFG, [(0, 1)], regulate=["stream=1"])
+        with pytest.raises(ValueError, match="out of range"):
+            SimJob.from_specs(CFG, [(0, 1)], regulate=["stream:1=1/4"])
+        with pytest.raises(ValueError, match="from_specs"):
+            SimJob(banks=12, bank_cycle=3, streams=((0, 1),), cpus=(0,),
+                   regulate="stream=1/4")  # type: ignore[arg-type]
+
+    def test_default_policy_leaves_cache_key_unchanged(self):
+        # Pre-arbiter cache keys must stay byte-identical.
+        job = SimJob.from_specs(CFG, [(0, 1), (5, 7)])
+        assert "arb:" not in job.cache_key()
+        assert "reg:" not in job.cache_key()
+
+    def test_regulation_order_is_canonicalised(self):
+        a = SimJob.from_specs(
+            CFG, [(0, 1), (0, 2)],
+            regulate=["stream:1=1/4", "bank=2/3", "stream:0=1/2"],
+        )
+        b = SimJob.from_specs(
+            CFG, [(0, 1), (0, 2)],
+            regulate=["bank=2/3", "stream:0=1/2", "stream:1=1/4"],
+        )
+        assert a.cache_key() == b.cache_key()
+        assert a.canonical().regulate == (
+            "bank=2/3", "stream:0=1/2", "stream:1=1/4",
+        )
+
+    def test_policy_jobs_get_distinct_cache_keys(self):
+        plain = SimJob.from_specs(CFG, [(0, 1), (0, 2)])
+        reg = SimJob.from_specs(
+            CFG, [(0, 1), (0, 2)], regulate=["stream=1/4"]
+        )
+        wfq = SimJob.from_specs(CFG, [(0, 1), (0, 2)], arbiter="wfq:2,1")
+        keys = {plain.cache_key(), reg.cache_key(), wfq.cache_key()}
+        assert len(keys) == 3
+
+    def test_indexed_bank_regulation_blocks_renumbering(self):
+        # bank:IDX pins a physical bank, so the Appendix isomorphism no
+        # longer maps the regulated system onto itself.
+        pinned = SimJob.from_specs(
+            CFG, [(3, 5)], regulate=["bank:2=1/4"]
+        )
+        assert pinned.canonical().streams == pinned.streams
+        uniform = SimJob.from_specs(CFG, [(3, 5)], regulate=["bank=1/4"])
+        assert uniform.canonical().streams == (
+            SimJob.from_specs(CFG, [(3, 5)]).canonical().streams
+        )

@@ -128,3 +128,44 @@ class TestContractTables:
         assert "/v1/beff" in paths and "/metrics" in paths
         assert all(e.method in ("GET", "POST") for e in ENDPOINTS)
         assert MAX_SWEEP_JOBS > 0
+
+
+class TestPolicyFieldsOnTheWire:
+    BASE = {"banks": 8, "bank_cycle": 4, "streams": [[0, 1], [0, 1]],
+            "cpus": [0, 1]}
+
+    def test_arbiter_and_regulate_round_trip(self):
+        job = job_from_payload(
+            {**self.BASE, "arbiter": "wfq:3,1",
+             "regulate": ["stream:0=1/4"]}
+        )
+        assert job.arbiter == "wfq:3,1"
+        assert job.regulate == ("stream:0=1/4",)
+
+    def test_defaults_are_unregulated(self):
+        job = job_from_payload(self.BASE)
+        assert job.arbiter is None
+        assert job.regulate == ()
+
+    @pytest.mark.parametrize("patch", [
+        {"arbiter": 7},
+        {"arbiter": "rr"},
+        {"arbiter": "wfq:1"},
+        {"regulate": "stream=1/4"},
+        {"regulate": [7]},
+        {"regulate": ["bogus"]},
+        {"regulate": ["stream:5=1/4"]},
+    ])
+    def test_malformed_policy_fields_are_400(self, patch):
+        with pytest.raises(ProtocolError) as err:
+            job_from_payload({**self.BASE, **patch})
+        assert err.value.mode == "malformed"
+
+    def test_regulated_job_is_servable(self):
+        job = job_from_payload(
+            {**self.BASE, "regulate": ["stream:0=1/4"]}
+        )
+        out = run(job, backend="fast")
+        body = outcome_to_payload(job, out, tier="simulated")
+        assert body["bandwidth"] == "1/2"
+        assert "reg:stream:0=1/4" in body["key"]

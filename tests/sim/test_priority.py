@@ -183,3 +183,104 @@ class TestBlockCyclic:
                 priority="block-cyclic:3",
             )
             assert pr.bandwidth == 2, b2
+
+
+class TestLRURestoreEarly:
+    """Regression: restore used to write ranks straight back as
+    timestamps, so a synthetic timestamp (up to n-1) could compare
+    *newer* than a real grant made at a cycle below n-1 — inverting
+    LRU order right after an early restore.  The fix maps rank r to
+    the negative timestamp r - n_ports, older than any real cycle."""
+
+    def test_restored_twin_tracks_original_before_cycle_n(self):
+        original = LRUPriority(3)
+        original.granted(0, cycle=0)
+        twin = LRUPriority(3)
+        twin.restore(original.snapshot())
+        # Same event on both at a cycle still below n_ports ...
+        original.granted(1, cycle=1)
+        twin.granted(1, cycle=1)
+        # ... must leave them agreeing (port 2 is least recent).
+        assert original.choose([0, 1, 2], 2) == 2
+        assert twin.choose([0, 1, 2], 2) == 2
+        assert twin.snapshot() == original.snapshot()
+
+    def test_restore_preserves_order_against_fresh_grants(self):
+        rule = LRUPriority(4)
+        for port, cycle in ((2, 0), (0, 1), (3, 2)):
+            rule.granted(port, cycle)
+        snap = rule.snapshot()
+        twin = LRUPriority(4)
+        twin.restore(snap)
+        for cycle in range(3, 12):
+            contenders = [0, 1, 2, 3]
+            assert twin.choose(contenders, cycle) == rule.choose(
+                contenders, cycle
+            ), cycle
+            winner = rule.choose(contenders, cycle)
+            rule.granted(winner, cycle)
+            twin.granted(winner, cycle)
+
+
+class TestRestoreValidation:
+    def test_cyclic_rejects_mismatched_shapes(self):
+        rule = CyclicPriority(3)
+        with pytest.raises(ValueError, match="cyclic snapshot"):
+            rule.restore(())
+        with pytest.raises(ValueError, match="cyclic snapshot"):
+            rule.restore((0, 1))
+        with pytest.raises(ValueError, match="only integers"):
+            rule.restore(("1",))
+        with pytest.raises(ValueError, match="out of range"):
+            rule.restore((3,))
+        with pytest.raises(ValueError, match="out of range"):
+            rule.restore((-1,))
+
+    def test_block_cyclic_rejects_foreign_phase(self):
+        from repro.sim.priority import BlockCyclicPriority
+
+        rule = BlockCyclicPriority(2, block=3)
+        with pytest.raises(ValueError, match="block-cyclic snapshot"):
+            rule.restore((1, 2))
+        with pytest.raises(ValueError, match="out of range"):
+            rule.restore((6,))  # full rotation is block * n_ports = 6
+        rule.restore((5,))  # the last valid phase is fine
+
+    def test_lru_rejects_non_permutations(self):
+        rule = LRUPriority(3)
+        with pytest.raises(ValueError, match="permutation"):
+            rule.restore((0, 0, 1))
+        with pytest.raises(ValueError, match="permutation"):
+            rule.restore((0, 1, 3))
+        with pytest.raises(ValueError, match="lru snapshot"):
+            rule.restore((0, 1))
+        with pytest.raises(ValueError, match="only integers"):
+            rule.restore((0, 1, True))
+
+    def test_cross_rule_snapshot_names_the_rule(self):
+        lru = LRUPriority(2)
+        cyclic = CyclicPriority(2)
+        with pytest.raises(ValueError, match="cyclic snapshot"):
+            cyclic.restore(lru.snapshot())
+
+
+class TestSpecGrammar:
+    def test_parse_known_kinds(self):
+        from repro.sim.priority import parse_priority
+
+        assert parse_priority("fixed") == ("fixed", 1)
+        assert parse_priority("cyclic") == ("cyclic", 1)
+        assert parse_priority("lru") == ("lru", 1)
+        assert parse_priority("block-cyclic:7") == ("block-cyclic", 7)
+
+    @pytest.mark.parametrize("spec", [
+        "block-cyclic:x", "block-cyclic:", "block-cyclic:0",
+        "block-cyclic:-2", "block-cyclic", "round-robin", "", "FIXED",
+    ])
+    def test_malformed_specs_fail_clearly(self, spec):
+        from repro.sim.priority import parse_priority
+
+        with pytest.raises(ValueError, match="invalid priority spec"):
+            parse_priority(spec)
+        with pytest.raises(ValueError, match="invalid priority spec"):
+            make_priority(spec, 2)

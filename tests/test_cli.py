@@ -338,3 +338,54 @@ class TestInstalledEntryPoint:
         )
         assert proc.returncode == 0
         assert "conflict-free" in proc.stdout
+
+
+class TestArbiterCli:
+    def test_simulate_with_regulation(self, capsys):
+        rc = main([
+            "simulate", "-m", "8", "-c", "4",
+            "--stream", "0:1", "--stream", "0:1", "--cpus", "0,1",
+            "--regulate", "stream:0=1/4",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "regulate: stream:0=1/4" in out
+        assert "steady b_eff = 1/2" in out
+
+    def test_simulate_with_wfq(self, capsys):
+        rc = main([
+            "simulate", "-m", "8", "-c", "4",
+            "--stream", "0:1", "--stream", "0:1", "--cpus", "0,1",
+            "--arbiter", "wfq:3,1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "arbiter: wfq:3,1" in out
+
+    def test_profile_accepts_regulation(self, capsys):
+        rc = main([
+            "profile", "-m", "8", "-c", "4", "1", "1",
+            "--regulate", "stream=2/2",
+        ])
+        assert rc == 0
+        assert "start space" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "-m", "8", "-c", "4", "--stream", "0:1",
+         "--regulate", "stream=x"],
+        ["simulate", "-m", "8", "-c", "4", "--stream", "0:1",
+         "--regulate", "cpu=1/4"],
+        ["simulate", "-m", "8", "-c", "4", "--stream", "0:1",
+         "--arbiter", "wfq:1,2"],
+        ["simulate", "-m", "8", "-c", "4", "--stream", "0:1",
+         "--priority", "block-cyclic:x"],
+        ["simulate", "-m", "8", "-c", "4", "--stream", "0:1",
+         "--priority", "block-cyclic:0"],
+        ["profile", "-m", "8", "-c", "4", "1", "1",
+         "--regulate", "bank:9=1/4"],
+    ])
+    def test_malformed_specs_exit_2_without_traceback(self, argv, capsys):
+        rc = main(argv)
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "error: invalid" in err
